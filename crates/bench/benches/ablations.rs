@@ -1,0 +1,74 @@
+//! Ablation benches: isolate the design choices the paper's conclusions call
+//! out, by flipping one capability at a time on a fixed profile and measuring
+//! the simulated completion time of the 100 × 10 kB workload.
+//!
+//! * bundling on/off (quantifies the Fig. 6b gap),
+//! * connection reuse vs. one TCP+TLS connection per file (Fig. 3 penalty),
+//! * compression always / smart / never for text content (Fig. 5),
+//! * client-side encryption on/off for a Wuala-like profile (the paper's
+//!   claim that encryption does not hurt performance).
+
+use cloudbench::benchmarks::run_performance_cell;
+use cloudbench::testbed::Testbed;
+use cloudbench::{BatchSpec, FileKind, ServiceProfile};
+use cloudbench_bench::REPRO_SEED;
+use cloudsim_services::profile::TransferMode;
+use cloudsim_storage::CompressionPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let many_small = BatchSpec::new(100, 10_000, FileKind::RandomBinary);
+    let text_batch = BatchSpec::new(10, 200_000, FileKind::Text);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    // Bundling ablation on a Dropbox-like profile.
+    let bundled = ServiceProfile::dropbox();
+    let unbundled = ServiceProfile::dropbox().with_transfer_mode(TransferMode::SequentialWithAcks);
+    group.bench_function("dropbox_bundled_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &bundled, &many_small, 1))
+    });
+    group.bench_function("dropbox_unbundled_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &unbundled, &many_small, 1))
+    });
+
+    // Connection reuse ablation on a Google-Drive-like profile.
+    let per_file = ServiceProfile::google_drive();
+    let reused = ServiceProfile::google_drive().with_transfer_mode(TransferMode::SequentialWithAcks);
+    group.bench_function("gdrive_conn_per_file_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &per_file, &many_small, 1))
+    });
+    group.bench_function("gdrive_conn_reuse_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &reused, &many_small, 1))
+    });
+
+    // Compression policy ablation on text content.
+    for (label, policy) in [
+        ("always", CompressionPolicy::Always),
+        ("smart", CompressionPolicy::Smart),
+        ("never", CompressionPolicy::Never),
+    ] {
+        let profile = ServiceProfile::dropbox().with_compression(policy);
+        group.bench_function(
+            criterion::BenchmarkId::new("compression_policy_text", label),
+            |b| b.iter(|| run_performance_cell(&testbed, &profile, &text_batch, 1)),
+        );
+    }
+
+    // Client-side encryption ablation on a Wuala-like profile.
+    let encrypted = ServiceProfile::wuala();
+    let plaintext = ServiceProfile::wuala().with_encryption(false);
+    group.bench_function("wuala_encrypted_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &encrypted, &many_small, 1))
+    });
+    group.bench_function("wuala_plaintext_100x10kB", |b| {
+        b.iter(|| run_performance_cell(&testbed, &plaintext, &many_small, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 1 bench: simulate the 16-minute idle observation for every service.
+
+use cloudbench::idle::{idle_traffic_for, idle_traffic_series};
+use cloudbench::testbed::Testbed;
+use cloudbench::ServiceProfile;
+use cloudbench_bench::REPRO_SEED;
+use cloudsim_net::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let mut group = c.benchmark_group("fig1_idle_traffic");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("all_services_16min", |b| {
+        b.iter(|| idle_traffic_series(&testbed))
+    });
+    group.bench_function("cloud_drive_16min", |b| {
+        b.iter(|| {
+            idle_traffic_for(
+                &testbed,
+                &ServiceProfile::cloud_drive(),
+                SimDuration::from_secs(16 * 60),
+                SimDuration::from_secs(60),
+            )
+        })
+    });
+    group.bench_function("wuala_16min", |b| {
+        b.iter(|| {
+            idle_traffic_for(
+                &testbed,
+                &ServiceProfile::wuala(),
+                SimDuration::from_secs(16 * 60),
+                SimDuration::from_secs(60),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

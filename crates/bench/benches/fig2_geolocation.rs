@@ -1,0 +1,29 @@
+//! Fig. 2 bench: the DNS sweep + whois + hybrid geolocation pipeline.
+
+use cloudbench::architecture::discover_architecture;
+use cloudbench::Provider;
+use cloudbench_bench::REPRO_SEED;
+use cloudsim_geo::ResolverFleet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let fleet = ResolverFleet::paper_scale();
+    let mut group = c.benchmark_group("fig2_geolocation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for provider in [Provider::GoogleDrive, Provider::Dropbox, Provider::Wuala] {
+        group.bench_with_input(
+            BenchmarkId::new("discover", provider.name()),
+            &provider,
+            |b, p| b.iter(|| discover_architecture(*p, &fleet, REPRO_SEED)),
+        );
+    }
+    group.bench_function("resolver_fleet_generation", |b| {
+        b.iter(ResolverFleet::paper_scale)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

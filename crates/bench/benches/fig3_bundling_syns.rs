@@ -1,0 +1,31 @@
+//! Fig. 3 bench: uploading 100 × 10 kB and counting TCP connections for the
+//! two services that open one (or four) connections per file.
+
+use cloudbench::capability::syn_series;
+use cloudbench::testbed::Testbed;
+use cloudbench::ServiceProfile;
+use cloudbench_bench::REPRO_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let mut group = c.benchmark_group("fig3_bundling_syns");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for profile in [
+        ServiceProfile::google_drive(),
+        ServiceProfile::cloud_drive(),
+        ServiceProfile::dropbox(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("syn_series_100x10kB", profile.name()),
+            &profile,
+            |b, p| b.iter(|| syn_series(&testbed, p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

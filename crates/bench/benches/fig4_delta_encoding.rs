@@ -1,0 +1,31 @@
+//! Fig. 4 bench: the delta-encoding test series (append and random-offset
+//! modifications) for the delta-capable and a delta-less service.
+
+use cloudbench::capability::delta_encoding_series;
+use cloudbench::testbed::Testbed;
+use cloudbench::ServiceProfile;
+use cloudbench_bench::REPRO_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let sizes = [500_000u64, 1_000_000, 2_000_000];
+    let mut group = c.benchmark_group("fig4_delta_encoding");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for profile in [ServiceProfile::dropbox(), ServiceProfile::skydrive()] {
+        group.bench_with_input(
+            BenchmarkId::new("append_series", profile.name()),
+            &profile,
+            |b, p| b.iter(|| delta_encoding_series(&testbed, p, &sizes, false)),
+        );
+    }
+    group.bench_function("dropbox_random_offset_10MB", |b| {
+        b.iter(|| delta_encoding_series(&testbed, &ServiceProfile::dropbox(), &[10_000_000], true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

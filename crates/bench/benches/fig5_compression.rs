@@ -1,0 +1,32 @@
+//! Fig. 5 bench: the compression test (text, random bytes, fake JPEGs).
+
+use cloudbench::capability::compression_series;
+use cloudbench::testbed::Testbed;
+use cloudbench::{FileKind, ServiceProfile};
+use cloudbench_bench::REPRO_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let sizes = [500_000u64, 1_000_000, 2_000_000];
+    let mut group = c.benchmark_group("fig5_compression");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for kind in [FileKind::Text, FileKind::RandomBinary, FileKind::FakeJpeg] {
+        group.bench_with_input(
+            BenchmarkId::new("dropbox", kind.label()),
+            &kind,
+            |b, k| b.iter(|| compression_series(&testbed, &ServiceProfile::dropbox(), *k, &sizes)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("google_drive", kind.label()),
+            &kind,
+            |b, k| b.iter(|| compression_series(&testbed, &ServiceProfile::google_drive(), *k, &sizes)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 6 bench: the §5 performance suite (start-up, completion, overhead)
+//! across the four workloads and five services.
+
+use cloudbench::benchmarks::{run_performance_cell, run_performance_suite};
+use cloudbench::testbed::Testbed;
+use cloudbench::{BatchSpec, FileKind, ServiceProfile};
+use cloudbench_bench::REPRO_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let mut group = c.benchmark_group("fig6_performance");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("full_suite_1rep", |b| {
+        b.iter(|| run_performance_suite(&testbed, 1))
+    });
+
+    let hard_case = BatchSpec::new(100, 10_000, FileKind::RandomBinary);
+    for profile in [ServiceProfile::dropbox(), ServiceProfile::google_drive(), ServiceProfile::cloud_drive()] {
+        group.bench_with_input(
+            BenchmarkId::new("100x10kB_cell", profile.name()),
+            &profile,
+            |b, p| b.iter(|| run_performance_cell(&testbed, p, &hard_case, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

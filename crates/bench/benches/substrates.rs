@@ -1,0 +1,68 @@
+//! Substrate micro-benchmarks: the storage-engine primitives behind the
+//! capability model (hashing, chunking, compression, delta, encryption) and
+//! the flow-level TCP model. These are the pieces whose cost a real client
+//! pays in CPU; the paper's "compression could reduce traffic ... at the
+//! expense of processing time" trade-off is visible here.
+
+use cloudsim_net::tcp::{ConnectionOptions, TcpConnection};
+use cloudsim_net::{Network, PathSpec, SimDuration, SimTime, Simulator};
+use cloudsim_storage::{
+    compress, sha256, ChunkingStrategy, CompressionPolicy, ConvergentCipher, DeltaScript, Signature,
+};
+use cloudsim_trace::FlowKind;
+use cloudsim_workload::{generate, FileKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    let text = generate(FileKind::Text, 1_000_000, 1);
+    let random = generate(FileKind::RandomBinary, 1_000_000, 2);
+
+    group.throughput(Throughput::Bytes(1_000_000));
+    group.bench_function("sha256_1MB", |b| b.iter(|| sha256(&random)));
+    group.bench_function("lzss_compress_text_1MB", |b| b.iter(|| compress(&text)));
+    group.bench_function("lzss_compress_random_1MB", |b| b.iter(|| compress(&random)));
+    group.bench_function("smart_policy_text_1MB", |b| {
+        b.iter(|| CompressionPolicy::Smart.upload_size(&text))
+    });
+    group.bench_function("chacha20_convergent_1MB", |b| {
+        let cipher = ConvergentCipher::new();
+        b.iter(|| cipher.encrypt(&random))
+    });
+    group.bench_function("cdc_chunking_1MB", |b| {
+        b.iter(|| ChunkingStrategy::VARIABLE.chunk(&random))
+    });
+    group.bench_function("rsync_delta_append_1MB", |b| {
+        let mut appended = random.clone();
+        appended.extend_from_slice(&generate(FileKind::RandomBinary, 100_000, 3));
+        let signature = Signature::new(&random);
+        b.iter(|| DeltaScript::compute(&signature, &appended))
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("tcp_model_1MB_transfer", |b| {
+        b.iter(|| {
+            let mut net = Network::new();
+            let host = net.add_server("bench.example", [10, 0, 0, 1], 443);
+            net.set_path(host, PathSpec::symmetric(SimDuration::from_millis(50), 50_000_000));
+            let mut sim = Simulator::new(7);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            let established = conn.established_at();
+            conn.request(&mut sim, &net, established, 1_000_000, 500, SimDuration::from_millis(20))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1 bench: the full §4 capability battery.
+
+use cloudbench::capability::{detect_capabilities, CapabilityMatrix};
+use cloudbench::testbed::Testbed;
+use cloudbench::ServiceProfile;
+use cloudbench_bench::REPRO_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let testbed = Testbed::new(REPRO_SEED);
+    let mut group = c.benchmark_group("table1_capabilities");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+
+    for profile in [ServiceProfile::dropbox(), ServiceProfile::cloud_drive()] {
+        group.bench_with_input(
+            BenchmarkId::new("detect_one_service", profile.name()),
+            &profile,
+            |b, p| b.iter(|| detect_capabilities(&testbed, p)),
+        );
+    }
+    group.bench_function("detect_all_services", |b| {
+        b.iter(|| CapabilityMatrix::detect_all(&testbed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch] [--reps N]
+//! ```
+//!
+//! Each target runs the corresponding experiment on the simulated substrate
+//! and prints the same rows/series the paper reports. Absolute values differ
+//! from the 2013 testbed; EXPERIMENTS.md records the paper-vs-measured
+//! comparison for every target.
+
+use cloudbench::architecture::discover_architecture;
+use cloudbench::benchmarks::run_performance_suite;
+use cloudbench::capability::{compression_series, delta_encoding_series, syn_series, CapabilityMatrix};
+use cloudbench::idle::idle_traffic_series;
+use cloudbench::report::{Fig6Metric, Report};
+use cloudbench::testbed::Testbed;
+use cloudbench::{FileKind, Provider, ServiceProfile};
+use cloudbench_bench::{BENCH_REPETITIONS, REPRO_SEED};
+use cloudsim_geo::ResolverFleet;
+
+fn print_report(report: &Report) {
+    println!("==== {} ====", report.title);
+    println!("{}", report.body);
+}
+
+fn table1(testbed: &Testbed) {
+    let matrix = CapabilityMatrix::detect_all(testbed);
+    print_report(&Report::table1(&matrix));
+}
+
+fn fig1(testbed: &Testbed) {
+    let series = idle_traffic_series(testbed);
+    print_report(&Report::figure1(&series));
+}
+
+fn fig2() {
+    let fleet = ResolverFleet::paper_scale();
+    let reports: Vec<_> = Provider::ALL
+        .iter()
+        .map(|p| discover_architecture(*p, &fleet, REPRO_SEED))
+        .collect();
+    let refs: Vec<&_> = reports.iter().collect();
+    print_report(&Report::figure2(&refs));
+}
+
+fn fig3(testbed: &Testbed) {
+    let series: Vec<(String, Vec<(f64, u64)>)> = [ServiceProfile::google_drive(), ServiceProfile::cloud_drive()]
+        .iter()
+        .map(|p| (p.name().to_string(), syn_series(testbed, p)))
+        .collect();
+    print_report(&Report::figure3(&series));
+}
+
+fn fig4(testbed: &Testbed) {
+    let append_sizes: Vec<u64> = vec![100_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
+    let random_sizes: Vec<u64> = vec![1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000];
+    for (case, sizes, random) in [("append", &append_sizes, false), ("random offset", &random_sizes, true)] {
+        let series: Vec<(String, Vec<_>)> = ServiceProfile::all()
+            .iter()
+            .map(|p| (p.name().to_string(), delta_encoding_series(testbed, p, sizes, random)))
+            .collect();
+        print_report(&Report::figure4(&series, case));
+    }
+}
+
+fn fig5(testbed: &Testbed) {
+    let sizes: Vec<u64> = vec![100_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
+    for (kind, label) in [
+        (FileKind::Text, "random readable text"),
+        (FileKind::RandomBinary, "random bytes"),
+        (FileKind::FakeJpeg, "fake JPEGs"),
+    ] {
+        let series: Vec<(String, Vec<_>)> = ServiceProfile::all()
+            .iter()
+            .map(|p| (p.name().to_string(), compression_series(testbed, p, kind, &sizes)))
+            .collect();
+        print_report(&Report::figure5(&series, label));
+    }
+}
+
+fn fig6(testbed: &Testbed, reps: usize, metric: Option<Fig6Metric>) {
+    let suite = run_performance_suite(testbed, reps);
+    let metrics = match metric {
+        Some(m) => vec![m],
+        None => vec![Fig6Metric::Startup, Fig6Metric::Completion, Fig6Metric::Overhead],
+    };
+    for m in metrics {
+        print_report(&Report::figure6(&suite, m));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(BENCH_REPETITIONS);
+    let testbed = Testbed::new(REPRO_SEED);
+
+    match target {
+        "table1" => table1(&testbed),
+        "fig1" => fig1(&testbed),
+        "fig2" | "arch" => fig2(),
+        "fig3" => fig3(&testbed),
+        "fig4" => fig4(&testbed),
+        "fig5" => fig5(&testbed),
+        "fig6a" => fig6(&testbed, reps, Some(Fig6Metric::Startup)),
+        "fig6b" => fig6(&testbed, reps, Some(Fig6Metric::Completion)),
+        "fig6c" => fig6(&testbed, reps, Some(Fig6Metric::Overhead)),
+        "fig6" => fig6(&testbed, reps, None),
+        "all" => {
+            table1(&testbed);
+            fig1(&testbed);
+            fig2();
+            fig3(&testbed);
+            fig4(&testbed);
+            fig5(&testbed);
+            fig6(&testbed, reps, None);
+        }
+        other => {
+            eprintln!("unknown target '{other}'");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch] [--reps N]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # cloudbench-bench
+//!
+//! Benchmark harness for the IMC'13 reproduction.
+//!
+//! * The `repro` binary regenerates every table and figure of the paper from
+//!   freshly simulated measurements (`cargo run -p cloudbench-bench --bin
+//!   repro -- all`).
+//! * The Criterion benches under `benches/` measure how long each experiment
+//!   takes to simulate and double as regression guards for the harness itself;
+//!   one bench target exists per table/figure plus ablation and substrate
+//!   micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared helper: the default testbed seed used by the harness, so the repro
+/// binary and the benches measure the same simulated universe.
+pub const REPRO_SEED: u64 = 0x2013_1023;
+
+/// Reduced repetition count used by benches (the paper uses 24 per
+/// experiment; the simulation is deterministic enough that 3 repetitions give
+/// stable means for the tables while keeping bench time short).
+pub const BENCH_REPETITIONS: usize = 3;

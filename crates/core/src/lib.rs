@@ -1,0 +1,58 @@
+//! # cloudbench
+//!
+//! Benchmarking personal cloud storage — a full reproduction of the
+//! methodology of Drago et al., *Benchmarking Personal Cloud Storage*,
+//! IMC 2013 (DOI 10.1145/2504730.2504762), over a simulated substrate.
+//!
+//! The paper's contribution is a methodology with three legs, each of which is
+//! a module here:
+//!
+//! 1. **Architecture discovery** ([`architecture`]): resolve each service's
+//!    DNS names from thousands of vantage points, identify address owners via
+//!    whois and geolocate the front ends (§2.1, §3, Fig. 2).
+//! 2. **Capability checks** ([`capability`]): crafted file batches reveal
+//!    whether a client implements chunking, bundling, client-side
+//!    deduplication, delta encoding and (smart) compression (§2.2, §4,
+//!    Table 1, Fig. 3–5).
+//! 3. **Performance benchmarks** ([`benchmarks`], [`idle`]): synchronisation
+//!    start-up time, completion time and protocol overhead over the paper's
+//!    workloads, each repeated many times (§2.3, §5, Fig. 1, Fig. 6).
+//!
+//! [`testbed`] wires the pieces together (it plays the role of the "testing
+//! application" plus the instrumented test computer), and [`report`] renders
+//! every table and figure of the paper from the measured data.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloudbench::testbed::Testbed;
+//! use cloudsim_services::ServiceProfile;
+//! use cloudsim_workload::{BatchSpec, FileKind};
+//!
+//! let testbed = Testbed::new(42);
+//! let spec = BatchSpec::new(10, 10_000, FileKind::RandomBinary);
+//! let run = testbed.run_sync(&ServiceProfile::dropbox(), &spec, 0);
+//! assert!(run.completion_time().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod architecture;
+pub mod benchmarks;
+pub mod capability;
+pub mod idle;
+pub mod report;
+pub mod testbed;
+
+pub use architecture::{discover_architecture, ArchitectureReport};
+pub use benchmarks::{run_performance_suite, PerformanceRow, PerformanceSuite};
+pub use capability::{CapabilityMatrix, ServiceCapabilities};
+pub use idle::{idle_traffic_series, IdleSeries};
+pub use report::Report;
+pub use testbed::{ExperimentRun, Testbed};
+
+// Re-exports that make the public API self-contained for downstream users.
+pub use cloudsim_geo::Provider;
+pub use cloudsim_services::ServiceProfile;
+pub use cloudsim_workload::{BatchSpec, FileKind};

@@ -1,0 +1,166 @@
+//! Network topology: the test computer plus every server a service contacts.
+
+use crate::host::{HostId, HostInfo, HostRole};
+use crate::path::PathSpec;
+use cloudsim_trace::Endpoint;
+use std::collections::HashMap;
+
+/// The topology of one experiment: a single client (the test computer) and a
+/// set of servers, each reachable over its own [`PathSpec`].
+#[derive(Debug, Clone)]
+pub struct Network {
+    client: HostInfo,
+    hosts: Vec<HostInfo>,
+    paths: HashMap<HostId, PathSpec>,
+    default_path: PathSpec,
+    next_client_port: u16,
+}
+
+impl Network {
+    /// Creates a topology with the default test computer (192.168.1.10).
+    pub fn new() -> Self {
+        Network {
+            client: HostInfo {
+                id: HostId(0),
+                dns_name: "test-computer.lan".to_string(),
+                endpoint: Endpoint::from_octets(192, 168, 1, 10, 0),
+                role: HostRole::Client,
+            },
+            hosts: Vec::new(),
+            paths: HashMap::new(),
+            default_path: PathSpec::default(),
+            next_client_port: 49152,
+        }
+    }
+
+    /// Information about the test computer.
+    pub fn client(&self) -> &HostInfo {
+        &self.client
+    }
+
+    /// Registers a server with a given role.
+    pub fn add_host(&mut self, dns_name: &str, octets: [u8; 4], port: u16, role: HostRole) -> HostId {
+        let id = HostId(self.hosts.len() as u32 + 1);
+        self.hosts.push(HostInfo {
+            id,
+            dns_name: dns_name.to_string(),
+            endpoint: Endpoint::from_octets(octets[0], octets[1], octets[2], octets[3], port),
+            role,
+        });
+        id
+    }
+
+    /// Registers a storage/control server (most common case in tests).
+    pub fn add_server(&mut self, dns_name: &str, octets: [u8; 4], port: u16) -> HostId {
+        self.add_host(dns_name, octets, port, HostRole::Storage)
+    }
+
+    /// Sets the path characteristics between the client and a server.
+    pub fn set_path(&mut self, host: HostId, path: PathSpec) {
+        self.paths.insert(host, path);
+    }
+
+    /// Sets the path used for servers without an explicit path.
+    pub fn set_default_path(&mut self, path: PathSpec) {
+        self.default_path = path;
+    }
+
+    /// Looks up the path to a server (falling back to the default path).
+    pub fn path(&self, host: HostId) -> PathSpec {
+        self.paths.get(&host).copied().unwrap_or(self.default_path)
+    }
+
+    /// Looks up a registered host.
+    pub fn host(&self, id: HostId) -> Option<&HostInfo> {
+        if id == self.client.id {
+            return Some(&self.client);
+        }
+        self.hosts.get(id.0 as usize - 1)
+    }
+
+    /// Iterates over all registered servers.
+    pub fn hosts(&self) -> impl Iterator<Item = &HostInfo> {
+        self.hosts.iter()
+    }
+
+    /// Number of registered servers (excluding the client).
+    pub fn server_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Allocates a fresh ephemeral client port for a new connection.
+    pub fn allocate_client_port(&mut self) -> u16 {
+        let port = self.next_client_port;
+        self.next_client_port = if self.next_client_port == u16::MAX {
+            49152
+        } else {
+            self.next_client_port + 1
+        };
+        port
+    }
+
+    /// Finds the servers with a given role.
+    pub fn hosts_with_role(&self, role: HostRole) -> Vec<&HostInfo> {
+        self.hosts.iter().filter(|h| h.role == role).collect()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim_trace::SimDuration;
+
+    #[test]
+    fn hosts_are_registered_and_looked_up() {
+        let mut net = Network::new();
+        let a = net.add_host("control.example", [10, 0, 0, 1], 443, HostRole::Control);
+        let b = net.add_server("storage.example", [10, 0, 0, 2], 443);
+        assert_ne!(a, b);
+        assert_eq!(net.server_count(), 2);
+        assert_eq!(net.host(a).unwrap().dns_name, "control.example");
+        assert_eq!(net.host(b).unwrap().role, HostRole::Storage);
+        assert_eq!(net.host(HostId(0)).unwrap().role, HostRole::Client);
+        assert!(net.host(HostId(99)).is_none());
+        assert_eq!(net.hosts_with_role(HostRole::Control).len(), 1);
+        assert_eq!(net.hosts().count(), 2);
+    }
+
+    #[test]
+    fn paths_fall_back_to_default() {
+        let mut net = Network::new();
+        let a = net.add_server("a.example", [10, 0, 0, 1], 443);
+        let b = net.add_server("b.example", [10, 0, 0, 2], 443);
+        let fast = PathSpec::symmetric(SimDuration::from_millis(5), 1_000_000_000);
+        net.set_path(a, fast);
+        assert_eq!(net.path(a).rtt, SimDuration::from_millis(5));
+        assert_eq!(net.path(b).rtt, PathSpec::default().rtt);
+        let slow = PathSpec::symmetric(SimDuration::from_millis(200), 10_000_000);
+        net.set_default_path(slow);
+        assert_eq!(net.path(b).rtt, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn client_ports_are_unique_and_wrap() {
+        let mut net = Network::new();
+        let p1 = net.allocate_client_port();
+        let p2 = net.allocate_client_port();
+        assert_ne!(p1, p2);
+        assert!(p1 >= 49152);
+        net.next_client_port = u16::MAX;
+        assert_eq!(net.allocate_client_port(), u16::MAX);
+        assert_eq!(net.allocate_client_port(), 49152);
+    }
+
+    #[test]
+    fn client_endpoint_is_private_address() {
+        let net = Network::new();
+        assert_eq!(net.client().endpoint.octets(), [192, 168, 1, 10]);
+        assert_eq!(net.client().role, HostRole::Client);
+    }
+}

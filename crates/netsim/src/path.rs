@@ -1,0 +1,133 @@
+//! Network path characteristics between the test computer and a server.
+//!
+//! The paper's single-file results are dominated by the RTT between the
+//! European testbed and each provider's data centres (§5.2: "the distance
+//! between our testbed and the data centers dominates the metric"), so the
+//! path model carries per-destination RTT and asymmetric bandwidth, plus an
+//! RTT jitter knob that gives the 24 experiment repetitions realistic
+//! variance.
+
+use crate::rng::SimRng;
+use cloudsim_trace::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Path characteristics between the client and one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Base round-trip time.
+    pub rtt: SimDuration,
+    /// Bottleneck bandwidth client → server in bits per second.
+    pub up_bandwidth: u64,
+    /// Bottleneck bandwidth server → client in bits per second.
+    pub down_bandwidth: u64,
+    /// Relative RTT jitter (0.0 = deterministic, 0.1 = ±10 %).
+    pub rtt_jitter: f64,
+}
+
+impl PathSpec {
+    /// A symmetric path with the same bandwidth in both directions and a
+    /// default ±5 % RTT jitter.
+    pub fn symmetric(rtt: SimDuration, bandwidth: u64) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        PathSpec { rtt, up_bandwidth: bandwidth, down_bandwidth: bandwidth, rtt_jitter: 0.05 }
+    }
+
+    /// An asymmetric path (e.g. a residential up/down split).
+    pub fn asymmetric(rtt: SimDuration, up: u64, down: u64) -> Self {
+        assert!(up > 0 && down > 0, "bandwidth must be positive");
+        PathSpec { rtt, up_bandwidth: up, down_bandwidth: down, rtt_jitter: 0.05 }
+    }
+
+    /// Returns a copy with a different jitter setting.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.rtt_jitter = jitter;
+        self
+    }
+
+    /// Samples the RTT for one exchange, applying jitter.
+    pub fn sample_rtt(&self, rng: &mut SimRng) -> SimDuration {
+        if self.rtt_jitter == 0.0 || self.rtt.is_zero() {
+            return self.rtt;
+        }
+        let jittered = rng.jitter(self.rtt.as_secs_f64(), self.rtt_jitter);
+        SimDuration::from_secs_f64(jittered)
+    }
+
+    /// One-way latency (half the base RTT).
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt / 2
+    }
+
+    /// The bandwidth-delay product in bytes for the upload direction: how much
+    /// data fits "in flight"; the TCP model stops growing its window beyond
+    /// this point.
+    pub fn bdp_bytes_up(&self) -> u64 {
+        (self.up_bandwidth as f64 / 8.0 * self.rtt.as_secs_f64()).ceil() as u64
+    }
+}
+
+impl Default for PathSpec {
+    fn default() -> Self {
+        // The paper's testbed: 1 Gb/s campus Ethernet; a nearby server.
+        PathSpec::symmetric(SimDuration::from_millis(20), 1_000_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_asymmetric_constructors() {
+        let s = PathSpec::symmetric(SimDuration::from_millis(10), 1_000_000);
+        assert_eq!(s.up_bandwidth, 1_000_000);
+        assert_eq!(s.down_bandwidth, 1_000_000);
+        let a = PathSpec::asymmetric(SimDuration::from_millis(10), 1_000_000, 8_000_000);
+        assert_eq!(a.up_bandwidth, 1_000_000);
+        assert_eq!(a.down_bandwidth, 8_000_000);
+        assert_eq!(a.one_way(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = PathSpec::symmetric(SimDuration::from_millis(10), 0);
+    }
+
+    #[test]
+    fn jitter_configuration_is_validated() {
+        let p = PathSpec::default().with_jitter(0.2);
+        assert_eq!(p.rtt_jitter, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in [0, 1)")]
+    fn excessive_jitter_rejected() {
+        let _ = PathSpec::default().with_jitter(1.0);
+    }
+
+    #[test]
+    fn sampled_rtt_stays_within_jitter_band() {
+        let p = PathSpec::symmetric(SimDuration::from_millis(100), 1_000_000).with_jitter(0.1);
+        let mut rng = SimRng::new(7);
+        for _ in 0..500 {
+            let rtt = p.sample_rtt(&mut rng);
+            assert!(rtt >= SimDuration::from_millis(90) && rtt <= SimDuration::from_millis(110));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let p = PathSpec::symmetric(SimDuration::from_millis(50), 1_000_000).with_jitter(0.0);
+        let mut rng = SimRng::new(7);
+        assert_eq!(p.sample_rtt(&mut rng), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn bdp_matches_hand_computation() {
+        // 100 Mb/s * 0.1 s = 10 Mb = 1.25 MB in flight.
+        let p = PathSpec::symmetric(SimDuration::from_millis(100), 100_000_000);
+        assert_eq!(p.bdp_bytes_up(), 1_250_000);
+    }
+}

@@ -1,0 +1,99 @@
+//! The simulator: virtual clock, RNG and trace capture for one experiment run.
+
+use crate::rng::SimRng;
+use cloudsim_trace::{SimTime, TraceHandle};
+
+/// State shared by every protocol operation of one experiment run.
+///
+/// The simulator does not own an event loop: protocol operations (TCP
+/// connection establishment, request/response exchanges, …) are *analytic* —
+/// each takes an explicit start time, computes its completion time from the
+/// path model, and records the packets it generated. `Simulator` tracks the
+/// furthest point in virtual time any operation has reached, provides the
+/// deterministic random stream, and owns the trace capture.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    now: SimTime,
+    rng: SimRng,
+    trace: TraceHandle,
+}
+
+impl Simulator {
+    /// Creates a simulator with a fresh trace and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator { now: SimTime::ZERO, rng: SimRng::new(seed), trace: TraceHandle::new() }
+    }
+
+    /// Creates a simulator reusing an existing RNG (e.g. a derived stream for
+    /// repetition *i* of a benchmark).
+    pub fn with_rng(rng: SimRng) -> Self {
+        Simulator { now: SimTime::ZERO, rng, trace: TraceHandle::new() }
+    }
+
+    /// The furthest point in virtual time reached so far.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the high-water mark of virtual time. Passing an earlier time
+    /// is a no-op (several concurrent operations may finish out of order).
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Mutable access to the deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The trace capture handle for this run.
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// Convenience: snapshot of the captured packets, sorted by timestamp.
+    pub fn packets(&self) -> Vec<cloudsim_trace::PacketRecord> {
+        self.trace.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_a_high_water_mark() {
+        let mut sim = Simulator::new(1);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.advance_to(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.advance_to(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(5), "clock never goes backwards");
+        sim.advance_to(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn simulators_with_same_seed_share_random_stream() {
+        let mut a = Simulator::new(77);
+        let mut b = Simulator::new(77);
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn with_rng_uses_the_provided_stream() {
+        let root = SimRng::new(5);
+        let mut a = Simulator::with_rng(root.derive(1));
+        let mut b = Simulator::with_rng(root.derive(1));
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+    }
+
+    #[test]
+    fn trace_starts_empty() {
+        let sim = Simulator::new(1);
+        assert!(sim.trace().is_empty());
+        assert!(sim.packets().is_empty());
+    }
+}

@@ -1,0 +1,728 @@
+//! Flow-level TCP connection model with per-packet trace emission.
+//!
+//! The model captures the aspects of TCP that drive the paper's results:
+//!
+//! * connection establishment costs one RTT (plus two more for TLS), which is
+//!   what penalises clients that open one connection per file (§4.2, Fig. 3);
+//! * slow start makes short transfers latency-bound: a 100 kB upload to a
+//!   160 ms-away server takes several round trips regardless of bandwidth
+//!   (§5.2);
+//! * once the congestion window covers the bandwidth-delay product the
+//!   transfer becomes bandwidth-bound;
+//! * the congestion window persists across requests on the same connection,
+//!   so connection reuse (Dropbox's bundling) avoids repeatedly paying the
+//!   slow-start ramp.
+//!
+//! Every data segment and acknowledgement is recorded in the experiment trace
+//! with the timestamp at which the *test computer* would have captured it,
+//! exactly like the tcpdump vantage point of the original testbed.
+
+use crate::host::HostId;
+use crate::network::Network;
+use crate::path::PathSpec;
+use crate::sim::Simulator;
+use crate::tls::TlsProfile;
+use cloudsim_trace::packet::{MSS, TCP_HEADER_BYTES};
+use cloudsim_trace::{
+    Direction, Endpoint, FlowId, FlowKind, PacketRecord, SimDuration, SimTime, TcpFlags,
+    TransportProtocol,
+};
+
+/// Initial congestion window in segments (RFC 6928, already deployed in 2013).
+pub const INITIAL_CWND_SEGMENTS: u32 = 10;
+
+/// Upper bound on the congestion window in segments (corresponds to the
+/// default 4 MB maximum socket buffers of the era).
+pub const MAX_CWND_SEGMENTS: u32 = 2800;
+
+/// Options for opening a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionOptions {
+    /// Whether the connection carries TLS (HTTPS). Dropbox's notification
+    /// protocol and some Wuala storage operations use plain HTTP (§3.1).
+    pub tls: bool,
+    /// Traffic class recorded for every packet of this connection.
+    pub kind: FlowKind,
+}
+
+impl ConnectionOptions {
+    /// HTTPS connection of the given traffic class.
+    pub fn https(kind: FlowKind) -> Self {
+        ConnectionOptions { tls: true, kind }
+    }
+
+    /// Plain HTTP connection of the given traffic class.
+    pub fn http(kind: FlowKind) -> Self {
+        ConnectionOptions { tls: false, kind }
+    }
+}
+
+/// One TCP (optionally TLS) connection between the test computer and a server.
+#[derive(Debug, Clone)]
+pub struct TcpConnection {
+    flow: FlowId,
+    kind: FlowKind,
+    tls: bool,
+    tls_profile: TlsProfile,
+    client: Endpoint,
+    server: Endpoint,
+    host: HostId,
+    opened_at: SimTime,
+    established_at: SimTime,
+    /// Congestion window (in segments) carried over between requests.
+    cwnd: u32,
+    /// The earliest time the connection is free for the next operation.
+    free_at: SimTime,
+    closed: bool,
+}
+
+impl TcpConnection {
+    /// Opens a connection to `host`, starting the three-way handshake at
+    /// `start` (plus the TLS handshake when requested). Packets are recorded;
+    /// the connection is usable from [`TcpConnection::established_at`].
+    pub fn open(
+        sim: &mut Simulator,
+        net: &Network,
+        host: HostId,
+        opts: ConnectionOptions,
+        start: SimTime,
+    ) -> TcpConnection {
+        let path = net.path(host);
+        let server = net
+            .host(host)
+            .unwrap_or_else(|| panic!("unknown host {host}"))
+            .endpoint;
+        let flow = sim.trace().allocate_flow();
+        // Ephemeral port derived from the flow id keeps connections distinct
+        // without requiring mutable access to the topology.
+        let client_port = 49152u16.wrapping_add((flow.0 % 16000) as u16);
+        let client = Endpoint::new(net.client().endpoint.addr, client_port);
+
+        let mut conn = TcpConnection {
+            flow,
+            kind: opts.kind,
+            tls: opts.tls,
+            tls_profile: TlsProfile::default(),
+            client,
+            server,
+            host,
+            opened_at: start,
+            established_at: start,
+            cwnd: INITIAL_CWND_SEGMENTS,
+            free_at: start,
+            closed: false,
+        };
+
+        let rtt = path.sample_rtt(sim.rng());
+        let one_way = rtt / 2;
+
+        // TCP three-way handshake: SYN out, SYN-ACK back, ACK out.
+        conn.emit(sim, start, Direction::Upload, TcpFlags::SYN, 0, 0);
+        conn.emit(sim, start + rtt, Direction::Download, TcpFlags::SYN_ACK, 0, 0);
+        conn.emit(sim, start + rtt, Direction::Upload, TcpFlags::ACK, 0, 0);
+        let mut established = start + rtt;
+
+        if opts.tls {
+            // Full TLS handshake: client flight, server flight (certificates),
+            // client Finished — two extra round trips.
+            let tls = conn.tls_profile;
+            conn.emit_stream(
+                sim,
+                established,
+                Direction::Upload,
+                tls.client_handshake_bytes as u64 / 2,
+                path.up_bandwidth,
+                0,
+            );
+            conn.emit_stream(
+                sim,
+                established + rtt,
+                Direction::Download,
+                tls.server_handshake_bytes as u64,
+                path.down_bandwidth,
+                0,
+            );
+            conn.emit_stream(
+                sim,
+                established + rtt,
+                Direction::Upload,
+                tls.client_handshake_bytes as u64 / 2,
+                path.up_bandwidth,
+                0,
+            );
+            established = established + rtt.saturating_mul(tls.handshake_rtts as u64);
+        }
+
+        conn.established_at = established;
+        conn.free_at = established;
+        sim.advance_to(established + one_way);
+        conn
+    }
+
+    /// The flow id of this connection in the experiment trace.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// The server this connection terminates at.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Time at which the client sent the initial SYN.
+    pub fn opened_at(&self) -> SimTime {
+        self.opened_at
+    }
+
+    /// Time at which the transport (and TLS) handshake completed.
+    pub fn established_at(&self) -> SimTime {
+        self.established_at
+    }
+
+    /// The earliest time the connection is idle and can start a new operation.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Current congestion window in segments.
+    pub fn congestion_window(&self) -> u32 {
+        self.cwnd
+    }
+
+    /// Whether the connection has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Performs an application request/response exchange: uploads
+    /// `upload_bytes` of payload, waits `server_think`, then downloads
+    /// `download_bytes`. Returns the time the last response byte reaches the
+    /// client. The exchange starts no earlier than `start` and no earlier than
+    /// the connection is free.
+    pub fn request(
+        &mut self,
+        sim: &mut Simulator,
+        net: &Network,
+        start: SimTime,
+        upload_bytes: u64,
+        download_bytes: u64,
+        server_think: SimDuration,
+    ) -> SimTime {
+        assert!(!self.closed, "request on a closed connection");
+        let path = net.path(self.host);
+        let start = start.max(self.free_at);
+        let rtt = path.sample_rtt(sim.rng());
+
+        // Upload phase: last byte arrives at the server one-way after the last
+        // segment leaves the client.
+        let upload_done_at_server = if upload_bytes > 0 {
+            let last_sent = self.transfer(sim, &path, start, upload_bytes, Direction::Upload, rtt);
+            last_sent + rtt / 2
+        } else {
+            start + rtt / 2
+        };
+
+        let response_start = upload_done_at_server + server_think;
+
+        // Download phase: timestamps are recorded at the client, so the first
+        // response byte shows up one-way after the server starts sending.
+        let completed = if download_bytes > 0 {
+            let last_sent =
+                self.transfer(sim, &path, response_start, download_bytes, Direction::Download, rtt);
+            last_sent + rtt / 2
+        } else {
+            response_start + rtt / 2
+        };
+
+        self.free_at = completed;
+        sim.advance_to(completed);
+        completed
+    }
+
+    /// Uploads `bytes` of payload and waits for the final acknowledgement.
+    /// Returns the time the acknowledgement of the last byte reaches the
+    /// client.
+    pub fn send(
+        &mut self,
+        sim: &mut Simulator,
+        net: &Network,
+        start: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        assert!(!self.closed, "send on a closed connection");
+        let path = net.path(self.host);
+        let start = start.max(self.free_at);
+        let rtt = path.sample_rtt(sim.rng());
+        let last_sent = if bytes > 0 {
+            self.transfer(sim, &path, start, bytes, Direction::Upload, rtt)
+        } else {
+            start
+        };
+        let acked = last_sent + rtt;
+        self.free_at = acked;
+        sim.advance_to(acked);
+        acked
+    }
+
+    /// Closes the connection with a FIN exchange at `time` (or when the
+    /// connection becomes free, whichever is later).
+    pub fn close(&mut self, sim: &mut Simulator, net: &Network, time: SimTime) -> SimTime {
+        if self.closed {
+            return self.free_at;
+        }
+        let path = net.path(self.host);
+        let rtt = path.sample_rtt(sim.rng());
+        let t = time.max(self.free_at);
+        self.emit(sim, t, Direction::Upload, TcpFlags::FIN_ACK, 0, 0);
+        self.emit(sim, t + rtt, Direction::Download, TcpFlags::FIN_ACK, 0, 0);
+        self.emit(sim, t + rtt, Direction::Upload, TcpFlags::ACK, 0, 0);
+        self.closed = true;
+        self.free_at = t + rtt;
+        sim.advance_to(t + rtt);
+        self.free_at
+    }
+
+    /// Transfers `bytes` of payload in one direction starting at `start`,
+    /// recording every data segment and one acknowledgement per two segments.
+    /// Returns the time the last data segment is *sent* by the transmitting
+    /// side (client time base: upload segments are stamped when sent, download
+    /// segments when received).
+    fn transfer(
+        &mut self,
+        sim: &mut Simulator,
+        path: &PathSpec,
+        start: SimTime,
+        bytes: u64,
+        direction: Direction,
+        rtt: SimDuration,
+    ) -> SimTime {
+        debug_assert!(bytes > 0);
+        let bandwidth = match direction {
+            Direction::Upload => path.up_bandwidth,
+            Direction::Download => path.down_bandwidth,
+        };
+        let seg_payload = MSS as u64;
+        let total_segments = bytes.div_ceil(seg_payload);
+        let seg_tx = SimDuration::for_transmission(seg_payload, bandwidth);
+        let bdp_segments =
+            ((path.bdp_bytes_up().max(1) + seg_payload - 1) / seg_payload).max(1) as u32;
+
+        let mut remaining = total_segments;
+        let mut sent_bytes = 0u64;
+        let mut cwnd = self.cwnd;
+        let mut t = start;
+        let mut last_sent = start;
+
+        while remaining > 0 {
+            let window = (cwnd as u64).min(remaining);
+            let window_tx = seg_tx.saturating_mul(window);
+
+            if window_tx >= rtt || cwnd >= bdp_segments.min(MAX_CWND_SEGMENTS) {
+                // The pipe is full: the rest of the transfer streams at line
+                // rate, ack-clocked, with no idle gaps.
+                last_sent = self.emit_data_run(
+                    sim, t, direction, remaining, bytes - sent_bytes, seg_tx, rtt,
+                );
+                sent_bytes = bytes;
+                remaining = 0;
+                cwnd = cwnd.max(bdp_segments).min(MAX_CWND_SEGMENTS);
+            } else {
+                // Slow-start round: `window` segments paced across the round
+                // (ack-clocked senders spread their window over the RTT), then
+                // the window grows for the next round. Pacing also prevents
+                // slow-start rounds from looking like chunk-boundary pauses to
+                // the throughput analyzer.
+                let run_bytes = (window * seg_payload).min(bytes - sent_bytes);
+                let spacing = seg_tx.max(rtt / (window + 1));
+                last_sent =
+                    self.emit_data_run(sim, t, direction, window, run_bytes, spacing, rtt);
+                sent_bytes += run_bytes;
+                remaining -= window;
+                cwnd = (cwnd * 2).min(MAX_CWND_SEGMENTS);
+                t = t + rtt.max(spacing.saturating_mul(window)) + seg_tx;
+            }
+        }
+
+        self.cwnd = cwnd;
+        last_sent
+    }
+
+    /// Emits `segments` data segments carrying `run_bytes` of payload starting
+    /// at `start`, spaced `spacing` apart, plus one ACK per two segments in the
+    /// opposite direction (arriving one RTT later). Returns the send time of
+    /// the last segment.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_data_run(
+        &mut self,
+        sim: &mut Simulator,
+        start: SimTime,
+        direction: Direction,
+        segments: u64,
+        run_bytes: u64,
+        spacing: SimDuration,
+        rtt: SimDuration,
+    ) -> SimTime {
+        let seg_payload = MSS as u64;
+        let mut remaining = run_bytes;
+        let mut last = start;
+        for i in 0..segments {
+            let payload = remaining.min(seg_payload) as u32;
+            if payload == 0 {
+                break;
+            }
+            remaining -= payload as u64;
+            let ts = start + spacing.saturating_mul(i);
+            self.emit(sim, ts, direction, TcpFlags::ACK, payload, self.data_overhead());
+            last = ts;
+            // Delayed acks: one pure ACK for every other data segment, flowing
+            // in the reverse direction and captured at the client one RTT (for
+            // uploads) or immediately (for downloads, the client is the acker)
+            // after the data segment.
+            if i % 2 == 1 {
+                let ack_ts = match direction {
+                    Direction::Upload => ts + rtt,
+                    Direction::Download => ts,
+                };
+                self.emit(sim, ack_ts, direction.reverse(), TcpFlags::ACK, 0, 0);
+            }
+        }
+        last
+    }
+
+    /// Emits a contiguous byte stream (used for handshake flights) as
+    /// MSS-sized segments without congestion-window accounting.
+    fn emit_stream(
+        &mut self,
+        sim: &mut Simulator,
+        start: SimTime,
+        direction: Direction,
+        bytes: u64,
+        bandwidth: u64,
+        extra_overhead: u32,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let seg_payload = MSS as u64;
+        let seg_tx = SimDuration::for_transmission(seg_payload, bandwidth);
+        let segments = bytes.div_ceil(seg_payload);
+        let mut remaining = bytes;
+        for i in 0..segments {
+            let payload = remaining.min(seg_payload) as u32;
+            remaining -= payload as u64;
+            self.emit(
+                sim,
+                start + seg_tx.saturating_mul(i),
+                direction,
+                TcpFlags::ACK,
+                payload,
+                extra_overhead,
+            );
+        }
+    }
+
+    /// Extra per-segment overhead charged on data segments (TLS records).
+    fn data_overhead(&self) -> u32 {
+        if self.tls {
+            self.tls_profile.per_segment_overhead
+        } else {
+            0
+        }
+    }
+
+    /// Records one packet with the connection's endpoints and flow metadata.
+    fn emit(
+        &self,
+        sim: &mut Simulator,
+        timestamp: SimTime,
+        direction: Direction,
+        flags: TcpFlags,
+        payload_len: u32,
+        extra_header: u32,
+    ) {
+        let (src, dst) = match direction {
+            Direction::Upload => (self.client, self.server),
+            Direction::Download => (self.server, self.client),
+        };
+        sim.trace().record(PacketRecord {
+            timestamp,
+            src,
+            dst,
+            protocol: TransportProtocol::Tcp,
+            flags,
+            payload_len,
+            header_len: TCP_HEADER_BYTES + extra_header,
+            direction,
+            flow: self.flow,
+            kind: self.kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim_trace::analysis::{self, BurstConfig, ThroughputConfig};
+    use cloudsim_trace::FlowTable;
+
+    fn test_net(rtt_ms: u64, bw: u64) -> (Network, HostId) {
+        let mut net = Network::new();
+        let host = net.add_server("server.example", [10, 0, 0, 1], 443);
+        net.set_path(
+            host,
+            PathSpec::symmetric(SimDuration::from_millis(rtt_ms), bw).with_jitter(0.0),
+        );
+        (net, host)
+    }
+
+    #[test]
+    fn handshake_without_tls_takes_one_rtt() {
+        let (net, host) = test_net(100, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::http(FlowKind::Control),
+            SimTime::ZERO,
+        );
+        assert_eq!(conn.established_at(), SimTime::from_millis(100));
+        let packets = sim.packets();
+        assert_eq!(analysis::syn_count(&packets), 1);
+        assert_eq!(packets.len(), 3); // SYN, SYN-ACK, ACK
+    }
+
+    #[test]
+    fn tls_handshake_adds_two_rtts_and_certificate_bytes() {
+        let (net, host) = test_net(100, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Control),
+            SimTime::ZERO,
+        );
+        assert_eq!(conn.established_at(), SimTime::from_millis(300));
+        let table = sim.trace().flow_table();
+        let stats = table.get(conn.flow()).unwrap();
+        // Certificate chain flows downstream during the handshake.
+        assert!(stats.payload_down >= 4000, "got {}", stats.payload_down);
+        assert!(stats.payload_up >= 600);
+    }
+
+    #[test]
+    fn small_upload_on_long_path_is_latency_bound() {
+        // 100 kB over a 160 ms path at 100 Mb/s: slow start needs several
+        // rounds, so the transfer takes roughly 3-5 RTTs, far above the
+        // 8 ms serialization time.
+        let (net, host) = test_net(160, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let done = conn.request(&mut sim, &net, start, 100_000, 500, SimDuration::from_millis(10));
+        let elapsed = done - start;
+        assert!(
+            elapsed >= SimDuration::from_millis(480) && elapsed <= SimDuration::from_millis(1500),
+            "elapsed {elapsed}"
+        );
+    }
+
+    #[test]
+    fn large_upload_on_short_path_is_bandwidth_bound() {
+        // 10 MB over a 10 ms path at 80 Mb/s: serialization alone is 1 s, so
+        // completion should be close to (and above) that.
+        let (net, host) = test_net(10, 80_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let done = conn.request(&mut sim, &net, start, 10_000_000, 500, SimDuration::ZERO);
+        let secs = (done - start).as_secs_f64();
+        assert!(secs > 1.0 && secs < 2.0, "took {secs}s");
+    }
+
+    #[test]
+    fn payload_accounting_matches_requested_bytes() {
+        let (net, host) = test_net(50, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::http(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        conn.request(&mut sim, &net, conn.established_at(), 123_456, 7_890, SimDuration::ZERO);
+        let table = FlowTable::from_packets(&sim.packets());
+        let stats = table.get(conn.flow()).unwrap();
+        assert_eq!(stats.payload_up, 123_456);
+        assert_eq!(stats.payload_down, 7_890);
+    }
+
+    #[test]
+    fn connection_reuse_keeps_the_congestion_window() {
+        let (net, host) = test_net(100, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let w0 = conn.congestion_window();
+        let t1 = conn.request(&mut sim, &net, conn.established_at(), 500_000, 100, SimDuration::ZERO);
+        let w1 = conn.congestion_window();
+        assert!(w1 > w0, "window should have grown: {w0} -> {w1}");
+
+        // The second transfer of the same size finishes faster thanks to the
+        // warmed-up window.
+        let first_duration = t1 - conn.established_at();
+        let t2 = conn.request(&mut sim, &net, t1, 500_000, 100, SimDuration::ZERO);
+        let second_duration = t2 - t1;
+        assert!(
+            second_duration < first_duration,
+            "reuse should be faster: {second_duration} vs {first_duration}"
+        );
+    }
+
+    #[test]
+    fn separate_connections_per_file_generate_separate_syns() {
+        // Google-Drive-style: one TCP+TLS connection per file.
+        let (net, host) = test_net(15, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                t,
+            );
+            t = conn.request(&mut sim, &net, conn.established_at(), 10_000, 300, SimDuration::from_millis(5));
+            conn.close(&mut sim, &net, t);
+        }
+        let packets = sim.packets();
+        assert_eq!(analysis::syn_count(&packets), 10);
+        let table = FlowTable::from_packets(&packets);
+        assert_eq!(table.len(), 10);
+    }
+
+    #[test]
+    fn paced_transfer_has_no_spurious_pauses() {
+        // A single 2 MB object on a high-RTT path must not show pauses that
+        // could be mistaken for chunking (§4.1 detection must not false-positive).
+        let (net, host) = test_net(160, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        conn.request(&mut sim, &net, conn.established_at(), 2_000_000, 100, SimDuration::ZERO);
+        let packets = sim.packets();
+        let cfg = ThroughputConfig { min_pause: SimDuration::from_millis(40), ..Default::default() };
+        let pauses = analysis::detect_pauses(&packets, cfg);
+        // The only admissible gap is the one between the TLS handshake flights
+        // and the first data round; no pause may be preceded by a significant
+        // amount of payload (which is what the chunking detector keys on).
+        assert!(
+            pauses.iter().all(|p| p.bytes_before < 50_000),
+            "unexpected data pauses: {pauses:?}"
+        );
+    }
+
+    #[test]
+    fn close_emits_fin_and_prevents_reuse() {
+        let (net, host) = test_net(20, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::http(FlowKind::Control),
+            SimTime::ZERO,
+        );
+        assert!(!conn.is_closed());
+        let closed_at = conn.close(&mut sim, &net, conn.established_at());
+        assert!(conn.is_closed());
+        assert!(closed_at > conn.established_at());
+        // Closing twice is a no-op.
+        assert_eq!(conn.close(&mut sim, &net, closed_at), closed_at);
+        let fins = sim
+            .packets()
+            .iter()
+            .filter(|p| p.flags.fin)
+            .count();
+        assert_eq!(fins, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "request on a closed connection")]
+    fn request_on_closed_connection_panics() {
+        let (net, host) = test_net(20, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::http(FlowKind::Control),
+            SimTime::ZERO,
+        );
+        conn.close(&mut sim, &net, conn.established_at());
+        conn.request(&mut sim, &net, conn.free_at(), 10, 10, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sequential_requests_queue_on_the_connection() {
+        let (net, host) = test_net(50, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        // Ask for the second request "in the past": it must still start only
+        // after the first completes.
+        let t1 = conn.request(&mut sim, &net, conn.established_at(), 50_000, 200, SimDuration::ZERO);
+        let t2 = conn.request(&mut sim, &net, SimTime::ZERO, 50_000, 200, SimDuration::ZERO);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn send_waits_for_final_ack_and_bursts_are_detected_per_send() {
+        let (net, host) = test_net(100, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let mut t = conn.established_at();
+        for _ in 0..5 {
+            t = conn.send(&mut sim, &net, t, 30_000);
+            t = t + SimDuration::from_millis(300); // application-layer wait
+        }
+        let bursts = analysis::detect_bursts(&sim.packets(), BurstConfig::default());
+        assert_eq!(bursts.len(), 5);
+    }
+}

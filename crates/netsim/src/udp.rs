@@ -1,0 +1,102 @@
+//! UDP datagram exchanges.
+//!
+//! The architecture-discovery methodology of §2.1 resolves each service's DNS
+//! names through ~2,000 open resolvers. The DNS substrate in `cloudsim-geo`
+//! models the resolution logic; this module provides the wire-level cost of a
+//! query/response pair so that DNS traffic shows up in the experiment traces
+//! (classified as [`FlowKind::Dns`]).
+
+use crate::host::HostId;
+use crate::network::Network;
+use crate::sim::Simulator;
+use cloudsim_trace::packet::UDP_HEADER_BYTES;
+use cloudsim_trace::{
+    Direction, Endpoint, FlowKind, PacketRecord, SimTime, TcpFlags, TransportProtocol,
+};
+
+/// Performs one UDP request/response exchange (e.g. a DNS query) with a host.
+/// Returns the time the response arrives back at the client.
+pub fn udp_exchange(
+    sim: &mut Simulator,
+    net: &Network,
+    host: HostId,
+    start: SimTime,
+    query_bytes: u32,
+    response_bytes: u32,
+) -> SimTime {
+    let path = net.path(host);
+    let server = net
+        .host(host)
+        .unwrap_or_else(|| panic!("unknown host {host}"))
+        .endpoint;
+    let flow = sim.trace().allocate_flow();
+    let client = Endpoint::new(net.client().endpoint.addr, 53000 + (flow.0 % 1000) as u16);
+    let rtt = path.sample_rtt(sim.rng());
+
+    sim.trace().record(PacketRecord {
+        timestamp: start,
+        src: client,
+        dst: server,
+        protocol: TransportProtocol::Udp,
+        flags: TcpFlags::NONE,
+        payload_len: query_bytes,
+        header_len: UDP_HEADER_BYTES,
+        direction: Direction::Upload,
+        flow,
+        kind: FlowKind::Dns,
+    });
+    let response_at = start + rtt;
+    sim.trace().record(PacketRecord {
+        timestamp: response_at,
+        src: server,
+        dst: client,
+        protocol: TransportProtocol::Udp,
+        flags: TcpFlags::NONE,
+        payload_len: response_bytes,
+        header_len: UDP_HEADER_BYTES,
+        direction: Direction::Download,
+        flow,
+        kind: FlowKind::Dns,
+    });
+    sim.advance_to(response_at);
+    response_at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostRole;
+    use crate::path::PathSpec;
+    use cloudsim_trace::SimDuration;
+
+    #[test]
+    fn dns_exchange_takes_one_rtt_and_is_classified_as_dns() {
+        let mut net = Network::new();
+        let resolver = net.add_host("resolver.example", [8, 8, 8, 8], 53, HostRole::Dns);
+        net.set_path(
+            resolver,
+            PathSpec::symmetric(SimDuration::from_millis(40), 10_000_000).with_jitter(0.0),
+        );
+        let mut sim = Simulator::new(5);
+        let done = udp_exchange(&mut sim, &net, resolver, SimTime::ZERO, 60, 180);
+        assert_eq!(done, SimTime::from_millis(40));
+        let packets = sim.packets();
+        assert_eq!(packets.len(), 2);
+        assert!(packets.iter().all(|p| p.kind == FlowKind::Dns));
+        assert!(packets.iter().all(|p| p.protocol == TransportProtocol::Udp));
+        assert_eq!(packets[0].payload_len, 60);
+        assert_eq!(packets[1].payload_len, 180);
+        assert_eq!(sim.now(), done);
+    }
+
+    #[test]
+    fn each_exchange_uses_its_own_flow() {
+        let mut net = Network::new();
+        let resolver = net.add_host("resolver.example", [8, 8, 8, 8], 53, HostRole::Dns);
+        let mut sim = Simulator::new(5);
+        udp_exchange(&mut sim, &net, resolver, SimTime::ZERO, 60, 180);
+        udp_exchange(&mut sim, &net, resolver, SimTime::from_secs(1), 60, 180);
+        let table = sim.trace().flow_table();
+        assert_eq!(table.len(), 2);
+    }
+}

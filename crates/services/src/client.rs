@@ -1,0 +1,577 @@
+//! The sync client: login, idle polling and batch synchronisation.
+//!
+//! `SyncClient` executes a service profile against the network simulator:
+//! every login exchange, keep-alive poll, metadata commit and chunk upload
+//! becomes traffic in the experiment trace, from which the benchmark suite
+//! extracts exactly the metrics the paper defines (start-up delay, completion
+//! time, overhead, SYN counts, idle volume).
+
+use crate::deployment::Deployment;
+use crate::planner::{FilePlan, UploadPlanner};
+use crate::profile::{ServiceProfile, TransferMode};
+use cloudsim_net::http::{HttpExchange, HttpOverhead};
+use cloudsim_net::tcp::{ConnectionOptions, TcpConnection};
+use cloudsim_net::Simulator;
+use cloudsim_trace::{FlowKind, SimDuration, SimTime};
+use cloudsim_workload::GeneratedFile;
+
+/// The outcome of one batch synchronisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// When the testing application finished modifying the files.
+    pub modification_time: SimTime,
+    /// When the client began talking to the storage servers.
+    pub sync_started_at: SimTime,
+    /// When the last storage payload left the client (upload complete).
+    pub completed_at: SimTime,
+    /// Number of files synchronised.
+    pub files: usize,
+    /// Sum of the plaintext file sizes.
+    pub logical_bytes: u64,
+    /// Payload bytes the planner decided to upload.
+    pub uploaded_payload: u64,
+}
+
+/// A sync client bound to one service profile and one deployment.
+#[derive(Debug)]
+pub struct SyncClient {
+    profile: ServiceProfile,
+    deployment: Deployment,
+    planner: UploadPlanner,
+    control_conn: Option<TcpConnection>,
+    notify_conn: Option<TcpConnection>,
+    storage_conn: Option<TcpConnection>,
+    logged_in: bool,
+    last_activity: SimTime,
+}
+
+impl SyncClient {
+    /// Creates a client for a profile, building its deployment.
+    pub fn new(profile: ServiceProfile) -> SyncClient {
+        let deployment = Deployment::new(&profile);
+        SyncClient {
+            planner: UploadPlanner::new(profile.clone()),
+            profile,
+            deployment,
+            control_conn: None,
+            notify_conn: None,
+            storage_conn: None,
+            logged_in: false,
+            last_activity: SimTime::ZERO,
+        }
+    }
+
+    /// The profile driving this client.
+    pub fn profile(&self) -> &ServiceProfile {
+        &self.profile
+    }
+
+    /// The deployment (topology) of the service.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The upload planner (exposes server-side state and dedup statistics).
+    pub fn planner(&self) -> &UploadPlanner {
+        &self.planner
+    }
+
+    /// Performs the application start-up: authenticates against every control
+    /// server and checks whether any content needs updating (§3.1, Fig. 1).
+    /// Returns the time login completed.
+    pub fn login(&mut self, sim: &mut Simulator, start: SimTime) -> SimTime {
+        let servers = self.deployment.control_hosts.clone();
+        let per_server = self.profile.login_bytes / servers.len().max(1) as u64;
+        let mut t = start;
+        for (i, host) in servers.iter().enumerate() {
+            let mut conn = TcpConnection::open(
+                sim,
+                &self.deployment.network,
+                *host,
+                ConnectionOptions::https(FlowKind::Control),
+                t,
+            );
+            // Roughly one third of the login volume goes up (credentials,
+            // state queries), two thirds come down (account state, metadata).
+            let exchange = HttpExchange::new(per_server / 3, per_server * 2 / 3, self.profile.server_think)
+                .with_overhead(self.profile.http_overhead);
+            let established = conn.established_at();
+            let done = exchange.execute(&mut conn, sim, &self.deployment.network, established);
+            // Stagger server contacts slightly, as observed in real login
+            // sequences; keep the first connection as the long-lived control
+            // channel.
+            if i == 0 {
+                self.control_conn = Some(conn);
+            } else {
+                // Secondary login servers are contacted and released.
+            }
+            t = done + SimDuration::from_millis(20);
+        }
+
+        // Open the notification channel (plain HTTP for Dropbox).
+        let notify_opts = if self.profile.notification_plain_http {
+            ConnectionOptions::http(FlowKind::Notification)
+        } else {
+            ConnectionOptions::https(FlowKind::Notification)
+        };
+        let notify = TcpConnection::open(
+            sim,
+            &self.deployment.network,
+            self.deployment.notification_host,
+            notify_opts,
+            t,
+        );
+        t = notify.established_at();
+        self.notify_conn = Some(notify);
+        self.logged_in = true;
+        self.last_activity = t;
+        t
+    }
+
+    /// Keeps the client idle until `until`, generating the periodic keep-alive
+    /// traffic of §3.1 / Fig. 1. Returns the time of the last poll.
+    pub fn idle_until(&mut self, sim: &mut Simulator, until: SimTime) -> SimTime {
+        assert!(self.logged_in, "idle_until requires a prior login");
+        let mut t = self.last_activity;
+        loop {
+            let next = t + self.profile.polling_interval;
+            if next > until {
+                break;
+            }
+            t = self.poll_once(sim, next);
+        }
+        self.last_activity = t;
+        t
+    }
+
+    /// One keep-alive poll at time `at`.
+    fn poll_once(&mut self, sim: &mut Simulator, at: SimTime) -> SimTime {
+        let request = self.profile.polling_bytes / 2;
+        let response = self.profile.polling_bytes - request;
+        if self.profile.polling_new_connection {
+            // Cloud Drive: a fresh HTTPS connection per poll, torn down after.
+            let mut conn = TcpConnection::open(
+                sim,
+                &self.deployment.network,
+                self.deployment.primary_control(),
+                ConnectionOptions::https(FlowKind::Notification),
+                at,
+            );
+            let established = conn.established_at();
+            let done = HttpExchange::new(request, response, SimDuration::from_millis(20))
+                .with_overhead(HttpOverhead::LEAN)
+                .execute(&mut conn, sim, &self.deployment.network, established);
+            conn.close(sim, &self.deployment.network, done)
+        } else {
+            let conn = self.notify_conn.as_mut().expect("notification channel missing");
+            conn.request(sim, &self.deployment.network, at, request, response, SimDuration::from_millis(15))
+        }
+    }
+
+    /// Synchronises a batch of files that were written to the local folder at
+    /// `modification_time`.
+    pub fn sync_batch(
+        &mut self,
+        sim: &mut Simulator,
+        files: &[GeneratedFile],
+        modification_time: SimTime,
+    ) -> SyncOutcome {
+        assert!(!files.is_empty(), "sync_batch needs at least one file");
+        if !self.logged_in {
+            let done = self.login(sim, modification_time - SimDuration::from_secs(60));
+            debug_assert!(done <= modification_time || self.logged_in);
+        }
+
+        // Change detection / batching delay (§5.1).
+        let detection = self.profile.startup_delay
+            + self.profile.startup_delay_per_file.saturating_mul(files.len() as u64);
+        let sync_start = modification_time + detection;
+
+        // Plan every file (capabilities applied here).
+        let plans: Vec<FilePlan> = files
+            .iter()
+            .map(|f| self.planner.plan_file(&f.path, &f.content))
+            .collect();
+        let uploaded_payload: u64 = plans.iter().map(|p| p.upload_bytes()).sum();
+        let logical_bytes: u64 = plans.iter().map(|p| p.logical_bytes).sum();
+        let metadata_total: u64 = plans.iter().map(|p| p.metadata_bytes).sum();
+
+        // Initial metadata exchange with the control plane announcing the batch.
+        let control_done = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, sync_start);
+            HttpExchange::new(metadata_total.min(64_000).max(600), 800, SimDuration::from_millis(30))
+                .execute(conn, sim, &network, sync_start)
+        };
+
+        // Storage transfer according to the service's transfer mode.
+        let transfer_start = control_done.max(sync_start);
+        let completed = match self.profile.transfer_mode {
+            TransferMode::Bundled => self.transfer_bundled(sim, &plans, transfer_start),
+            TransferMode::SequentialWithAcks => self.transfer_sequential(sim, &plans, transfer_start),
+            TransferMode::ConnectionPerFile { control_connections_per_file } => {
+                self.transfer_connection_per_file(sim, &plans, transfer_start, control_connections_per_file)
+            }
+        };
+
+        // Final commit on the control channel.
+        let final_commit = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, completed);
+            HttpExchange::new(900, 500, SimDuration::from_millis(30)).execute(conn, sim, &network, completed)
+        };
+        self.last_activity = final_commit;
+
+        SyncOutcome {
+            modification_time,
+            sync_started_at: sync_start,
+            completed_at: completed,
+            files: files.len(),
+            logical_bytes,
+            uploaded_payload,
+        }
+    }
+
+    /// Dropbox-style bundling: one reused storage connection, small files
+    /// coalesced into multi-megabyte bundles, chunks of large files pipelined.
+    fn transfer_bundled(&mut self, sim: &mut Simulator, plans: &[FilePlan], start: SimTime) -> SimTime {
+        const BUNDLE_LIMIT: u64 = 4 * 1024 * 1024;
+        let network = self.deployment.network.clone();
+        let think = self.profile.server_think;
+        let per_file = self.profile.per_file_overhead;
+        let http = self.profile.http_overhead;
+        let mut t = start;
+        let mut pending_bundle = 0u64;
+
+        // Collect the work items first so connection handling stays simple.
+        let mut items: Vec<u64> = Vec::new();
+        for plan in plans {
+            t += per_file;
+            for chunk in &plan.chunks {
+                if chunk.upload_bytes == 0 {
+                    continue;
+                }
+                items.push(chunk.upload_bytes);
+            }
+        }
+        let conn = self.ensure_storage(sim, start);
+        let mut last = start;
+        for bytes in items {
+            if bytes >= BUNDLE_LIMIT {
+                // Large chunk: flush any pending bundle, then its own request.
+                if pending_bundle > 0 {
+                    last = HttpExchange::new(pending_bundle, 400, think)
+                        .with_overhead(http)
+                        .execute(conn, sim, &network, t.max(last));
+                    pending_bundle = 0;
+                }
+                last = HttpExchange::new(bytes, 400, think)
+                    .with_overhead(http)
+                    .execute(conn, sim, &network, t.max(last));
+            } else {
+                pending_bundle += bytes;
+                if pending_bundle >= BUNDLE_LIMIT {
+                    last = HttpExchange::new(pending_bundle, 400, think)
+                        .with_overhead(http)
+                        .execute(conn, sim, &network, t.max(last));
+                    pending_bundle = 0;
+                }
+            }
+        }
+        if pending_bundle > 0 {
+            last = HttpExchange::new(pending_bundle, 400, think)
+                .with_overhead(http)
+                .execute(conn, sim, &network, t.max(last));
+        }
+        // The per-file client processing cannot finish after the network work
+        // it feeds; completion is whichever is later.
+        last.max(t)
+    }
+
+    /// SkyDrive / Wuala: one reused storage connection, one request per chunk,
+    /// waiting for the application-layer acknowledgement before the next file.
+    fn transfer_sequential(&mut self, sim: &mut Simulator, plans: &[FilePlan], start: SimTime) -> SimTime {
+        let network = self.deployment.network.clone();
+        let think = self.profile.server_think;
+        let per_file = self.profile.per_file_overhead;
+        let http = self.profile.http_overhead;
+        let conn = self.ensure_storage(sim, start);
+        let mut t = start;
+        for plan in plans {
+            t += per_file;
+            for chunk in &plan.chunks {
+                if chunk.upload_bytes == 0 {
+                    continue;
+                }
+                t = HttpExchange::new(chunk.upload_bytes, 350, think)
+                    .with_overhead(http)
+                    .execute(conn, sim, &network, t);
+            }
+        }
+        t
+    }
+
+    /// Google Drive / Cloud Drive: a fresh TCP+TLS storage connection per
+    /// file, plus `extra_control` new control connections per file operation.
+    fn transfer_connection_per_file(
+        &mut self,
+        sim: &mut Simulator,
+        plans: &[FilePlan],
+        start: SimTime,
+        extra_control: u32,
+    ) -> SimTime {
+        let network = self.deployment.network.clone();
+        let think = self.profile.server_think;
+        let per_file = self.profile.per_file_overhead;
+        let http = self.profile.http_overhead;
+        let control_host = self.deployment.primary_control();
+        let storage_host = self.deployment.storage_host;
+        let mut t = start;
+        for plan in plans {
+            t += per_file;
+            // Control connections opened for this file operation (Cloud Drive
+            // opens three, §4.2), each a short-lived HTTPS exchange.
+            let mut control_done = t;
+            for _ in 0..extra_control {
+                let mut conn = TcpConnection::open(
+                    sim,
+                    &network,
+                    control_host,
+                    ConnectionOptions::https(FlowKind::Control),
+                    t,
+                );
+                let established = conn.established_at();
+                control_done = HttpExchange::new(700, 500, SimDuration::from_millis(25))
+                    .execute(&mut conn, sim, &network, established);
+                conn.close(sim, &network, control_done);
+            }
+            let mut file_done = control_done.max(t);
+            if plan.upload_bytes() == 0 {
+                t = file_done;
+                continue;
+            }
+            let mut conn = TcpConnection::open(
+                sim,
+                &network,
+                storage_host,
+                ConnectionOptions::https(FlowKind::Storage),
+                file_done,
+            );
+            for chunk in &plan.chunks {
+                if chunk.upload_bytes == 0 {
+                    continue;
+                }
+                let request_start = file_done.max(conn.established_at());
+                file_done = HttpExchange::new(chunk.upload_bytes, 350, think)
+                    .with_overhead(http)
+                    .execute(&mut conn, sim, &network, request_start);
+            }
+            conn.close(sim, &network, file_done);
+            t = file_done;
+        }
+        t
+    }
+
+    /// Deletes a file from the synced folder and propagates the deletion as a
+    /// metadata-only operation.
+    pub fn delete_file(&mut self, sim: &mut Simulator, path: &str, at: SimTime) -> SimTime {
+        self.planner.plan_delete(path);
+        let network = self.deployment.network.clone();
+        let conn = self.ensure_control(sim, at);
+        HttpExchange::new(600, 300, SimDuration::from_millis(25)).execute(conn, sim, &network, at)
+    }
+
+    fn ensure_control(&mut self, sim: &mut Simulator, at: SimTime) -> &mut TcpConnection {
+        if self.control_conn.is_none() {
+            let conn = TcpConnection::open(
+                sim,
+                &self.deployment.network,
+                self.deployment.primary_control(),
+                ConnectionOptions::https(FlowKind::Control),
+                at,
+            );
+            self.control_conn = Some(conn);
+        }
+        self.control_conn.as_mut().unwrap()
+    }
+
+    fn ensure_storage(&mut self, sim: &mut Simulator, at: SimTime) -> &mut TcpConnection {
+        if self.storage_conn.is_none() {
+            let conn = TcpConnection::open(
+                sim,
+                &self.deployment.network,
+                self.deployment.storage_host,
+                ConnectionOptions::https(FlowKind::Storage),
+                at,
+            );
+            self.storage_conn = Some(conn);
+        }
+        self.storage_conn.as_mut().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim_trace::analysis;
+    use cloudsim_workload::{BatchSpec, FileKind};
+
+    fn batch(count: usize, size: usize) -> Vec<GeneratedFile> {
+        BatchSpec::new(count, size, FileKind::RandomBinary).generate(77)
+    }
+
+    fn run_sync(profile: ServiceProfile, files: &[GeneratedFile]) -> (SyncOutcome, Vec<cloudsim_trace::PacketRecord>) {
+        let mut sim = Simulator::new(42);
+        let mut client = SyncClient::new(profile);
+        let login_done = client.login(&mut sim, SimTime::ZERO);
+        let outcome = client.sync_batch(&mut sim, files, login_done + SimDuration::from_secs(5));
+        (outcome, sim.packets())
+    }
+
+    #[test]
+    fn login_generates_control_traffic_proportional_to_the_profile() {
+        let mut sim = Simulator::new(1);
+        let mut client = SyncClient::new(ServiceProfile::skydrive());
+        client.login(&mut sim, SimTime::ZERO);
+        let sky_bytes = sim.trace().wire_bytes(FlowKind::Control);
+
+        let mut sim2 = Simulator::new(1);
+        let mut client2 = SyncClient::new(ServiceProfile::dropbox());
+        client2.login(&mut sim2, SimTime::ZERO);
+        let dropbox_bytes = sim2.trace().wire_bytes(FlowKind::Control);
+
+        assert!(sky_bytes > 120_000, "SkyDrive login bytes {sky_bytes}");
+        assert!(
+            sky_bytes as f64 > 2.5 * dropbox_bytes as f64,
+            "SkyDrive ({sky_bytes}) should be several times Dropbox ({dropbox_bytes})"
+        );
+    }
+
+    #[test]
+    fn idle_polling_volume_ranks_cloud_drive_worst() {
+        let horizon = SimTime::from_secs(16 * 60);
+        let mut volumes = std::collections::HashMap::new();
+        for profile in ServiceProfile::all() {
+            let name = profile.name();
+            let mut sim = Simulator::new(7);
+            let mut client = SyncClient::new(profile);
+            let login_done = client.login(&mut sim, SimTime::ZERO);
+            client.idle_until(&mut sim, horizon);
+            // Only count traffic after login completed.
+            let idle_bytes: u64 = sim
+                .packets()
+                .iter()
+                .filter(|p| p.timestamp > login_done)
+                .map(|p| p.wire_len())
+                .sum();
+            volumes.insert(name, idle_bytes);
+        }
+        let cloud = volumes["Cloud Drive"];
+        for (name, bytes) in &volumes {
+            if *name != "Cloud Drive" {
+                assert!(
+                    cloud > 5 * bytes,
+                    "Cloud Drive ({cloud}) should dwarf {name} ({bytes})"
+                );
+            }
+        }
+        // Wuala polls every 5 minutes: the quietest client.
+        assert!(volumes["Wuala"] <= *volumes.values().min().unwrap() * 2);
+    }
+
+    #[test]
+    fn single_file_completion_is_rtt_dominated() {
+        let files = batch(1, 1_000_000);
+        let (g_out, _) = run_sync(ServiceProfile::google_drive(), &files);
+        let (s_out, _) = run_sync(ServiceProfile::skydrive(), &files);
+        let g_time = (g_out.completed_at - g_out.sync_started_at).as_secs_f64();
+        let s_time = (s_out.completed_at - s_out.sync_started_at).as_secs_f64();
+        assert!(g_time < 1.5, "Google Drive 1 MB took {g_time}s");
+        assert!(s_time > 2.0 * g_time, "SkyDrive ({s_time}s) should be much slower than Google Drive ({g_time}s)");
+    }
+
+    #[test]
+    fn many_small_files_reward_bundling() {
+        let files = batch(50, 10_000);
+        let (dropbox, dropbox_trace) = run_sync(ServiceProfile::dropbox(), &files);
+        let (gdrive, gdrive_trace) = run_sync(ServiceProfile::google_drive(), &files);
+        let (clouddrive, clouddrive_trace) = run_sync(ServiceProfile::cloud_drive(), &files);
+
+        let d = (dropbox.completed_at - dropbox.sync_started_at).as_secs_f64();
+        let g = (gdrive.completed_at - gdrive.sync_started_at).as_secs_f64();
+        let c = (clouddrive.completed_at - clouddrive.sync_started_at).as_secs_f64();
+        assert!(d < g, "Dropbox ({d}s) must beat Google Drive ({g}s)");
+        assert!(g < c, "Google Drive ({g}s) must beat Cloud Drive ({c}s)");
+        assert!(g > 2.0 * d, "bundling advantage should be large: {d} vs {g}");
+
+        // Connection counts tell the §4.2 story: Dropbox reuses, Google Drive
+        // opens one per file, Cloud Drive opens four per file.
+        let d_syn = analysis::syn_count_by_kind(&dropbox_trace, FlowKind::Storage);
+        let g_syn = analysis::syn_count_by_kind(&gdrive_trace, FlowKind::Storage);
+        let c_syn_total = analysis::syn_count(&clouddrive_trace);
+        assert!(d_syn <= 2, "Dropbox opened {d_syn} storage connections");
+        assert_eq!(g_syn, 50);
+        assert!(c_syn_total >= 200, "Cloud Drive opened only {c_syn_total} connections");
+    }
+
+    #[test]
+    fn startup_delay_ranking_matches_fig6a() {
+        let files = batch(100, 10_000);
+        let (dropbox, _) = run_sync(ServiceProfile::dropbox(), &files);
+        let (skydrive, _) = run_sync(ServiceProfile::skydrive(), &files);
+        let d = (dropbox.sync_started_at - dropbox.modification_time).as_secs_f64();
+        let s = (skydrive.sync_started_at - skydrive.modification_time).as_secs_f64();
+        assert!(s > 15.0, "SkyDrive startup with 100 files should exceed 15 s, got {s}");
+        assert!(d < 5.0, "Dropbox startup should stay below 5 s, got {d}");
+    }
+
+    #[test]
+    fn dedup_copies_produce_no_storage_traffic() {
+        let mut sim = Simulator::new(9);
+        let mut client = SyncClient::new(ServiceProfile::dropbox());
+        let t0 = client.login(&mut sim, SimTime::ZERO);
+        let original = batch(1, 200_000);
+        let out1 = client.sync_batch(&mut sim, &original, t0 + SimDuration::from_secs(2));
+        let storage_before = sim.trace().wire_bytes(FlowKind::Storage);
+
+        // A copy of the same content under a different name.
+        let copy = vec![GeneratedFile { path: "copy/replica.bin".to_string(), content: original[0].content.clone() }];
+        let out2 = client.sync_batch(&mut sim, &copy, out1.completed_at + SimDuration::from_secs(5));
+        let storage_after = sim.trace().wire_bytes(FlowKind::Storage);
+        assert_eq!(out2.uploaded_payload, 0, "the copy must be deduplicated");
+        assert_eq!(storage_before, storage_after, "no storage traffic for a dedup hit");
+        assert!(out2.completed_at > out2.modification_time);
+    }
+
+    #[test]
+    fn outcome_accounting_is_consistent() {
+        let files = batch(10, 50_000);
+        let (outcome, packets) = run_sync(ServiceProfile::wuala(), &files);
+        assert_eq!(outcome.files, 10);
+        assert_eq!(outcome.logical_bytes, 500_000);
+        assert!(outcome.uploaded_payload >= 500_000);
+        assert!(outcome.sync_started_at >= outcome.modification_time);
+        assert!(outcome.completed_at > outcome.sync_started_at);
+        // The trace's storage payload is at least the planned upload volume
+        // (headers add more).
+        let uploaded = analysis::uploaded_payload(&packets);
+        assert!(uploaded >= outcome.uploaded_payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "sync_batch needs at least one file")]
+    fn empty_batches_are_rejected() {
+        let mut sim = Simulator::new(1);
+        let mut client = SyncClient::new(ServiceProfile::dropbox());
+        client.login(&mut sim, SimTime::ZERO);
+        client.sync_batch(&mut sim, &[], SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle_until requires a prior login")]
+    fn idle_without_login_panics() {
+        let mut sim = Simulator::new(1);
+        let mut client = SyncClient::new(ServiceProfile::dropbox());
+        client.idle_until(&mut sim, SimTime::from_secs(60));
+    }
+}

@@ -1,0 +1,35 @@
+//! # cloudsim-services
+//!
+//! Behavioural models of the five personal cloud storage services benchmarked
+//! in the IMC'13 paper, built as real client/server state machines on top of
+//! the `cloudsim-net` simulator and the `cloudsim-storage` engine.
+//!
+//! Each service is described by a [`profile::ServiceProfile`] carrying the
+//! behaviour the paper documents (chunk sizes, bundling, per-file TCP/SSL
+//! connections, polling intervals, data-centre placement, client-side
+//! encryption, …), a [`deployment::Deployment`] that instantiates its servers
+//! and network paths, and a generic [`client::SyncClient`] that executes
+//! logins, idle polling and batch synchronisation while every byte it moves is
+//! captured in the experiment trace.
+//!
+//! The crate deliberately separates *what a service does* (the profile) from
+//! *how the sync engine executes it* (the client), so the ablation benchmarks
+//! can flip individual capabilities — bundling on/off, compression policies,
+//! connection reuse — and measure their isolated effect, which is exactly the
+//! kind of guidance the paper's conclusions call for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod deployment;
+pub mod planner;
+pub mod profile;
+
+pub use client::{SyncClient, SyncOutcome};
+pub use deployment::Deployment;
+pub use planner::{FilePlan, UploadPlanner};
+pub use profile::ServiceProfile;
+
+// Re-export the provider enum: it identifies services across the workspace.
+pub use cloudsim_geo::Provider;

@@ -1,0 +1,44 @@
+//! # cloudsim-storage
+//!
+//! The storage-engine substrate behind the simulated personal cloud storage
+//! services.
+//!
+//! The IMC'13 paper probes five *client capabilities* (§4): chunking,
+//! bundling, client-side deduplication, delta encoding and (smart)
+//! compression. For the capability detectors of the benchmark suite to have
+//! something real to discover, this crate provides functional implementations
+//! of each mechanism rather than behavioural flags:
+//!
+//! * [`hash`] — SHA-256 content hashing (the basis of dedup and delta),
+//! * [`chunker`] — fixed-size and content-defined chunking,
+//! * [`compress`] — an LZSS compressor with *always* / *smart* (magic-number
+//!   aware) / *never* policies, mirroring Dropbox vs. Google Drive vs. the
+//!   rest (§4.5),
+//! * [`delta`] — an rsync-style rolling-hash delta encoder (Dropbox is the
+//!   only service that implements it, §4.4),
+//! * [`dedup`] — a content-addressed deduplication index (Dropbox and Wuala,
+//!   §4.3),
+//! * [`encrypt`] — convergent client-side encryption (Wuala's privacy layer,
+//!   which keeps dedup possible because identical plaintexts yield identical
+//!   ciphertexts, §4.3),
+//! * [`store`] — the server-side object store (chunks, file manifests, user
+//!   namespaces) the simulated services commit uploads to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunker;
+pub mod compress;
+pub mod dedup;
+pub mod delta;
+pub mod encrypt;
+pub mod hash;
+pub mod store;
+
+pub use chunker::{Chunk, ChunkingStrategy};
+pub use compress::{compress, decompress, CompressionPolicy};
+pub use dedup::DedupIndex;
+pub use delta::{DeltaScript, Signature};
+pub use encrypt::ConvergentCipher;
+pub use hash::{sha256, ContentHash};
+pub use store::{FileManifest, ObjectStore, StoredChunk};

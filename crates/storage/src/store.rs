@@ -1,0 +1,314 @@
+//! Server-side object store.
+//!
+//! The storage back-end the simulated services commit uploads to: a
+//! content-addressed chunk store plus per-user file manifests. It backs the
+//! capability experiments end-to-end — e.g. the deduplication test of §4.3
+//! uploads, copies, deletes and restores files and the store (together with
+//! [`crate::dedup::DedupIndex`]) determines how many bytes actually had to
+//! travel.
+
+use crate::chunker::Chunk;
+use crate::hash::ContentHash;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A chunk as stored on the server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredChunk {
+    /// Content hash of the (possibly transformed) chunk payload.
+    pub hash: ContentHash,
+    /// Stored size in bytes (after compression/encryption, i.e. what occupies
+    /// server capacity).
+    pub stored_len: u64,
+    /// Original plaintext length of the chunk.
+    pub plain_len: u64,
+}
+
+/// The manifest of one file version: the ordered list of chunk hashes plus
+/// bookkeeping metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileManifest {
+    /// Path of the file inside the synced folder.
+    pub path: String,
+    /// Total plaintext size.
+    pub size: u64,
+    /// Ordered chunk hashes making up the content.
+    pub chunks: Vec<ContentHash>,
+    /// Monotonically increasing version number.
+    pub version: u64,
+}
+
+impl FileManifest {
+    /// Builds a manifest from the chunk list produced by a
+    /// [`crate::chunker::ChunkingStrategy`].
+    pub fn from_chunks(path: &str, chunks: &[Chunk], version: u64) -> FileManifest {
+        FileManifest {
+            path: path.to_string(),
+            size: chunks.iter().map(|c| c.len).sum(),
+            chunks: chunks.iter().map(|c| c.hash).collect(),
+            version,
+        }
+    }
+}
+
+/// Statistics about the state of an object store namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of live file manifests.
+    pub files: usize,
+    /// Number of distinct chunks held.
+    pub chunks: usize,
+    /// Bytes occupied by chunk payloads on the server.
+    pub stored_bytes: u64,
+    /// Sum of the plaintext sizes of live files (logical size).
+    pub logical_bytes: u64,
+}
+
+/// A per-user namespace: manifests and chunks.
+#[derive(Debug, Default)]
+struct Namespace {
+    files: HashMap<String, FileManifest>,
+    chunks: HashMap<ContentHash, StoredChunk>,
+    next_version: u64,
+}
+
+/// The server-side object store, shared by control and storage servers of a
+/// simulated service. Thread-safe so the parallel experiment runner can drive
+/// independent user accounts concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    inner: Arc<RwLock<HashMap<String, Namespace>>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// True when the user's namespace already holds a chunk with this hash
+    /// (server-side deduplication check).
+    pub fn has_chunk(&self, user: &str, hash: &ContentHash) -> bool {
+        self.inner
+            .read()
+            .get(user)
+            .map(|ns| ns.chunks.contains_key(hash))
+            .unwrap_or(false)
+    }
+
+    /// Stores a chunk payload. Returns `true` when the chunk was new, `false`
+    /// when an identical chunk was already present (nothing is overwritten).
+    pub fn put_chunk(&self, user: &str, chunk: StoredChunk) -> bool {
+        let mut guard = self.inner.write();
+        let ns = guard.entry(user.to_string()).or_default();
+        if ns.chunks.contains_key(&chunk.hash) {
+            false
+        } else {
+            ns.chunks.insert(chunk.hash, chunk);
+            true
+        }
+    }
+
+    /// Commits a file manifest (creating or replacing the path). Returns the
+    /// version number assigned. Panics if any referenced chunk is missing —
+    /// a protocol error a real service would reject as well.
+    pub fn commit_manifest(&self, user: &str, mut manifest: FileManifest) -> u64 {
+        let mut guard = self.inner.write();
+        let ns = guard.entry(user.to_string()).or_default();
+        for hash in &manifest.chunks {
+            assert!(
+                ns.chunks.contains_key(hash),
+                "manifest references unknown chunk {hash}"
+            );
+        }
+        ns.next_version += 1;
+        manifest.version = ns.next_version;
+        let version = manifest.version;
+        ns.files.insert(manifest.path.clone(), manifest);
+        version
+    }
+
+    /// Fetches the current manifest of a path.
+    pub fn manifest(&self, user: &str, path: &str) -> Option<FileManifest> {
+        self.inner.read().get(user).and_then(|ns| ns.files.get(path).cloned())
+    }
+
+    /// Deletes a file. The chunks it referenced are *not* garbage-collected,
+    /// matching the delete/restore observation of §4.3. Returns `true` when a
+    /// file was removed.
+    pub fn delete_file(&self, user: &str, path: &str) -> bool {
+        self.inner
+            .write()
+            .get_mut(user)
+            .map(|ns| ns.files.remove(path).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Lists the live file paths of a user, sorted.
+    pub fn list_files(&self, user: &str) -> Vec<String> {
+        let mut paths: Vec<String> = self
+            .inner
+            .read()
+            .get(user)
+            .map(|ns| ns.files.keys().cloned().collect())
+            .unwrap_or_default();
+        paths.sort();
+        paths
+    }
+
+    /// Returns a stored chunk record.
+    pub fn chunk(&self, user: &str, hash: &ContentHash) -> Option<StoredChunk> {
+        self.inner.read().get(user).and_then(|ns| ns.chunks.get(hash).cloned())
+    }
+
+    /// Aggregate statistics of a user's namespace.
+    pub fn stats(&self, user: &str) -> StoreStats {
+        let guard = self.inner.read();
+        let Some(ns) = guard.get(user) else {
+            return StoreStats::default();
+        };
+        StoreStats {
+            files: ns.files.len(),
+            chunks: ns.chunks.len(),
+            stored_bytes: ns.chunks.values().map(|c| c.stored_len).sum(),
+            logical_bytes: ns.files.values().map(|f| f.size).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::ChunkingStrategy;
+    use crate::hash::sha256;
+
+    fn stored(data: &[u8]) -> StoredChunk {
+        StoredChunk { hash: sha256(data), stored_len: data.len() as u64, plain_len: data.len() as u64 }
+    }
+
+    #[test]
+    fn put_get_and_dedup_of_chunks() {
+        let store = ObjectStore::new();
+        let c = stored(b"hello chunk");
+        assert!(!store.has_chunk("alice", &c.hash));
+        assert!(store.put_chunk("alice", c.clone()));
+        assert!(store.has_chunk("alice", &c.hash));
+        // Second put of the same content is a no-op.
+        assert!(!store.put_chunk("alice", c.clone()));
+        assert_eq!(store.chunk("alice", &c.hash), Some(c.clone()));
+        // Namespaces are isolated per user.
+        assert!(!store.has_chunk("bob", &c.hash));
+        assert_eq!(store.chunk("bob", &c.hash), None);
+    }
+
+    #[test]
+    fn manifests_commit_and_version() {
+        let store = ObjectStore::new();
+        let data = vec![9u8; 100_000];
+        let chunks = ChunkingStrategy::Fixed { size: 30_000 }.chunk(&data);
+        for ch in &chunks {
+            store.put_chunk("alice", StoredChunk {
+                hash: ch.hash,
+                stored_len: ch.len,
+                plain_len: ch.len,
+            });
+        }
+        let manifest = FileManifest::from_chunks("docs/report.bin", &chunks, 0);
+        assert_eq!(manifest.size, 100_000);
+        let v1 = store.commit_manifest("alice", manifest.clone());
+        let v2 = store.commit_manifest("alice", manifest);
+        assert_eq!(v1, 1);
+        assert_eq!(v2, 2);
+        let fetched = store.manifest("alice", "docs/report.bin").unwrap();
+        assert_eq!(fetched.version, 2);
+        assert_eq!(fetched.chunks.len(), chunks.len());
+        assert_eq!(store.list_files("alice"), vec!["docs/report.bin".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "manifest references unknown chunk")]
+    fn committing_a_manifest_with_missing_chunks_panics() {
+        let store = ObjectStore::new();
+        let manifest = FileManifest {
+            path: "x".into(),
+            size: 10,
+            chunks: vec![sha256(b"never uploaded")],
+            version: 0,
+        };
+        store.commit_manifest("alice", manifest);
+    }
+
+    #[test]
+    fn delete_keeps_chunks_for_later_restore() {
+        let store = ObjectStore::new();
+        let c = stored(b"content that will be deleted");
+        store.put_chunk("alice", c.clone());
+        let manifest = FileManifest {
+            path: "a.bin".into(),
+            size: c.plain_len,
+            chunks: vec![c.hash],
+            version: 0,
+        };
+        store.commit_manifest("alice", manifest);
+        assert!(store.delete_file("alice", "a.bin"));
+        assert!(!store.delete_file("alice", "a.bin"));
+        assert!(store.manifest("alice", "a.bin").is_none());
+        // The chunk survives deletion, so a restore needs no re-upload.
+        assert!(store.has_chunk("alice", &c.hash));
+        let stats = store.stats("alice");
+        assert_eq!(stats.files, 0);
+        assert_eq!(stats.chunks, 1);
+    }
+
+    #[test]
+    fn stats_reflect_logical_and_stored_bytes() {
+        let store = ObjectStore::new();
+        assert_eq!(store.stats("nobody"), StoreStats::default());
+        let c1 = stored(&vec![1u8; 1000]);
+        let c2 = StoredChunk { hash: sha256(b"compressed"), stored_len: 400, plain_len: 1000 };
+        store.put_chunk("alice", c1.clone());
+        store.put_chunk("alice", c2.clone());
+        store.commit_manifest(
+            "alice",
+            FileManifest { path: "f1".into(), size: 1000, chunks: vec![c1.hash], version: 0 },
+        );
+        store.commit_manifest(
+            "alice",
+            FileManifest { path: "f2".into(), size: 1000, chunks: vec![c2.hash], version: 0 },
+        );
+        let stats = store.stats("alice");
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.chunks, 2);
+        assert_eq!(stats.stored_bytes, 1400);
+        assert_eq!(stats.logical_bytes, 2000);
+    }
+
+    #[test]
+    fn store_handles_are_shared_clones() {
+        let store = ObjectStore::new();
+        let clone = store.clone();
+        clone.put_chunk("alice", stored(b"via clone"));
+        assert!(store.has_chunk("alice", &sha256(b"via clone")));
+    }
+
+    #[test]
+    fn concurrent_access_from_multiple_threads() {
+        let store = ObjectStore::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let data = format!("thread {t} chunk {i}");
+                    store.put_chunk("shared", stored(data.as_bytes()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats("shared").chunks, 400);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests over the storage-engine invariants.
+//!
+//! These complement the unit tests with randomised inputs: compression and
+//! encryption must round-trip for *any* byte string, delta scripts must
+//! reconstruct *any* new revision from *any* old one, and chunking must tile
+//! the input exactly regardless of strategy.
+
+use cloudsim_storage::{
+    compress, decompress, sha256, Chunk, ChunkingStrategy, CompressionPolicy, ConvergentCipher,
+    DeltaScript, Signature,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compression_roundtrips_any_input(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let compressed = compress(&data);
+        prop_assert_eq!(decompress(&compressed).unwrap(), data.clone());
+        // Stored-mode fallback bounds the expansion to one tag byte.
+        prop_assert!(compressed.len() <= data.len() + 1);
+    }
+
+    #[test]
+    fn every_policy_encodes_decodably(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        for policy in [CompressionPolicy::Never, CompressionPolicy::Always, CompressionPolicy::Smart] {
+            let encoded = policy.encode(&data);
+            prop_assert_eq!(decompress(&encoded).unwrap(), data.clone());
+            prop_assert!(policy.upload_size(&data) <= data.len() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn convergent_encryption_roundtrips_and_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 0..10_000)
+    ) {
+        let cipher = ConvergentCipher::new();
+        let key = cipher.derive_key(&data);
+        let ct1 = cipher.encrypt(&data);
+        let ct2 = cipher.encrypt(&data);
+        prop_assert_eq!(&ct1, &ct2);
+        prop_assert_eq!(ct1.len(), data.len());
+        prop_assert_eq!(cipher.decrypt(&key, &ct1), data.clone());
+        if data.len() > 32 {
+            prop_assert_ne!(ct1, data.clone());
+        }
+    }
+
+    #[test]
+    fn delta_scripts_reconstruct_the_new_revision(
+        old in proptest::collection::vec(any::<u8>(), 0..30_000),
+        new in proptest::collection::vec(any::<u8>(), 0..30_000),
+    ) {
+        let signature = Signature::with_block_size(&old, 512);
+        let delta = DeltaScript::compute(&signature, &new);
+        prop_assert_eq!(delta.apply(&old), new.clone());
+        prop_assert!(delta.literal_bytes() <= new.len() as u64);
+    }
+
+    #[test]
+    fn delta_of_identical_revisions_carries_little_data(
+        data in proptest::collection::vec(any::<u8>(), 2_048..20_000)
+    ) {
+        let signature = Signature::with_block_size(&data, 1_024);
+        let delta = DeltaScript::compute(&signature, &data);
+        prop_assert_eq!(delta.apply(&data), data.clone());
+        // Only the trailing partial block may travel as a literal.
+        prop_assert!(delta.literal_bytes() < 1_024);
+    }
+
+    #[test]
+    fn chunking_tiles_the_file_exactly(
+        data in proptest::collection::vec(any::<u8>(), 0..200_000),
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = match strategy_idx {
+            0 => ChunkingStrategy::None,
+            1 => ChunkingStrategy::Fixed { size: 16 * 1024 },
+            _ => ChunkingStrategy::ContentDefined { min: 4 * 1024, avg: 16 * 1024, max: 64 * 1024 },
+        };
+        let chunks: Vec<Chunk> = strategy.chunk(&data);
+        let total: u64 = chunks.iter().map(|c| c.len).sum();
+        prop_assert_eq!(total, data.len() as u64);
+        // Chunks are contiguous, in order, and hash their exact slice.
+        let mut offset = 0u64;
+        for chunk in &chunks {
+            prop_assert_eq!(chunk.offset, offset);
+            let slice = &data[chunk.offset as usize..chunk.end() as usize];
+            prop_assert_eq!(chunk.hash, sha256(slice));
+            offset = chunk.end();
+        }
+    }
+
+    #[test]
+    fn sha256_is_stable_under_split_updates(
+        data in proptest::collection::vec(any::<u8>(), 0..5_000),
+        split in 0usize..5_000,
+    ) {
+        let split = split.min(data.len());
+        let mut hasher = cloudsim_storage::hash::Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+}

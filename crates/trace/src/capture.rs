@@ -1,0 +1,250 @@
+//! Trace capture: the synthetic equivalent of running tcpdump on the testbed.
+//!
+//! The simulator's protocol endpoints append [`PacketRecord`]s to a [`Trace`]
+//! through a cheaply cloneable [`TraceHandle`]. After an experiment the trace
+//! is frozen and handed to the analyzers in [`crate::analysis`].
+
+use crate::flow::{FlowId, FlowKind, FlowTable};
+use crate::packet::PacketRecord;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A captured packet trace for one experiment run.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    packets: Vec<PacketRecord>,
+    next_flow: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { packets: Vec::new(), next_flow: 0 }
+    }
+
+    /// Allocates a fresh flow id. Flow ids are handed out in connection-open
+    /// order, which the sequence-based analyses rely on.
+    pub fn allocate_flow(&mut self) -> FlowId {
+        let id = FlowId(self.next_flow);
+        self.next_flow += 1;
+        id
+    }
+
+    /// Appends a packet record.
+    ///
+    /// Packets may be recorded slightly out of order by independent protocol
+    /// endpoints; [`Trace::finish`] sorts them by timestamp, exactly like a
+    /// pcap file is processed in timestamp order.
+    pub fn record(&mut self, packet: PacketRecord) {
+        self.packets.push(packet);
+    }
+
+    /// Number of packets captured so far.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Read-only view of the captured packets in insertion order.
+    pub fn packets(&self) -> &[PacketRecord] {
+        &self.packets
+    }
+
+    /// Sorts the capture by timestamp (stable, so ties keep insertion order)
+    /// and returns the packets.
+    pub fn finish(mut self) -> Vec<PacketRecord> {
+        self.packets.sort_by_key(|p| p.timestamp);
+        self.packets
+    }
+
+    /// Builds the flow table of the current capture.
+    pub fn flow_table(&self) -> FlowTable {
+        FlowTable::from_packets(&self.packets)
+    }
+
+    /// Total wire bytes captured so far, across all flows.
+    pub fn wire_bytes_total(&self) -> u64 {
+        self.packets.iter().map(|p| p.wire_len()).sum()
+    }
+
+    /// Total wire bytes captured so far for one traffic class.
+    pub fn wire_bytes(&self, kind: FlowKind) -> u64 {
+        self.packets.iter().filter(|p| p.kind == kind).map(|p| p.wire_len()).sum()
+    }
+
+    /// Timestamp of the last captured packet, if any.
+    pub fn last_timestamp(&self) -> Option<SimTime> {
+        self.packets.iter().map(|p| p.timestamp).max()
+    }
+}
+
+/// Shared handle to a [`Trace`].
+///
+/// The simulator is single-threaded (a deterministic discrete-event loop), so
+/// an `Rc<RefCell<..>>` is sufficient and keeps the endpoints free of locking.
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    inner: Rc<RefCell<Trace>>,
+}
+
+impl TraceHandle {
+    /// Creates a handle to a fresh, empty trace.
+    pub fn new() -> Self {
+        TraceHandle { inner: Rc::new(RefCell::new(Trace::new())) }
+    }
+
+    /// Allocates a fresh flow id.
+    pub fn allocate_flow(&self) -> FlowId {
+        self.inner.borrow_mut().allocate_flow()
+    }
+
+    /// Appends a packet record.
+    pub fn record(&self, packet: PacketRecord) {
+        self.inner.borrow_mut().record(packet);
+    }
+
+    /// Number of packets captured so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// True when nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Clones the captured packets out of the handle (sorted by timestamp).
+    pub fn snapshot(&self) -> Vec<PacketRecord> {
+        let mut packets = self.inner.borrow().packets.clone();
+        packets.sort_by_key(|p| p.timestamp);
+        packets
+    }
+
+    /// Builds a flow table from the current capture.
+    pub fn flow_table(&self) -> FlowTable {
+        self.inner.borrow().flow_table()
+    }
+
+    /// Total wire bytes captured so far.
+    pub fn wire_bytes_total(&self) -> u64 {
+        self.inner.borrow().wire_bytes_total()
+    }
+
+    /// Total wire bytes captured so far for one traffic class.
+    pub fn wire_bytes(&self, kind: FlowKind) -> u64 {
+        self.inner.borrow().wire_bytes(kind)
+    }
+
+    /// Timestamp of the last captured packet, if any.
+    pub fn last_timestamp(&self) -> Option<SimTime> {
+        self.inner.borrow().last_timestamp()
+    }
+
+    /// Runs a closure with read access to the underlying trace.
+    pub fn with<R>(&self, f: impl FnOnce(&Trace) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Direction, Endpoint, TcpFlags, TransportProtocol, TCP_HEADER_BYTES};
+
+    fn packet(flow: FlowId, t_us: u64, payload: u32) -> PacketRecord {
+        PacketRecord {
+            timestamp: SimTime::from_micros(t_us),
+            src: Endpoint::from_octets(192, 168, 1, 10, 50000),
+            dst: Endpoint::from_octets(10, 0, 0, 1, 443),
+            protocol: TransportProtocol::Tcp,
+            flags: if payload == 0 { TcpFlags::SYN } else { TcpFlags::ACK },
+            payload_len: payload,
+            header_len: TCP_HEADER_BYTES,
+            direction: Direction::Upload,
+            flow,
+            kind: FlowKind::Storage,
+        }
+    }
+
+    #[test]
+    fn flow_ids_are_allocated_sequentially() {
+        let mut trace = Trace::new();
+        assert_eq!(trace.allocate_flow(), FlowId(0));
+        assert_eq!(trace.allocate_flow(), FlowId(1));
+        assert_eq!(trace.allocate_flow(), FlowId(2));
+    }
+
+    #[test]
+    fn finish_sorts_by_timestamp_stably() {
+        let mut trace = Trace::new();
+        let f = trace.allocate_flow();
+        trace.record(packet(f, 300, 10));
+        trace.record(packet(f, 100, 0));
+        trace.record(packet(f, 200, 20));
+        trace.record(packet(f, 200, 30));
+        let sorted = trace.finish();
+        let ts: Vec<u64> = sorted.iter().map(|p| p.timestamp.as_micros()).collect();
+        assert_eq!(ts, vec![100, 200, 200, 300]);
+        // Stability: the two t=200 packets keep their insertion order.
+        assert_eq!(sorted[1].payload_len, 20);
+        assert_eq!(sorted[2].payload_len, 30);
+    }
+
+    #[test]
+    fn handle_shares_one_underlying_trace() {
+        let handle = TraceHandle::new();
+        let h2 = handle.clone();
+        let f = handle.allocate_flow();
+        h2.record(packet(f, 10, 0));
+        handle.record(packet(f, 20, 100));
+        assert_eq!(handle.len(), 2);
+        assert_eq!(h2.len(), 2);
+        assert!(!handle.is_empty());
+        let snap = handle.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].timestamp.as_micros(), 10);
+        assert_eq!(handle.last_timestamp(), Some(SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn byte_accounting_matches_flow_table() {
+        let handle = TraceHandle::new();
+        let f = handle.allocate_flow();
+        handle.record(packet(f, 10, 0));
+        handle.record(packet(f, 20, 1000));
+        handle.record(packet(f, 30, 500));
+        let expected = 3 * TCP_HEADER_BYTES as u64 + 1500;
+        assert_eq!(handle.wire_bytes_total(), expected);
+        assert_eq!(handle.wire_bytes(FlowKind::Storage), expected);
+        assert_eq!(handle.wire_bytes(FlowKind::Control), 0);
+        let table = handle.flow_table();
+        assert_eq!(table.wire_bytes_total(), expected);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let trace = Trace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.wire_bytes_total(), 0);
+        assert!(trace.last_timestamp().is_none());
+        let handle = TraceHandle::new();
+        assert!(handle.is_empty());
+        assert!(handle.snapshot().is_empty());
+        assert!(handle.last_timestamp().is_none());
+    }
+
+    #[test]
+    fn with_gives_read_access() {
+        let handle = TraceHandle::new();
+        let f = handle.allocate_flow();
+        handle.record(packet(f, 10, 42));
+        let count = handle.with(|t| t.packets().len());
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Small time-series helpers used when rendering the paper's figures.
+//!
+//! Figures 1 and 3 plot *cumulative* quantities (bytes, TCP SYNs) against
+//! time. [`CumulativeSeries`] builds such step series from `(time, value)`
+//! events and can resample them on a fixed grid so different services can be
+//! plotted against a common x-axis.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A cumulative step series: at each event time the running total increases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CumulativeSeries {
+    /// `(event time, running total after the event)`, sorted by time.
+    points: Vec<(SimTime, f64)>,
+}
+
+impl CumulativeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        CumulativeSeries { points: Vec::new() }
+    }
+
+    /// Builds a cumulative series from raw `(time, increment)` events.
+    ///
+    /// Events do not need to be sorted; they are sorted internally.
+    pub fn from_events<I: IntoIterator<Item = (SimTime, f64)>>(events: I) -> Self {
+        let mut evs: Vec<(SimTime, f64)> = events.into_iter().collect();
+        evs.sort_by_key(|(t, _)| *t);
+        let mut total = 0.0;
+        let mut points = Vec::with_capacity(evs.len());
+        for (t, inc) in evs {
+            total += inc;
+            points.push((t, total));
+        }
+        CumulativeSeries { points }
+    }
+
+    /// Number of events in the series.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no events.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The raw `(time, running total)` points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Final running total (0 for an empty series).
+    pub fn total(&self) -> f64 {
+        self.points.last().map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    /// Value of the step function at time `t` (the running total of the last
+    /// event at or before `t`; 0 before the first event).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by_key(&t, |(pt, _)| *pt) {
+            Ok(mut idx) => {
+                // Several events can share a timestamp; take the last one.
+                while idx + 1 < self.points.len() && self.points[idx + 1].0 == t {
+                    idx += 1;
+                }
+                self.points[idx].1
+            }
+            Err(0) => 0.0,
+            Err(idx) => self.points[idx - 1].1,
+        }
+    }
+
+    /// Resamples the step function on a fixed grid `[0, horizon]` with the
+    /// given step, producing `(time, value)` pairs suitable for plotting.
+    pub fn resample(&self, horizon: SimDuration, step: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "resampling step must be positive");
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        loop {
+            out.push((t, self.value_at(t)));
+            if t >= end {
+                break;
+            }
+            t += step;
+        }
+        out
+    }
+
+    /// Time at which the running total first reaches `target`, if ever.
+    pub fn time_to_reach(&self, target: f64) -> Option<SimTime> {
+        self.points.iter().find(|(_, v)| *v >= target).map(|(t, _)| *t)
+    }
+}
+
+/// Simple descriptive statistics over repeated measurements (the paper repeats
+/// each experiment 24 times and reports averages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl SampleStats {
+    /// Computes statistics over a slice of samples. Returns `None` for an
+    /// empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(SampleStats { count, mean, min, max, std_dev: var.sqrt() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_series_accumulates_in_time_order() {
+        let s = CumulativeSeries::from_events(vec![
+            (SimTime::from_secs(3), 5.0),
+            (SimTime::from_secs(1), 10.0),
+            (SimTime::from_secs(2), 2.0),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total(), 17.0);
+        assert_eq!(s.points()[0], (SimTime::from_secs(1), 10.0));
+        assert_eq!(s.points()[2], (SimTime::from_secs(3), 17.0));
+    }
+
+    #[test]
+    fn value_at_is_a_right_continuous_step_function() {
+        let s = CumulativeSeries::from_events(vec![
+            (SimTime::from_secs(1), 10.0),
+            (SimTime::from_secs(3), 5.0),
+        ]);
+        assert_eq!(s.value_at(SimTime::ZERO), 0.0);
+        assert_eq!(s.value_at(SimTime::from_millis(999)), 0.0);
+        assert_eq!(s.value_at(SimTime::from_secs(1)), 10.0);
+        assert_eq!(s.value_at(SimTime::from_secs(2)), 10.0);
+        assert_eq!(s.value_at(SimTime::from_secs(3)), 15.0);
+        assert_eq!(s.value_at(SimTime::from_secs(100)), 15.0);
+    }
+
+    #[test]
+    fn value_at_with_duplicate_timestamps_takes_the_last() {
+        let s = CumulativeSeries::from_events(vec![
+            (SimTime::from_secs(1), 1.0),
+            (SimTime::from_secs(1), 2.0),
+            (SimTime::from_secs(1), 3.0),
+        ]);
+        assert_eq!(s.value_at(SimTime::from_secs(1)), 6.0);
+    }
+
+    #[test]
+    fn resample_produces_a_fixed_grid_including_both_ends() {
+        let s = CumulativeSeries::from_events(vec![(SimTime::from_secs(5), 100.0)]);
+        let grid = s.resample(SimDuration::from_secs(10), SimDuration::from_secs(5));
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0], (SimTime::ZERO, 0.0));
+        assert_eq!(grid[1], (SimTime::from_secs(5), 100.0));
+        assert_eq!(grid[2], (SimTime::from_secs(10), 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resampling step must be positive")]
+    fn resample_rejects_zero_step() {
+        let s = CumulativeSeries::new();
+        let _ = s.resample(SimDuration::from_secs(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_to_reach_finds_the_first_crossing() {
+        let s = CumulativeSeries::from_events(vec![
+            (SimTime::from_secs(1), 10.0),
+            (SimTime::from_secs(2), 10.0),
+            (SimTime::from_secs(3), 10.0),
+        ]);
+        assert_eq!(s.time_to_reach(5.0), Some(SimTime::from_secs(1)));
+        assert_eq!(s.time_to_reach(15.0), Some(SimTime::from_secs(2)));
+        assert_eq!(s.time_to_reach(30.0), Some(SimTime::from_secs(3)));
+        assert_eq!(s.time_to_reach(31.0), None);
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        let s = CumulativeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0.0);
+        assert_eq!(s.value_at(SimTime::from_secs(10)), 0.0);
+        assert_eq!(s.time_to_reach(1.0), None);
+    }
+
+    #[test]
+    fn sample_stats_basic_properties() {
+        let stats = SampleStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(stats.count, 8);
+        assert!((stats.mean - 5.0).abs() < 1e-12);
+        assert_eq!(stats.min, 2.0);
+        assert_eq!(stats.max, 9.0);
+        assert!((stats.std_dev - 2.0).abs() < 1e-12);
+        assert!(SampleStats::from_samples(&[]).is_none());
+        let single = SampleStats::from_samples(&[3.5]).unwrap();
+        assert_eq!(single.mean, 3.5);
+        assert_eq!(single.std_dev, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The simulated synced folder.
+//!
+//! The test computer in the original study runs the native client pointed at a
+//! local folder that the testing application manipulates over FTP. Here the
+//! folder is an in-memory map of path → content plus a *change journal* the
+//! simulated sync clients consume: every create, modify, copy, delete and
+//! restore is recorded as a [`ChangeEvent`] with the virtual time at which it
+//! happened.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One recorded change to the synced folder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeEvent {
+    /// A file was created (or fully replaced) with the given size.
+    Created {
+        /// Path of the file.
+        path: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// An existing file was modified in place.
+    Modified {
+        /// Path of the file.
+        path: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// A file was deleted.
+    Deleted {
+        /// Path of the file.
+        path: String,
+    },
+}
+
+impl ChangeEvent {
+    /// The path the event refers to.
+    pub fn path(&self) -> &str {
+        match self {
+            ChangeEvent::Created { path, .. }
+            | ChangeEvent::Modified { path, .. }
+            | ChangeEvent::Deleted { path } => path,
+        }
+    }
+}
+
+/// The synced folder on the test computer.
+#[derive(Debug, Clone, Default)]
+pub struct LocalFolder {
+    files: BTreeMap<String, Vec<u8>>,
+    journal: Vec<ChangeEvent>,
+}
+
+impl LocalFolder {
+    /// Creates an empty folder.
+    pub fn new() -> Self {
+        LocalFolder::default()
+    }
+
+    /// Writes (creates or replaces) a file.
+    pub fn write(&mut self, path: &str, content: Vec<u8>) {
+        let size = content.len() as u64;
+        let existed = self.files.insert(path.to_string(), content).is_some();
+        self.journal.push(if existed {
+            ChangeEvent::Modified { path: path.to_string(), size }
+        } else {
+            ChangeEvent::Created { path: path.to_string(), size }
+        });
+    }
+
+    /// Copies an existing file to a new path (the §4.3 dedup test copies the
+    /// original file into second and third folders). Panics when the source is
+    /// missing, which would be a bug in the experiment script.
+    pub fn copy(&mut self, from: &str, to: &str) {
+        let content = self
+            .files
+            .get(from)
+            .unwrap_or_else(|| panic!("copy source {from} does not exist"))
+            .clone();
+        self.write(to, content);
+    }
+
+    /// Deletes a file. Returns `true` when the file existed.
+    pub fn delete(&mut self, path: &str) -> bool {
+        let existed = self.files.remove(path).is_some();
+        if existed {
+            self.journal.push(ChangeEvent::Deleted { path: path.to_string() });
+        }
+        existed
+    }
+
+    /// Reads a file's content.
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Current number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the folder holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total bytes currently stored in the folder.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// All file paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// The change journal accumulated so far.
+    pub fn journal(&self) -> &[ChangeEvent] {
+        &self.journal
+    }
+
+    /// Drains the change journal, handing the pending events to the sync
+    /// client (mirrors a filesystem-watcher queue).
+    pub fn drain_changes(&mut self) -> Vec<ChangeEvent> {
+        std::mem::take(&mut self.journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_modify_delete_journal() {
+        let mut folder = LocalFolder::new();
+        assert!(folder.is_empty());
+        folder.write("a.bin", vec![1, 2, 3]);
+        folder.write("a.bin", vec![4, 5, 6, 7]);
+        folder.write("b.bin", vec![9]);
+        assert!(folder.delete("a.bin"));
+        assert!(!folder.delete("a.bin"));
+        let journal = folder.journal().to_vec();
+        assert_eq!(journal.len(), 4);
+        assert!(matches!(&journal[0], ChangeEvent::Created { path, size: 3 } if path == "a.bin"));
+        assert!(matches!(&journal[1], ChangeEvent::Modified { path, size: 4 } if path == "a.bin"));
+        assert!(matches!(&journal[2], ChangeEvent::Created { path, size: 1 } if path == "b.bin"));
+        assert!(matches!(&journal[3], ChangeEvent::Deleted { path } if path == "a.bin"));
+        assert_eq!(journal[3].path(), "a.bin");
+        assert_eq!(folder.len(), 1);
+        assert_eq!(folder.total_bytes(), 1);
+    }
+
+    #[test]
+    fn copy_replicates_content_to_a_new_path() {
+        let mut folder = LocalFolder::new();
+        folder.write("folder1/original.bin", vec![7u8; 1000]);
+        folder.copy("folder1/original.bin", "folder2/replica.bin");
+        assert_eq!(folder.read("folder2/replica.bin"), folder.read("folder1/original.bin"));
+        assert_eq!(folder.len(), 2);
+        assert_eq!(
+            folder.paths(),
+            vec!["folder1/original.bin".to_string(), "folder2/replica.bin".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "copy source missing.bin does not exist")]
+    fn copy_of_a_missing_file_panics() {
+        let mut folder = LocalFolder::new();
+        folder.copy("missing.bin", "anywhere.bin");
+    }
+
+    #[test]
+    fn drain_changes_empties_the_journal() {
+        let mut folder = LocalFolder::new();
+        folder.write("x", vec![0u8; 10]);
+        folder.write("y", vec![0u8; 20]);
+        let drained = folder.drain_changes();
+        assert_eq!(drained.len(), 2);
+        assert!(folder.journal().is_empty());
+        assert_eq!(folder.drain_changes().len(), 0);
+        // Files themselves are untouched by draining.
+        assert_eq!(folder.len(), 2);
+    }
+
+    #[test]
+    fn read_missing_file_is_none() {
+        let folder = LocalFolder::new();
+        assert!(folder.read("nope").is_none());
+        assert_eq!(folder.total_bytes(), 0);
+        assert!(folder.paths().is_empty());
+    }
+}

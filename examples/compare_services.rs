@@ -1,0 +1,39 @@
+//! Reproduces Fig. 6 of the paper: synchronisation start-up time, completion
+//! time and protocol overhead for the four workloads (1×100 kB, 1×1 MB,
+//! 10×100 kB, 100×10 kB of binary files) across all five services.
+//!
+//! Run with `cargo run --release --example compare_services [repetitions]`
+//! (default 3; the paper uses 24).
+
+use cloudbench::benchmarks::run_performance_suite;
+use cloudbench::report::{Fig6Metric, Report};
+use cloudbench::testbed::Testbed;
+
+fn main() {
+    let repetitions: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let testbed = Testbed::new(2013);
+    println!("Running the Fig. 6 performance suite ({repetitions} repetitions per cell)...\n");
+    let suite = run_performance_suite(&testbed, repetitions);
+
+    for metric in [Fig6Metric::Startup, Fig6Metric::Completion, Fig6Metric::Overhead] {
+        let report = Report::figure6(&suite, metric);
+        println!("{}", report.title);
+        println!("{}", report.body);
+    }
+
+    // The headline comparison of §5.2: who wins the 100x10kB case and by how much.
+    if let (Some(dropbox), Some(gdrive)) = (
+        suite.row("Dropbox", "100x10kB"),
+        suite.row("Google Drive", "100x10kB"),
+    ) {
+        println!(
+            "100x10kB completion: Dropbox {:.1} s vs Google Drive {:.1} s ({:.1}x)",
+            dropbox.completion_secs.mean,
+            gdrive.completion_secs.mean,
+            gdrive.completion_secs.mean / dropbox.completion_secs.mean.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproduces Fig. 1 of the paper: cumulative background traffic towards the
+//! control servers while each client sits idle for 16 minutes, plus the §3.1
+//! signalling-rate estimates (Cloud Drive ≈ 65 MB/day!).
+//!
+//! Run with `cargo run --release --example idle_traffic`.
+
+use cloudbench::idle::idle_traffic_series;
+use cloudbench::report::Report;
+use cloudbench::testbed::Testbed;
+
+fn main() {
+    let testbed = Testbed::new(16);
+    println!("Letting every client idle for 16 simulated minutes...\n");
+    let series = idle_traffic_series(&testbed);
+    let report = Report::figure1(&series);
+    println!("{}", report.title);
+    println!("{}", report.body);
+}

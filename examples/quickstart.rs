@@ -1,0 +1,50 @@
+//! Quickstart: benchmark one service on one workload and print the three
+//! §5 metrics (start-up delay, completion time, protocol overhead).
+//!
+//! Run with `cargo run --example quickstart [service]` where `service` is one
+//! of `dropbox`, `skydrive`, `wuala`, `gdrive`, `clouddrive` (default:
+//! `dropbox`).
+
+use cloudbench::testbed::Testbed;
+use cloudbench::{BatchSpec, FileKind, ServiceProfile};
+
+fn profile_from_arg(arg: Option<String>) -> ServiceProfile {
+    match arg.as_deref() {
+        Some("skydrive") => ServiceProfile::skydrive(),
+        Some("wuala") => ServiceProfile::wuala(),
+        Some("gdrive") | Some("googledrive") => ServiceProfile::google_drive(),
+        Some("clouddrive") => ServiceProfile::cloud_drive(),
+        _ => ServiceProfile::dropbox(),
+    }
+}
+
+fn main() {
+    let profile = profile_from_arg(std::env::args().nth(1));
+    let testbed = Testbed::new(42);
+
+    println!("Benchmarking {} (simulated)\n", profile.name());
+    for spec in BatchSpec::figure6_workloads() {
+        let run = testbed.run_sync(&profile, &spec, 0);
+        let startup = run.startup_delay().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+        let completion = run.completion_time().map(|d| d.as_secs_f64()).unwrap_or(f64::NAN);
+        println!(
+            "workload {:>9}: startup {:6.2} s, completion {:7.2} s, overhead {:5.2}x, uploaded {:8} B",
+            spec.label(),
+            startup,
+            completion,
+            run.overhead(),
+            run.uploaded_payload(),
+        );
+    }
+
+    println!();
+    let binary = BatchSpec::new(10, 100_000, FileKind::RandomBinary);
+    let text = BatchSpec::new(10, 100_000, FileKind::Text);
+    let b = testbed.run_sync(&profile, &binary, 1);
+    let t = testbed.run_sync(&profile, &text, 1);
+    println!(
+        "file-type effect on 10x100kB: binary uploads {} B, text uploads {} B",
+        b.uploaded_payload(),
+        t.uploaded_payload()
+    );
+}

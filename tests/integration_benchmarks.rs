@@ -1,0 +1,97 @@
+//! Cross-crate integration test: the §5 performance suite reproduces the
+//! qualitative results of Fig. 6 (who wins, by roughly what factor).
+
+use cloudbench::benchmarks::run_performance_suite;
+use cloudbench::testbed::Testbed;
+
+#[test]
+fn figure6_rankings_hold() {
+    let testbed = Testbed::new(0xF16_6);
+    let suite = run_performance_suite(&testbed, 2);
+
+    // Every service × workload cell is present.
+    assert_eq!(suite.rows.len(), 5 * 4);
+    let workloads = suite.workloads();
+    assert_eq!(workloads, vec!["1x100kB", "1x1MB", "10x100kB", "100x10kB"]);
+
+    let completion = |service: &str, workload: &str| {
+        suite.row(service, workload).unwrap().completion_secs.mean
+    };
+    let startup = |service: &str, workload: &str| {
+        suite.row(service, workload).unwrap().startup_secs.mean
+    };
+    let overhead = |service: &str, workload: &str| {
+        suite.row(service, workload).unwrap().overhead.mean
+    };
+
+    // §5.2 single files: RTT dominates. Google Drive and Wuala (nearby
+    // servers) beat Dropbox and SkyDrive (US data centres).
+    for workload in ["1x100kB", "1x1MB"] {
+        assert!(completion("Google Drive", workload) < completion("SkyDrive", workload));
+        assert!(completion("Wuala", workload) < completion("SkyDrive", workload));
+        assert!(completion("Google Drive", workload) < completion("Dropbox", workload));
+    }
+    // SkyDrive needs seconds for a 1 MB file; Google Drive well under a second
+    // of storage-flow activity (paper: ~4 s vs ~0.3 s).
+    assert!(completion("SkyDrive", "1x1MB") > 1.5);
+    assert!(completion("Google Drive", "1x1MB") < 1.5);
+
+    // §5.2 many small files: bundling wins; the per-file TCP/SSL services lose
+    // their placement advantage.
+    let d = completion("Dropbox", "100x10kB");
+    let g = completion("Google Drive", "100x10kB");
+    let c = completion("Cloud Drive", "100x10kB");
+    assert!(d * 2.0 < g, "Dropbox {d} vs Google Drive {g}");
+    assert!(g < c, "Google Drive {g} vs Cloud Drive {c}");
+    assert!(c > 20.0, "Cloud Drive should need tens of seconds, got {c}");
+
+    // §5.1 start-up: SkyDrive is by far the slowest and degrades with batch
+    // size; Dropbox stays in the low seconds.
+    assert!(startup("SkyDrive", "1x100kB") >= 8.0);
+    assert!(startup("SkyDrive", "100x10kB") > 15.0);
+    assert!(startup("SkyDrive", "100x10kB") > startup("SkyDrive", "1x100kB"));
+    assert!(startup("Dropbox", "1x100kB") < 2.5);
+    for service in ["Dropbox", "Wuala", "Google Drive", "Cloud Drive"] {
+        assert!(
+            startup(service, "100x10kB") < startup("SkyDrive", "100x10kB"),
+            "{service} should start faster than SkyDrive"
+        );
+    }
+
+    // §5.3 overhead: everyone pays for small files; Cloud Drive is the worst
+    // by a wide margin (>2x payload), Google Drive also exceeds 2x on
+    // 100x10kB, and overheads shrink as files grow.
+    assert!(overhead("Cloud Drive", "100x10kB") > 2.0);
+    assert!(overhead("Google Drive", "100x10kB") > 1.5);
+    assert!(overhead("Cloud Drive", "100x10kB") > overhead("Dropbox", "100x10kB"));
+    for service in ["Dropbox", "SkyDrive", "Wuala", "Google Drive", "Cloud Drive"] {
+        assert!(
+            overhead(service, "1x1MB") < overhead(service, "1x100kB") + 0.5,
+            "{service}: overhead should not grow with file size"
+        );
+        assert!(overhead(service, "1x1MB") > 1.0);
+    }
+
+    // Dropbox's 100x10kB goodput lands in the hundreds of kb/s (paper: 0.8 Mb/s).
+    let dropbox_goodput = suite.row("Dropbox", "100x10kB").unwrap().goodput_bps;
+    assert!(
+        (100_000.0..5_000_000.0).contains(&dropbox_goodput),
+        "Dropbox goodput {dropbox_goodput}"
+    );
+}
+
+#[test]
+fn repetitions_produce_stable_statistics() {
+    use cloudbench::benchmarks::run_performance_cell;
+    use cloudbench::{BatchSpec, FileKind, ServiceProfile};
+
+    let testbed = Testbed::new(0x57A7);
+    let spec = BatchSpec::new(10, 100_000, FileKind::RandomBinary);
+    let row = run_performance_cell(&testbed, &ServiceProfile::wuala(), &spec, 6);
+    assert_eq!(row.completion_secs.count, 6);
+    // Jitter exists but stays moderate: the standard deviation is a small
+    // fraction of the mean.
+    assert!(row.completion_secs.std_dev < row.completion_secs.mean * 0.5);
+    assert!(row.completion_secs.min <= row.completion_secs.mean);
+    assert!(row.completion_secs.max >= row.completion_secs.mean);
+}

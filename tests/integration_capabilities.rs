@@ -1,0 +1,87 @@
+//! Cross-crate integration test: the full §4 capability battery must detect,
+//! from traffic alone, exactly the matrix the paper reports in Table 1.
+
+use cloudbench::capability::{CapabilityMatrix, ChunkingVerdict};
+use cloudbench::report::Report;
+use cloudbench::testbed::Testbed;
+
+#[test]
+fn detected_matrix_matches_table_1() {
+    let testbed = Testbed::new(0x7AB1E);
+    let matrix = CapabilityMatrix::detect_all(&testbed);
+    assert_eq!(matrix.rows.len(), 5);
+
+    let dropbox = matrix.row("Dropbox").expect("Dropbox row");
+    assert!(matches!(dropbox.chunking, ChunkingVerdict::Fixed { size } if (3_500_000..4_700_000).contains(&size)));
+    assert!(dropbox.bundling);
+    assert_eq!(dropbox.compression, "always");
+    assert!(dropbox.deduplication);
+    assert!(dropbox.delta_encoding);
+
+    let skydrive = matrix.row("SkyDrive").expect("SkyDrive row");
+    assert_eq!(skydrive.chunking, ChunkingVerdict::Variable);
+    assert!(!skydrive.bundling);
+    assert_eq!(skydrive.compression, "no");
+    assert!(!skydrive.deduplication);
+    assert!(!skydrive.delta_encoding);
+
+    let wuala = matrix.row("Wuala").expect("Wuala row");
+    assert_eq!(wuala.chunking, ChunkingVerdict::Variable);
+    assert!(!wuala.bundling);
+    assert_eq!(wuala.compression, "no");
+    assert!(wuala.deduplication);
+    assert!(!wuala.delta_encoding);
+
+    let gdrive = matrix.row("Google Drive").expect("Google Drive row");
+    assert!(matches!(gdrive.chunking, ChunkingVerdict::Fixed { size } if (7_000_000..9_400_000).contains(&size)));
+    assert!(!gdrive.bundling);
+    assert_eq!(gdrive.compression, "smart");
+    assert!(!gdrive.deduplication);
+    assert!(!gdrive.delta_encoding);
+
+    let clouddrive = matrix.row("Cloud Drive").expect("Cloud Drive row");
+    assert_eq!(clouddrive.chunking, ChunkingVerdict::None);
+    assert!(!clouddrive.bundling);
+    assert_eq!(clouddrive.compression, "no");
+    assert!(!clouddrive.deduplication);
+    assert!(!clouddrive.delta_encoding);
+
+    // The rendered table carries the paper's wording for every cell.
+    let rendered = Report::table1(&matrix);
+    for token in ["4 MB", "8 MB", "var.", "always", "smart"] {
+        assert!(rendered.body.contains(token), "missing {token} in\n{}", rendered.body);
+    }
+}
+
+#[test]
+fn fig4_and_fig5_series_have_the_papers_shape() {
+    use cloudbench::capability::{compression_series, delta_encoding_series};
+    use cloudbench::{FileKind, ServiceProfile};
+
+    let testbed = Testbed::new(0xF1657);
+    let sizes = [500_000u64, 1_000_000, 2_000_000];
+
+    // Fig. 4 left (append): Dropbox's upload stays near the 100 kB change,
+    // non-delta services re-upload the whole file.
+    let dropbox = delta_encoding_series(&testbed, &ServiceProfile::dropbox(), &sizes, false);
+    let clouddrive = delta_encoding_series(&testbed, &ServiceProfile::cloud_drive(), &sizes, false);
+    for (d, c) in dropbox.iter().zip(&clouddrive) {
+        assert!(d.uploaded < 500_000, "Dropbox uploaded {} for {} B file", d.uploaded, d.file_size);
+        assert!(c.uploaded > c.file_size, "Cloud Drive must re-upload everything");
+        assert!(c.uploaded > 2 * d.uploaded);
+    }
+
+    // Fig. 5: text compresses for Dropbox (always) and Google Drive (smart),
+    // not for the others; fake JPEGs are only skipped by Google Drive.
+    let text_sizes = [1_000_000u64, 2_000_000];
+    let dropbox_text = compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::Text, &text_sizes);
+    let skydrive_text = compression_series(&testbed, &ServiceProfile::skydrive(), FileKind::Text, &text_sizes);
+    for (d, s) in dropbox_text.iter().zip(&skydrive_text) {
+        assert!(d.uploaded < s.uploaded, "Dropbox should compress text");
+        assert!(s.uploaded >= s.file_size, "SkyDrive uploads text uncompressed");
+    }
+    let gdrive_fake = compression_series(&testbed, &ServiceProfile::google_drive(), FileKind::FakeJpeg, &[1_000_000]);
+    let dropbox_fake = compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::FakeJpeg, &[1_000_000]);
+    assert!(gdrive_fake[0].uploaded >= 1_000_000, "Google Drive must not compress (fake) JPEGs");
+    assert!(dropbox_fake[0].uploaded < 700_000, "Dropbox compresses fake JPEGs anyway");
+}

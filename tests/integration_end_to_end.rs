@@ -1,0 +1,77 @@
+//! End-to-end integration test: one full benchmarking campaign — login, idle
+//! observation, capability probes and performance workloads — for a single
+//! service, exercising every crate of the workspace in one scenario.
+
+use cloudbench::idle::idle_traffic_for;
+use cloudbench::testbed::Testbed;
+use cloudbench::{BatchSpec, FileKind, ServiceProfile};
+use cloudsim_net::SimDuration;
+use cloudsim_trace::{analysis, FlowKind};
+use cloudsim_workload::{generate, GeneratedFile, Mutation};
+
+#[test]
+fn full_campaign_for_dropbox() {
+    let testbed = Testbed::new(0xE2E);
+    let profile = ServiceProfile::dropbox();
+
+    // 1. Idle observation (Fig. 1 leg).
+    let idle = idle_traffic_for(&testbed, &profile, SimDuration::from_secs(10 * 60), SimDuration::from_secs(60));
+    assert!(idle.total_bytes > 10_000);
+    assert!(idle.megabytes_per_day < 5.0);
+
+    // 2. Performance workloads (Fig. 6 leg).
+    for spec in BatchSpec::figure6_workloads() {
+        let run = testbed.run_sync(&profile, &spec, 0);
+        assert!(run.startup_delay().is_some(), "{}", spec.label());
+        assert!(run.completion_time().is_some(), "{}", spec.label());
+        assert!(run.overhead() > 1.0 && run.overhead() < 10.0, "{}: {}", spec.label(), run.overhead());
+        // The trace is well-formed: storage payload at least matches what the
+        // planner decided to upload, and flows are classified.
+        let table = cloudsim_trace::FlowTable::from_packets(&run.packets);
+        assert!(table.of_kind(FlowKind::Storage).count() >= 1);
+        assert!(table.of_kind(FlowKind::Control).count() >= 1);
+    }
+
+    // 3. A capability-style scripted scenario chaining modification kinds:
+    //    create, append, copy, delete, restore.
+    let original = generate(FileKind::RandomBinary, 2_000_000, 0xE2E1);
+    let appended = Mutation::Append { len: 150_000 }.apply(&original, 0xE2E2);
+    let ((first_bytes, second_bytes, copy_bytes), packets) =
+        testbed.run_scripted(&profile, 0, |sim, client, t0| {
+            let first = vec![GeneratedFile { path: "docs/report.bin".into(), content: original.clone() }];
+            let out1 = client.sync_batch(sim, &first, t0 + SimDuration::from_secs(5));
+            let b1 = analysis::uploaded_payload(&sim.packets());
+
+            let second = vec![GeneratedFile { path: "docs/report.bin".into(), content: appended.clone() }];
+            let out2 = client.sync_batch(sim, &second, out1.completed_at + SimDuration::from_secs(20));
+            let b2 = analysis::uploaded_payload(&sim.packets()) - b1;
+
+            let copy = vec![GeneratedFile { path: "backup/report-copy.bin".into(), content: appended.clone() }];
+            client.sync_batch(sim, &copy, out2.completed_at + SimDuration::from_secs(20));
+            let b3 = analysis::uploaded_payload(&sim.packets()) - b1 - b2;
+            (b1, b2, b3)
+        });
+
+    // First sync: roughly the (compressed ≈ incompressible) 2 MB.
+    assert!(first_bytes >= 1_900_000, "first sync uploaded {first_bytes}");
+    // Second sync: delta encoding keeps it near the 150 kB change.
+    assert!(second_bytes < 700_000, "append re-sync uploaded {second_bytes}");
+    // Third sync: client-side dedup recognises the copy, nothing travels.
+    assert!(copy_bytes < 50_000, "copy uploaded {copy_bytes}");
+    // Sanity: the composite trace is time-ordered.
+    assert!(packets.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+}
+
+#[test]
+fn deterministic_replay_across_runs() {
+    // The whole campaign is reproducible: same seed, same trace volume.
+    let spec = BatchSpec::new(20, 25_000, FileKind::RandomBinary);
+    let a = Testbed::new(123).run_sync(&ServiceProfile::google_drive(), &spec, 3);
+    let b = Testbed::new(123).run_sync(&ServiceProfile::google_drive(), &spec, 3);
+    assert_eq!(a.packets.len(), b.packets.len());
+    assert_eq!(a.completion_time(), b.completion_time());
+    assert_eq!(a.overhead(), b.overhead());
+
+    let c = Testbed::new(124).run_sync(&ServiceProfile::google_drive(), &spec, 3);
+    assert_ne!(a.completion_time(), c.completion_time());
+}
