@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
     let many_small = BatchSpec::new(100, 10_000, FileKind::RandomBinary);
     let text_batch = BatchSpec::new(10, 200_000, FileKind::Text);
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     // Bundling ablation on a Dropbox-like profile.
     let bundled = ServiceProfile::dropbox();
@@ -36,7 +39,8 @@ fn bench(c: &mut Criterion) {
 
     // Connection reuse ablation on a Google-Drive-like profile.
     let per_file = ServiceProfile::google_drive();
-    let reused = ServiceProfile::google_drive().with_transfer_mode(TransferMode::SequentialWithAcks);
+    let reused =
+        ServiceProfile::google_drive().with_transfer_mode(TransferMode::SequentialWithAcks);
     group.bench_function("gdrive_conn_per_file_100x10kB", |b| {
         b.iter(|| run_performance_cell(&testbed, &per_file, &many_small, 1))
     });
@@ -51,10 +55,9 @@ fn bench(c: &mut Criterion) {
         ("never", CompressionPolicy::Never),
     ] {
         let profile = ServiceProfile::dropbox().with_compression(policy);
-        group.bench_function(
-            criterion::BenchmarkId::new("compression_policy_text", label),
-            |b| b.iter(|| run_performance_cell(&testbed, &profile, &text_batch, 1)),
-        );
+        group.bench_function(criterion::BenchmarkId::new("compression_policy_text", label), |b| {
+            b.iter(|| run_performance_cell(&testbed, &profile, &text_batch, 1))
+        });
     }
 
     // Client-side encryption ablation on a Wuala-like profile.

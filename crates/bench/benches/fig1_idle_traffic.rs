@@ -11,11 +11,12 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let mut group = c.benchmark_group("fig1_idle_traffic");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
-    group.bench_function("all_services_16min", |b| {
-        b.iter(|| idle_traffic_series(&testbed))
-    });
+    group.bench_function("all_services_16min", |b| b.iter(|| idle_traffic_series(&testbed)));
     group.bench_function("cloud_drive_16min", |b| {
         b.iter(|| {
             idle_traffic_for(

@@ -10,18 +10,17 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let fleet = ResolverFleet::paper_scale();
     let mut group = c.benchmark_group("fig2_geolocation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for provider in [Provider::GoogleDrive, Provider::Dropbox, Provider::Wuala] {
-        group.bench_with_input(
-            BenchmarkId::new("discover", provider.name()),
-            &provider,
-            |b, p| b.iter(|| discover_architecture(*p, &fleet, REPRO_SEED)),
-        );
+        group.bench_with_input(BenchmarkId::new("discover", provider.name()), &provider, |b, p| {
+            b.iter(|| discover_architecture(*p, &fleet, REPRO_SEED))
+        });
     }
-    group.bench_function("resolver_fleet_generation", |b| {
-        b.iter(ResolverFleet::paper_scale)
-    });
+    group.bench_function("resolver_fleet_generation", |b| b.iter(ResolverFleet::paper_scale));
     group.finish();
 }
 

@@ -11,13 +11,14 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let mut group = c.benchmark_group("fig3_bundling_syns");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
-    for profile in [
-        ServiceProfile::google_drive(),
-        ServiceProfile::cloud_drive(),
-        ServiceProfile::dropbox(),
-    ] {
+    for profile in
+        [ServiceProfile::google_drive(), ServiceProfile::cloud_drive(), ServiceProfile::dropbox()]
+    {
         group.bench_with_input(
             BenchmarkId::new("syn_series_100x10kB", profile.name()),
             &profile,

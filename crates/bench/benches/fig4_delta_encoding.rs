@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let sizes = [500_000u64, 1_000_000, 2_000_000];
     let mut group = c.benchmark_group("fig4_delta_encoding");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for profile in [ServiceProfile::dropbox(), ServiceProfile::skydrive()] {
         group.bench_with_input(

@@ -11,19 +11,18 @@ fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let sizes = [500_000u64, 1_000_000, 2_000_000];
     let mut group = c.benchmark_group("fig5_compression");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for kind in [FileKind::Text, FileKind::RandomBinary, FileKind::FakeJpeg] {
-        group.bench_with_input(
-            BenchmarkId::new("dropbox", kind.label()),
-            &kind,
-            |b, k| b.iter(|| compression_series(&testbed, &ServiceProfile::dropbox(), *k, &sizes)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("google_drive", kind.label()),
-            &kind,
-            |b, k| b.iter(|| compression_series(&testbed, &ServiceProfile::google_drive(), *k, &sizes)),
-        );
+        group.bench_with_input(BenchmarkId::new("dropbox", kind.label()), &kind, |b, k| {
+            b.iter(|| compression_series(&testbed, &ServiceProfile::dropbox(), *k, &sizes))
+        });
+        group.bench_with_input(BenchmarkId::new("google_drive", kind.label()), &kind, |b, k| {
+            b.iter(|| compression_series(&testbed, &ServiceProfile::google_drive(), *k, &sizes))
+        });
     }
     group.finish();
 }

@@ -11,14 +11,17 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let mut group = c.benchmark_group("fig6_performance");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
-    group.bench_function("full_suite_1rep", |b| {
-        b.iter(|| run_performance_suite(&testbed, 1))
-    });
+    group.bench_function("full_suite_1rep", |b| b.iter(|| run_performance_suite(&testbed, 1)));
 
     let hard_case = BatchSpec::new(100, 10_000, FileKind::RandomBinary);
-    for profile in [ServiceProfile::dropbox(), ServiceProfile::google_drive(), ServiceProfile::cloud_drive()] {
+    for profile in
+        [ServiceProfile::dropbox(), ServiceProfile::google_drive(), ServiceProfile::cloud_drive()]
+    {
         group.bench_with_input(
             BenchmarkId::new("100x10kB_cell", profile.name()),
             &profile,

@@ -1,0 +1,131 @@
+//! Upload-pipeline throughput: sequential vs. parallel MB/s over the
+//! paper's three compression-test file sets (dictionary text, random bytes,
+//! fake JPEGs — §4.5, Fig. 5).
+//!
+//! The pipeline runs the full client chain — chunk → hash → delta estimate →
+//! LZSS — over borrowed slices with per-worker scratch. The parallel mode
+//! fans the per-chunk work out with `std::thread::scope`; on a multi-core
+//! host it should exceed 2× the sequential rate while producing bit-identical
+//! artifacts (asserted here on every measured configuration).
+//!
+//! Run with: `cargo bench -p cloudbench-bench --bench pipeline_throughput`
+
+use cloudsim_services::ServiceProfile;
+use cloudsim_storage::{FileJob, PipelineSpec, UploadPipeline};
+use cloudsim_workload::{BatchSpec, FileKind, GeneratedFile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+/// One benchmark workload: a named file set plus the capability spec the
+/// pipeline applies to it.
+struct Workload {
+    label: &'static str,
+    files: Vec<GeneratedFile>,
+    spec: PipelineSpec,
+}
+
+fn spec_for(profile: &ServiceProfile) -> PipelineSpec {
+    PipelineSpec {
+        chunking: profile.chunking,
+        compression: profile.compression,
+        delta_encoding: profile.delta_encoding,
+    }
+}
+
+fn workloads() -> Vec<Workload> {
+    // 16 × 1 MB per set: enough chunks to occupy every worker, small enough
+    // to keep the bench quick. Dropbox's profile exercises the full chain
+    // (4 MB chunking, always-compress, delta).
+    let dropbox = ServiceProfile::dropbox();
+    let per_file = 1_000_000usize;
+    let count = 16usize;
+    [
+        ("text", FileKind::Text),
+        ("random", FileKind::RandomBinary),
+        ("fake_jpeg", FileKind::FakeJpeg),
+    ]
+    .into_iter()
+    .map(|(label, kind)| Workload {
+        label,
+        files: BatchSpec::new(count, per_file, kind).generate(0x51_EED),
+        spec: spec_for(&dropbox),
+    })
+    .collect()
+}
+
+fn total_bytes(files: &[GeneratedFile]) -> u64 {
+    files.iter().map(|f| f.content.len() as u64).sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let sequential = UploadPipeline::sequential();
+    let parallel = UploadPipeline::parallel();
+
+    for workload in &workloads() {
+        let jobs: Vec<FileJob<'_>> = workload
+            .files
+            .iter()
+            .map(|f| FileJob { content: &f.content, previous: None })
+            .collect();
+
+        // The acceptance invariant: parallel artifacts are bit-identical to
+        // sequential ones for every measured workload.
+        let reference = sequential.process(&workload.spec, &jobs);
+        assert_eq!(
+            reference,
+            parallel.process(&workload.spec, &jobs),
+            "parallel pipeline diverged on {}",
+            workload.label
+        );
+
+        group.throughput(Throughput::Bytes(total_bytes(&workload.files)));
+        group.bench_with_input(BenchmarkId::new("sequential", workload.label), &jobs, |b, jobs| {
+            b.iter(|| sequential.process(&workload.spec, jobs))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", workload.label), &jobs, |b, jobs| {
+            b.iter(|| parallel.process(&workload.spec, jobs))
+        });
+    }
+
+    // The delta path: re-upload of 16 appended-to files, where each chunk is
+    // matched against its previous revision (rolling checksum + strong
+    // hashes — the most CPU-heavy stage the pipeline parallelises).
+    let base = BatchSpec::new(16, 1_000_000, FileKind::RandomBinary).generate(0xD317A);
+    let appended: Vec<Vec<u8>> = base
+        .iter()
+        .map(|f| {
+            let mut v = f.content.clone();
+            v.extend_from_slice(&f.content[..100_000]);
+            v
+        })
+        .collect();
+    let spec = spec_for(&ServiceProfile::dropbox());
+    let jobs: Vec<FileJob<'_>> = base
+        .iter()
+        .zip(&appended)
+        .map(|(old, new)| FileJob { content: new, previous: Some(&old.content) })
+        .collect();
+    assert_eq!(
+        sequential.process(&spec, &jobs),
+        parallel.process(&spec, &jobs),
+        "parallel pipeline diverged on the delta workload"
+    );
+    group.throughput(Throughput::Bytes(appended.iter().map(|v| v.len() as u64).sum()));
+    group.bench_with_input(BenchmarkId::new("sequential", "delta_append"), &jobs, |b, jobs| {
+        b.iter(|| sequential.process(&spec, jobs))
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", "delta_append"), &jobs, |b, jobs| {
+        b.iter(|| parallel.process(&spec, jobs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

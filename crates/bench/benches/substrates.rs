@@ -16,7 +16,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     let text = generate(FileKind::Text, 1_000_000, 1);
     let random = generate(FileKind::RandomBinary, 1_000_000, 2);

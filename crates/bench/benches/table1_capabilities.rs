@@ -10,7 +10,10 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let testbed = Testbed::new(REPRO_SEED);
     let mut group = c.benchmark_group("table1_capabilities");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
 
     for profile in [ServiceProfile::dropbox(), ServiceProfile::cloud_drive()] {
         group.bench_with_input(

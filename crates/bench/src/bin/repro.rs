@@ -13,7 +13,9 @@
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
-use cloudbench::capability::{compression_series, delta_encoding_series, syn_series, CapabilityMatrix};
+use cloudbench::capability::{
+    compression_series, delta_encoding_series, syn_series, CapabilityMatrix,
+};
 use cloudbench::idle::idle_traffic_series;
 use cloudbench::report::{Fig6Metric, Report};
 use cloudbench::testbed::Testbed;
@@ -38,26 +40,28 @@ fn fig1(testbed: &Testbed) {
 
 fn fig2() {
     let fleet = ResolverFleet::paper_scale();
-    let reports: Vec<_> = Provider::ALL
-        .iter()
-        .map(|p| discover_architecture(*p, &fleet, REPRO_SEED))
-        .collect();
+    let reports: Vec<_> =
+        Provider::ALL.iter().map(|p| discover_architecture(*p, &fleet, REPRO_SEED)).collect();
     let refs: Vec<&_> = reports.iter().collect();
     print_report(&Report::figure2(&refs));
 }
 
 fn fig3(testbed: &Testbed) {
-    let series: Vec<(String, Vec<(f64, u64)>)> = [ServiceProfile::google_drive(), ServiceProfile::cloud_drive()]
-        .iter()
-        .map(|p| (p.name().to_string(), syn_series(testbed, p)))
-        .collect();
+    let series: Vec<(String, Vec<(f64, u64)>)> =
+        [ServiceProfile::google_drive(), ServiceProfile::cloud_drive()]
+            .iter()
+            .map(|p| (p.name().to_string(), syn_series(testbed, p)))
+            .collect();
     print_report(&Report::figure3(&series));
 }
 
 fn fig4(testbed: &Testbed) {
     let append_sizes: Vec<u64> = vec![100_000, 500_000, 1_000_000, 1_500_000, 2_000_000];
-    let random_sizes: Vec<u64> = vec![1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000];
-    for (case, sizes, random) in [("append", &append_sizes, false), ("random offset", &random_sizes, true)] {
+    let random_sizes: Vec<u64> =
+        vec![1_000_000, 2_000_000, 4_000_000, 6_000_000, 8_000_000, 10_000_000];
+    for (case, sizes, random) in
+        [("append", &append_sizes, false), ("random offset", &random_sizes, true)]
+    {
         let series: Vec<(String, Vec<_>)> = ServiceProfile::all()
             .iter()
             .map(|p| (p.name().to_string(), delta_encoding_series(testbed, p, sizes, random)))

@@ -62,7 +62,11 @@ fn dotted(addr: u32) -> String {
 }
 
 /// Runs the full §2.1 pipeline for one provider.
-pub fn discover_architecture(provider: Provider, fleet: &ResolverFleet, rtt_seed: u64) -> ArchitectureReport {
+pub fn discover_architecture(
+    provider: Provider,
+    fleet: &ResolverFleet,
+    rtt_seed: u64,
+) -> ArchitectureReport {
     let dns = AuthoritativeDns::for_provider(provider);
     let truth = ProviderTopology::ground_truth(provider);
     let mut registry = IpRegistry::new();

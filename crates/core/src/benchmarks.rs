@@ -42,9 +42,7 @@ pub struct PerformanceSuite {
 impl PerformanceSuite {
     /// Finds the row for a service and workload label.
     pub fn row(&self, service: &str, workload: &str) -> Option<&PerformanceRow> {
-        self.rows
-            .iter()
-            .find(|r| r.service == service && r.workload == workload)
+        self.rows.iter().find(|r| r.service == service && r.workload == workload)
     }
 
     /// The workload labels present, in first-appearance order.
@@ -80,8 +78,13 @@ pub fn run_performance_cell(
         }
         overhead.push(run.overhead());
     }
-    let completion_stats = SampleStats::from_samples(&completion)
-        .unwrap_or(SampleStats { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 });
+    let completion_stats = SampleStats::from_samples(&completion).unwrap_or(SampleStats {
+        count: 0,
+        mean: 0.0,
+        min: 0.0,
+        max: 0.0,
+        std_dev: 0.0,
+    });
     let goodput = if completion_stats.mean > 0.0 {
         spec.total_bytes() as f64 * 8.0 / completion_stats.mean
     } else {
@@ -92,11 +95,21 @@ pub fn run_performance_cell(
         workload: spec.label(),
         file_kind: spec.kind.label().to_string(),
         repetitions,
-        startup_secs: SampleStats::from_samples(&startup)
-            .unwrap_or(SampleStats { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 }),
+        startup_secs: SampleStats::from_samples(&startup).unwrap_or(SampleStats {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            std_dev: 0.0,
+        }),
         completion_secs: completion_stats,
-        overhead: SampleStats::from_samples(&overhead)
-            .unwrap_or(SampleStats { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 }),
+        overhead: SampleStats::from_samples(&overhead).unwrap_or(SampleStats {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            std_dev: 0.0,
+        }),
         goodput_bps: goodput,
     }
 }
@@ -122,31 +135,33 @@ pub fn run_suite_with_workloads(
     repetitions: usize,
 ) -> PerformanceSuite {
     let profiles = ServiceProfile::all();
-    let mut rows: Vec<PerformanceRow> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for profile in &profiles {
-            for spec in workloads {
-                let testbed = *testbed;
-                handles.push(scope.spawn(move |_| {
-                    run_performance_cell(&testbed, profile, spec, repetitions)
-                }));
-            }
-        }
-        for handle in handles {
-            rows.push(handle.join().expect("benchmark worker panicked"));
-        }
-    })
-    .expect("benchmark scope failed");
-    // Keep a stable (service-major, workload-minor) order for reporting.
-    let service_order: Vec<String> = profiles.iter().map(|p| p.name().to_string()).collect();
-    let workload_order: Vec<String> = workloads.iter().map(|w| w.label()).collect();
-    rows.sort_by_key(|r| {
-        (
-            service_order.iter().position(|s| *s == r.service).unwrap_or(usize::MAX),
-            workload_order.iter().position(|w| *w == r.workload).unwrap_or(usize::MAX),
-        )
-    });
+    // Cells already occupy one OS thread each, so by default their sync
+    // clients run the upload pipeline sequentially — nesting per-chunk
+    // fan-outs inside the per-cell fan-out would oversubscribe the host
+    // (plans are byte-identical either way). A Testbed::with_pipeline
+    // choice other than auto-parallel is respected; an explicit
+    // auto-parallel request is indistinguishable from the default and is
+    // likewise downgraded here (pin an explicit thread count to force
+    // nested fan-out).
+    let testbed = &if testbed.pipeline() == cloudsim_storage::UploadPipeline::parallel() {
+        testbed.with_pipeline(cloudsim_storage::UploadPipeline::sequential())
+    } else {
+        *testbed
+    };
+    // One cell per (service, workload), fanned out with the shared
+    // order-preserving helper — the result comes back in stable
+    // (service-major, workload-minor) order for reporting.
+    let cells: Vec<(&ServiceProfile, &BatchSpec)> =
+        profiles.iter().flat_map(|p| workloads.iter().map(move |w| (p, w))).collect();
+    let rows = cloudsim_parallel::run_indexed(
+        cloudsim_parallel::available_workers(),
+        cells.len(),
+        || (),
+        |(), i| {
+            let (profile, spec) = cells[i];
+            run_performance_cell(testbed, profile, spec, repetitions)
+        },
+    );
     PerformanceSuite { rows }
 }
 

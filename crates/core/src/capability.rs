@@ -67,10 +67,8 @@ pub struct CapabilityMatrix {
 impl CapabilityMatrix {
     /// Runs the full §4 battery for every service.
     pub fn detect_all(testbed: &Testbed) -> CapabilityMatrix {
-        let rows = ServiceProfile::all()
-            .into_iter()
-            .map(|p| detect_capabilities(testbed, &p))
-            .collect();
+        let rows =
+            ServiceProfile::all().into_iter().map(|p| detect_capabilities(testbed, &p)).collect();
         CapabilityMatrix { rows }
     }
 
@@ -101,22 +99,15 @@ pub fn detect_chunking(testbed: &Testbed, profile: &ServiceProfile) -> ChunkingV
     let run = testbed.run_sync_files(profile, &files, 0);
     // Only the storage flows carry the file content; control chatter in the
     // same capture must not be mistaken for chunk boundaries.
-    let storage_packets: Vec<_> = run
-        .packets
-        .iter()
-        .filter(|p| p.kind == FlowKind::Storage)
-        .cloned()
-        .collect();
+    let storage_packets: Vec<_> =
+        run.packets.iter().filter(|p| p.kind == FlowKind::Storage).cloned().collect();
     let cfg = ThroughputConfig {
         bin: SimDuration::from_millis(100),
         min_pause: SimDuration::from_millis(40),
     };
     let pauses = analysis::detect_pauses(&storage_packets, cfg);
-    let mut chunk_sizes: Vec<u64> = pauses
-        .iter()
-        .map(|p| p.bytes_before)
-        .filter(|b| *b >= 1024 * 1024)
-        .collect();
+    let mut chunk_sizes: Vec<u64> =
+        pauses.iter().map(|p| p.bytes_before).filter(|b| *b >= 1024 * 1024).collect();
     if chunk_sizes.is_empty() {
         return ChunkingVerdict::None;
     }
@@ -124,10 +115,8 @@ pub fn detect_chunking(testbed: &Testbed, profile: &ServiceProfile) -> ChunkingV
     // pauses sit within ±12 % of the median inter-pause volume.
     chunk_sizes.sort_unstable();
     let median = chunk_sizes[chunk_sizes.len() / 2] as f64;
-    let consistent = chunk_sizes
-        .iter()
-        .filter(|s| (**s as f64 - median).abs() / median <= 0.12)
-        .count();
+    let consistent =
+        chunk_sizes.iter().filter(|s| (**s as f64 - median).abs() / median <= 0.12).count();
     if consistent * 10 >= chunk_sizes.len() * 6 {
         ChunkingVerdict::Fixed { size: median.round() as u64 }
     } else {
@@ -193,22 +182,32 @@ pub fn detect_compression(testbed: &Testbed, profile: &ServiceProfile) -> String
 pub fn detect_deduplication(testbed: &Testbed, profile: &ServiceProfile) -> bool {
     let content = generate(FileKind::RandomBinary, 400_000, 0xDED0);
     let (replica_bytes, _packets) = testbed.run_scripted(profile, 0, |sim, client, t0| {
-        let original = vec![GeneratedFile { path: "folder1/original.bin".to_string(), content: content.clone() }];
+        let original = vec![GeneratedFile {
+            path: "folder1/original.bin".to_string(),
+            content: content.clone(),
+        }];
         let out1 = client.sync_batch(sim, &original, t0 + SimDuration::from_secs(5));
 
         let before = sim.trace().wire_bytes(FlowKind::Storage);
         // Replica with a different name in a second folder.
-        let replica = vec![GeneratedFile { path: "folder2/replica.bin".to_string(), content: content.clone() }];
+        let replica = vec![GeneratedFile {
+            path: "folder2/replica.bin".to_string(),
+            content: content.clone(),
+        }];
         let out2 = client.sync_batch(sim, &replica, out1.completed_at + SimDuration::from_secs(30));
         // Copy into a third folder.
-        let copy = vec![GeneratedFile { path: "folder3/copy.bin".to_string(), content: content.clone() }];
+        let copy =
+            vec![GeneratedFile { path: "folder3/copy.bin".to_string(), content: content.clone() }];
         let out3 = client.sync_batch(sim, &copy, out2.completed_at + SimDuration::from_secs(30));
         // Delete all copies, then place the original back.
         let mut t = out3.completed_at + SimDuration::from_secs(10);
         for path in ["folder1/original.bin", "folder2/replica.bin", "folder3/copy.bin"] {
             t = client.delete_file(sim, path, t + SimDuration::from_secs(2));
         }
-        let restored = vec![GeneratedFile { path: "folder1/original.bin".to_string(), content: content.clone() }];
+        let restored = vec![GeneratedFile {
+            path: "folder1/original.bin".to_string(),
+            content: content.clone(),
+        }];
         client.sync_batch(sim, &restored, t + SimDuration::from_secs(30));
         let after = sim.trace().wire_bytes(FlowKind::Storage);
         after - before
@@ -225,10 +224,16 @@ pub fn detect_delta_encoding(testbed: &Testbed, profile: &ServiceProfile) -> boo
     let original = generate(FileKind::RandomBinary, 1_500_000, 0xDE17A);
     let appended = Mutation::Append { len: 100_000 }.apply(&original, 0xDE17B);
     let (second_sync_bytes, _packets) = testbed.run_scripted(profile, 0, |sim, client, t0| {
-        let first = vec![GeneratedFile { path: "capability/delta.bin".to_string(), content: original.clone() }];
+        let first = vec![GeneratedFile {
+            path: "capability/delta.bin".to_string(),
+            content: original.clone(),
+        }];
         let out1 = client.sync_batch(sim, &first, t0 + SimDuration::from_secs(5));
         let before = sim.trace().wire_bytes(FlowKind::Storage);
-        let second = vec![GeneratedFile { path: "capability/delta.bin".to_string(), content: appended.clone() }];
+        let second = vec![GeneratedFile {
+            path: "capability/delta.bin".to_string(),
+            content: appended.clone(),
+        }];
         client.sync_batch(sim, &second, out1.completed_at + SimDuration::from_secs(30));
         sim.trace().wire_bytes(FlowKind::Storage) - before
     });
@@ -266,10 +271,16 @@ pub fn delta_encoding_series(
             };
             let modified = mutation.apply(&original, 0xF161 ^ size);
             let (uploaded, _): (u64, _) = testbed.run_scripted(profile, size, |sim, client, t0| {
-                let first = vec![GeneratedFile { path: "fig4/file.bin".to_string(), content: original.clone() }];
+                let first = vec![GeneratedFile {
+                    path: "fig4/file.bin".to_string(),
+                    content: original.clone(),
+                }];
                 let out1 = client.sync_batch(sim, &first, t0 + SimDuration::from_secs(5));
                 let before: u64 = analysis::uploaded_payload(&sim.packets());
-                let second = vec![GeneratedFile { path: "fig4/file.bin".to_string(), content: modified.clone() }];
+                let second = vec![GeneratedFile {
+                    path: "fig4/file.bin".to_string(),
+                    content: modified.clone(),
+                }];
                 client.sync_batch(sim, &second, out1.completed_at + SimDuration::from_secs(30));
                 analysis::uploaded_payload(&sim.packets()) - before
             });
@@ -299,10 +310,8 @@ pub fn compression_series(
         .iter()
         .map(|&size| {
             let content = generate(kind, size as usize, 0xF150 ^ size);
-            let files = vec![GeneratedFile {
-                path: format!("fig5/file.{}", kind.extension()),
-                content,
-            }];
+            let files =
+                vec![GeneratedFile { path: format!("fig5/file.{}", kind.extension()), content }];
             let run = testbed.run_sync_files(profile, &files, size);
             CompressionPoint { file_size: size, uploaded: run.uploaded_payload() }
         })
@@ -315,16 +324,8 @@ pub fn syn_series(testbed: &Testbed, profile: &ServiceProfile) -> Vec<(f64, u64)
     let spec = cloudsim_workload::BatchSpec::new(100, 10_000, FileKind::RandomBinary);
     let run = testbed.run_sync(profile, &spec, 0);
     let series = analysis::cumulative_syns(&run.packets);
-    let origin = run
-        .packets
-        .first()
-        .map(|p| p.timestamp)
-        .unwrap_or(SimTime::ZERO);
-    series
-        .points()
-        .iter()
-        .map(|(t, v)| ((*t - origin).as_secs_f64(), *v as u64))
-        .collect()
+    let origin = run.packets.first().map(|p| p.timestamp).unwrap_or(SimTime::ZERO);
+    series.points().iter().map(|(t, v)| ((*t - origin).as_secs_f64(), *v as u64)).collect()
 }
 
 #[cfg(test)]

@@ -49,11 +49,8 @@ pub fn idle_traffic_for(
     let mut t = SimTime::ZERO;
     let end = SimTime::ZERO + horizon;
     while t <= end {
-        let cumulative: u64 = control_packets
-            .iter()
-            .filter(|p| p.timestamp <= t)
-            .map(|p| p.wire_len())
-            .sum();
+        let cumulative: u64 =
+            control_packets.iter().filter(|p| p.timestamp <= t).map(|p| p.wire_len()).sum();
         points.push((t.as_secs_f64() / 60.0, cumulative as f64 / 1000.0));
         if t == end {
             break;
@@ -62,11 +59,8 @@ pub fn idle_traffic_for(
     }
 
     let total_bytes: u64 = control_packets.iter().map(|p| p.wire_len()).sum();
-    let after_login: u64 = control_packets
-        .iter()
-        .filter(|p| p.timestamp > login_done)
-        .map(|p| p.wire_len())
-        .sum();
+    let after_login: u64 =
+        control_packets.iter().filter(|p| p.timestamp > login_done).map(|p| p.wire_len()).sum();
     let steady_window = (horizon - (login_done - SimTime::ZERO)).as_secs_f64().max(1.0);
     let steady_rate_bps = after_login as f64 * 8.0 / steady_window;
     IdleSeries {
@@ -83,7 +77,14 @@ pub fn idle_traffic_for(
 pub fn idle_traffic_series(testbed: &Testbed) -> Vec<IdleSeries> {
     ServiceProfile::all()
         .into_iter()
-        .map(|p| idle_traffic_for(testbed, &p, SimDuration::from_secs(16 * 60), SimDuration::from_secs(60)))
+        .map(|p| {
+            idle_traffic_for(
+                testbed,
+                &p,
+                SimDuration::from_secs(16 * 60),
+                SimDuration::from_secs(60),
+            )
+        })
         .collect()
 }
 

@@ -71,7 +71,10 @@ impl Report {
                 s.service, s.steady_rate_bps, s.megabytes_per_day
             );
         }
-        Report { title: "Figure 1: background traffic while idle (cumulative kB)".to_string(), body }
+        Report {
+            title: "Figure 1: background traffic while idle (cumulative kB)".to_string(),
+            body,
+        }
     }
 
     /// Renders Fig. 2 / §3.2 (architecture discovery summaries).
@@ -93,7 +96,10 @@ impl Report {
                 r.mean_error_km
             );
         }
-        Report { title: "Figure 2 / §3.2: data centres and edge nodes discovered".to_string(), body }
+        Report {
+            title: "Figure 2 / §3.2: data centres and edge nodes discovered".to_string(),
+            body,
+        }
     }
 
     /// Renders Fig. 3 (cumulative TCP SYNs while uploading 100 × 10 kB).
@@ -102,11 +108,8 @@ impl Report {
         for (service, points) in series {
             let total = points.last().map(|(_, v)| *v).unwrap_or(0);
             let duration = points.last().map(|(t, _)| *t).unwrap_or(0.0);
-            let _ = writeln!(
-                body,
-                "{:<14} {:>4} connections over {:>6.1} s",
-                service, total, duration
-            );
+            let _ =
+                writeln!(body, "{:<14} {:>4} connections over {:>6.1} s", service, total, duration);
             // A coarse 10-point resampling of the cumulative curve.
             if !points.is_empty() {
                 let _ = write!(body, "    t(s)/SYNs:");
@@ -129,7 +132,7 @@ impl Report {
     /// Renders Fig. 4 (delta-encoding test series).
     pub fn figure4(series: &[(String, Vec<DeltaPoint>)], case: &str) -> Report {
         let mut body = String::new();
-        let _ = writeln!(body, "{:<14} {}", "Service", "file size MB -> uploaded MB");
+        let _ = writeln!(body, "{:<14} file size MB -> uploaded MB", "Service");
         for (service, points) in series {
             let _ = write!(body, "{service:<14} ");
             for p in points {
@@ -148,7 +151,7 @@ impl Report {
     /// Renders Fig. 5 (compression test series for one content type).
     pub fn figure5(series: &[(String, Vec<CompressionPoint>)], content: &str) -> Report {
         let mut body = String::new();
-        let _ = writeln!(body, "{:<14} {}", "Service", "file size MB -> uploaded MB");
+        let _ = writeln!(body, "{:<14} file size MB -> uploaded MB", "Service");
         for (service, points) in series {
             let _ = write!(body, "{service:<14} ");
             for p in points {
@@ -161,7 +164,10 @@ impl Report {
             }
             let _ = writeln!(body);
         }
-        Report { title: format!("Figure 5 ({content}): bytes uploaded during the compression test"), body }
+        Report {
+            title: format!("Figure 5 ({content}): bytes uploaded during the compression test"),
+            body,
+        }
     }
 
     /// Renders one Fig. 6 panel from the performance suite.
@@ -284,15 +290,24 @@ mod tests {
 
     #[test]
     fn figure3_and_4_and_5_render_series() {
-        let fig3 = Report::figure3(&[("Google Drive".to_string(), vec![(0.0, 1), (10.0, 50), (30.0, 100)])]);
+        let fig3 = Report::figure3(&[(
+            "Google Drive".to_string(),
+            vec![(0.0, 1), (10.0, 50), (30.0, 100)],
+        )]);
         assert!(fig3.body.contains("100 connections"));
         let fig4 = Report::figure4(
-            &[("Dropbox".to_string(), vec![DeltaPoint { file_size: 1_000_000, uploaded: 120_000 }])],
+            &[(
+                "Dropbox".to_string(),
+                vec![DeltaPoint { file_size: 1_000_000, uploaded: 120_000 }],
+            )],
             "append",
         );
         assert!(fig4.body.contains("Dropbox"));
         let fig5 = Report::figure5(
-            &[("Wuala".to_string(), vec![CompressionPoint { file_size: 1_000_000, uploaded: 1_000_000 }])],
+            &[(
+                "Wuala".to_string(),
+                vec![CompressionPoint { file_size: 1_000_000, uploaded: 1_000_000 }],
+            )],
             "text",
         );
         assert!(fig5.body.contains("Wuala"));

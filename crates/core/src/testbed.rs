@@ -52,14 +52,29 @@ impl ExperimentRun {
 #[derive(Debug, Clone, Copy)]
 pub struct Testbed {
     seed: u64,
+    pipeline: cloudsim_storage::UploadPipeline,
 }
 
 impl Testbed {
     /// Creates a testbed with a master seed. Repetition `i` of any experiment
     /// derives an independent seed, so the 24 repetitions of §2.3 see
-    /// different RTT jitter and workload content.
+    /// different RTT jitter and workload content. Sync clients use the
+    /// auto-parallel upload pipeline; see [`Testbed::with_pipeline`].
     pub fn new(seed: u64) -> Testbed {
-        Testbed { seed }
+        Testbed { seed, pipeline: cloudsim_storage::UploadPipeline::parallel() }
+    }
+
+    /// The upload pipeline this testbed's sync clients use.
+    pub fn pipeline(&self) -> cloudsim_storage::UploadPipeline {
+        self.pipeline
+    }
+
+    /// Returns a copy whose sync clients use the given upload pipeline.
+    /// Harnesses that already fan out one OS thread per experiment cell pin
+    /// this to sequential so cells do not nest thread spawns (results are
+    /// byte-identical either way).
+    pub fn with_pipeline(&self, pipeline: cloudsim_storage::UploadPipeline) -> Testbed {
+        Testbed { pipeline, ..*self }
     }
 
     /// The master seed.
@@ -95,7 +110,7 @@ impl Testbed {
     ) -> ExperimentRun {
         let seed = self.derived_seed(0xF11E5, rep);
         let mut sim = Simulator::new(seed);
-        let mut client = SyncClient::new(profile.clone());
+        let mut client = SyncClient::with_pipeline(profile.clone(), self.pipeline);
         let login_done = client.login(&mut sim, SimTime::ZERO);
         // Files are "modified" a few seconds after the application is up,
         // exactly like the testing application would do over FTP.
@@ -103,11 +118,8 @@ impl Testbed {
         let outcome = client.sync_batch(&mut sim, files, modification_time);
         // Only account traffic from the modification onwards (login traffic is
         // studied separately in Fig. 1).
-        let packets: Vec<PacketRecord> = sim
-            .packets()
-            .into_iter()
-            .filter(|p| p.timestamp >= modification_time)
-            .collect();
+        let packets: Vec<PacketRecord> =
+            sim.packets().into_iter().filter(|p| p.timestamp >= modification_time).collect();
         ExperimentRun {
             outcome,
             packets,
@@ -127,7 +139,7 @@ impl Testbed {
     ) -> (R, Vec<PacketRecord>) {
         let seed = self.derived_seed(0x5C417, rep);
         let mut sim = Simulator::new(seed);
-        let mut client = SyncClient::new(profile.clone());
+        let mut client = SyncClient::with_pipeline(profile.clone(), self.pipeline);
         let login_done = client.login(&mut sim, SimTime::ZERO);
         let result = script(&mut sim, &mut client, login_done);
         (result, sim.packets())
@@ -178,9 +190,10 @@ mod tests {
     #[test]
     fn scripted_runs_expose_the_client() {
         let testbed = Testbed::default();
-        let ((), packets) = testbed.run_scripted(&ServiceProfile::google_drive(), 0, |sim, client, t0| {
-            client.idle_until(sim, t0 + SimDuration::from_secs(120));
-        });
+        let ((), packets) =
+            testbed.run_scripted(&ServiceProfile::google_drive(), 0, |sim, client, t0| {
+                client.idle_until(sim, t0 + SimDuration::from_secs(120));
+            });
         assert!(!packets.is_empty());
         assert_eq!(testbed.seed(), Testbed::default().seed());
     }

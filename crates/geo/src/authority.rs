@@ -77,11 +77,7 @@ impl AuthoritativeDns {
     /// The reverse-DNS (PTR) record for an address, if the provider publishes
     /// one. The hybrid geolocator mines these for airport codes.
     pub fn reverse_lookup(&self, addr: u32) -> Option<&str> {
-        self.topology
-            .nodes
-            .iter()
-            .find(|n| n.addr == addr)
-            .map(|n| n.reverse_dns.as_str())
+        self.topology.nodes.iter().find(|n| n.addr == addr).map(|n| n.reverse_dns.as_str())
     }
 }
 
@@ -104,7 +100,9 @@ mod tests {
 
     #[test]
     fn centralised_providers_answer_identically_everywhere() {
-        for provider in [Provider::Dropbox, Provider::SkyDrive, Provider::Wuala, Provider::CloudDrive] {
+        for provider in
+            [Provider::Dropbox, Provider::SkyDrive, Provider::Wuala, Provider::CloudDrive]
+        {
             let dns = AuthoritativeDns::for_provider(provider);
             let from_europe = dns.resolve(&resolver_in("AMS"));
             let from_asia = dns.resolve(&resolver_in("NRT"));
@@ -125,12 +123,7 @@ mod tests {
         let edge_addr = from_europe[0];
         let reverse = dns.reverse_lookup(edge_addr).unwrap();
         let ams = city_by_airport("AMS").unwrap().location;
-        let node = dns
-            .topology()
-            .nodes
-            .iter()
-            .find(|n| n.addr == edge_addr)
-            .unwrap();
+        let node = dns.topology().nodes.iter().find(|n| n.addr == edge_addr).unwrap();
         assert!(node.location.distance_km(&ams) < 1500.0, "edge too far: {reverse}");
     }
 

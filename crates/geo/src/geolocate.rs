@@ -60,7 +60,11 @@ impl HybridGeolocator {
     /// Geolocates a front end. `reverse_dns` is the PTR record (if any) and
     /// `true_location` is the ground truth used both to synthesise the RTT
     /// measurements and to score the estimate.
-    pub fn locate(&self, reverse_dns: Option<&str>, true_location: GeoPoint) -> GeolocationEstimate {
+    pub fn locate(
+        &self,
+        reverse_dns: Option<&str>,
+        true_location: GeoPoint,
+    ) -> GeolocationEstimate {
         if let Some(name) = reverse_dns {
             if let Some(city) = Self::airport_hint(name) {
                 return GeolocationEstimate {
@@ -87,7 +91,7 @@ impl HybridGeolocator {
     /// dash-separated token that matches a catalogue IATA code (ignoring
     /// trailing digits, so `ams15s01` still hints at Amsterdam).
     fn airport_hint(reverse_dns: &str) -> Option<GeoPoint> {
-        for raw in reverse_dns.split(|c: char| c == '.' || c == '-' || c == '_') {
+        for raw in reverse_dns.split(['.', '-', '_']) {
             let token: String = raw.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
             if token.len() == 3 {
                 if let Some(city) = city_by_airport(&token) {
@@ -118,7 +122,8 @@ mod tests {
     fn airport_hint_handles_digit_suffixes_and_separators() {
         let geo = HybridGeolocator::new(1);
         let truth = city_by_airport("AMS").unwrap().location;
-        for name in ["ams15s01-in-f1.1e100.example", "edge-ams-3.provider.example", "x.AMS.example"] {
+        for name in ["ams15s01-in-f1.1e100.example", "edge-ams-3.provider.example", "x.AMS.example"]
+        {
             let est = geo.locate(Some(name), truth);
             assert_eq!(est.method, GeolocationMethod::AirportCode, "{name}");
             assert!(est.error_km < 50.0, "{name}");
@@ -159,7 +164,9 @@ mod tests {
         let topo = ProviderTopology::ground_truth(Provider::GoogleDrive);
         let mut airport_hits = 0usize;
         let mut edges = 0usize;
-        for node in topo.nodes.iter().filter(|n| matches!(n.role, crate::providers::ServerRole::Edge)) {
+        for node in
+            topo.nodes.iter().filter(|n| matches!(n.role, crate::providers::ServerRole::Edge))
+        {
             edges += 1;
             let est = geo.locate(Some(&node.reverse_dns), node.location);
             if est.method == GeolocationMethod::AirportCode {

@@ -50,7 +50,11 @@ impl LandmarkSet {
         let landmarks = WORLD_CITIES
             .iter()
             .map(|c| Landmark {
-                name: format!("planetlab1.{}.{}.example", c.airport.to_lowercase(), c.country.to_lowercase()),
+                name: format!(
+                    "planetlab1.{}.{}.example",
+                    c.airport.to_lowercase(),
+                    c.country.to_lowercase()
+                ),
                 location: c.location,
             })
             .collect();
@@ -78,7 +82,9 @@ impl LandmarkSet {
         self.landmarks
             .iter()
             .enumerate()
-            .map(|(i, lm)| (i, rtt_between(lm.location, target, seed.wrapping_add(i as u64 * 31 + 7))))
+            .map(|(i, lm)| {
+                (i, rtt_between(lm.location, target, seed.wrapping_add(i as u64 * 31 + 7)))
+            })
             .collect()
     }
 

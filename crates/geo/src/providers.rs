@@ -110,8 +110,7 @@ fn node(
     airport: &str,
     owner: &str,
 ) -> ServerNode {
-    let city = city_by_airport(airport)
-        .unwrap_or_else(|| panic!("unknown airport code {airport}"));
+    let city = city_by_airport(airport).unwrap_or_else(|| panic!("unknown airport code {airport}"));
     ServerNode {
         dns_name: dns.to_string(),
         reverse_dns: reverse.to_string(),
@@ -289,13 +288,13 @@ impl ProviderTopology {
                         let airport = city.airport.to_lowercase();
                         nodes.push(ServerNode {
                             dns_name: "googledrive.edge.google.com".to_string(),
-                            reverse_dns: format!("{}{:02}s{:02}-in-f1.1e100.example", airport, i % 30, replica),
-                            addr: u32::from_be_bytes([
-                                173,
-                                194,
-                                (i % 250) as u8,
-                                10 + replica,
-                            ]),
+                            reverse_dns: format!(
+                                "{}{:02}s{:02}-in-f1.1e100.example",
+                                airport,
+                                i % 30,
+                                replica
+                            ),
+                            addr: u32::from_be_bytes([173, 194, (i % 250) as u8, 10 + replica]),
                             role: ServerRole::Edge,
                             location: city.location,
                             city: city.name.to_string(),
@@ -336,8 +335,10 @@ impl ProviderTopology {
             .filter_map(|n| {
                 WORLD_CITIES
                     .iter()
-                    .find(|c| (c.location.lat - n.location.lat).abs() < 1e-9
-                        && (c.location.lon - n.location.lon).abs() < 1e-9)
+                    .find(|c| {
+                        (c.location.lat - n.location.lat).abs() < 1e-9
+                            && (c.location.lon - n.location.lon).abs() < 1e-9
+                    })
                     .map(|c| c.country)
             })
             .collect();

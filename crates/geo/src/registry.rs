@@ -72,10 +72,7 @@ impl IpRegistry {
     /// Looks up the owner of an address (whois query). Returns the most
     /// specific covering block, if any.
     pub fn lookup(&self, addr: u32) -> Option<&IpBlock> {
-        self.blocks
-            .iter()
-            .filter(|b| b.contains(addr))
-            .min_by_key(|b| b.size())
+        self.blocks.iter().filter(|b| b.contains(addr)).min_by_key(|b| b.size())
     }
 
     /// Convenience: owner name for an address, `"unknown"` when unallocated.

@@ -59,12 +59,7 @@ pub struct HttpExchange {
 impl HttpExchange {
     /// Creates an exchange with default header overhead.
     pub fn new(request_body: u64, response_body: u64, server_think: SimDuration) -> Self {
-        HttpExchange {
-            overhead: HttpOverhead::DEFAULT,
-            request_body,
-            response_body,
-            server_think,
-        }
+        HttpExchange { overhead: HttpOverhead::DEFAULT, request_body, response_body, server_think }
     }
 
     /// Overrides the header overhead.
@@ -92,14 +87,7 @@ impl HttpExchange {
         net: &Network,
         start: SimTime,
     ) -> SimTime {
-        conn.request(
-            sim,
-            net,
-            start,
-            self.upload_bytes(),
-            self.download_bytes(),
-            self.server_think,
-        )
+        conn.request(sim, net, start, self.upload_bytes(), self.download_bytes(), self.server_think)
     }
 }
 
@@ -118,7 +106,12 @@ mod tests {
         let lean = ex.with_overhead(HttpOverhead::LEAN);
         assert_eq!(lean.upload_bytes(), 10_400);
         assert_eq!(lean.download_bytes(), 700);
-        assert!(HttpOverhead::HEAVY.request_header_bytes > HttpOverhead::DEFAULT.request_header_bytes);
+        const {
+            assert!(
+                HttpOverhead::HEAVY.request_header_bytes
+                    > HttpOverhead::DEFAULT.request_header_bytes
+            )
+        };
     }
 
     #[test]

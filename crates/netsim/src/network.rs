@@ -39,7 +39,13 @@ impl Network {
     }
 
     /// Registers a server with a given role.
-    pub fn add_host(&mut self, dns_name: &str, octets: [u8; 4], port: u16, role: HostRole) -> HostId {
+    pub fn add_host(
+        &mut self,
+        dns_name: &str,
+        octets: [u8; 4],
+        port: u16,
+        role: HostRole,
+    ) -> HostId {
         let id = HostId(self.hosts.len() as u32 + 1);
         self.hosts.push(HostInfo {
             id,
@@ -91,11 +97,8 @@ impl Network {
     /// Allocates a fresh ephemeral client port for a new connection.
     pub fn allocate_client_port(&mut self) -> u16 {
         let port = self.next_client_port;
-        self.next_client_port = if self.next_client_port == u16::MAX {
-            49152
-        } else {
-            self.next_client_port + 1
-        };
+        self.next_client_port =
+            if self.next_client_port == u16::MAX { 49152 } else { self.next_client_port + 1 };
         port
     }
 

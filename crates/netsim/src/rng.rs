@@ -31,7 +31,8 @@ impl SimRng {
     /// `i` of a benchmark). Derivations with different labels are independent.
     pub fn derive(&self, label: u64) -> SimRng {
         // SplitMix64-style mixing keeps derived streams decorrelated.
-        let mut z = self.seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(label.wrapping_add(1)));
+        let mut z =
+            self.seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(label.wrapping_add(1)));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;
@@ -127,7 +128,7 @@ mod tests {
         let mut rng = SimRng::new(5);
         for _ in 0..1000 {
             let v = rng.jitter(100.0, 0.2);
-            assert!(v >= 80.0 && v <= 120.0);
+            assert!((80.0..=120.0).contains(&v));
         }
     }
 

@@ -88,10 +88,7 @@ impl TcpConnection {
         start: SimTime,
     ) -> TcpConnection {
         let path = net.path(host);
-        let server = net
-            .host(host)
-            .unwrap_or_else(|| panic!("unknown host {host}"))
-            .endpoint;
+        let server = net.host(host).unwrap_or_else(|| panic!("unknown host {host}")).endpoint;
         let flow = sim.trace().allocate_flow();
         // Ephemeral port derived from the flow id keeps connections distinct
         // without requiring mutable access to the topology.
@@ -150,7 +147,7 @@ impl TcpConnection {
                 path.up_bandwidth,
                 0,
             );
-            established = established + rtt.saturating_mul(tls.handshake_rtts as u64);
+            established += rtt.saturating_mul(tls.handshake_rtts as u64);
         }
 
         conn.established_at = established;
@@ -304,8 +301,7 @@ impl TcpConnection {
         let seg_payload = MSS as u64;
         let total_segments = bytes.div_ceil(seg_payload);
         let seg_tx = SimDuration::for_transmission(seg_payload, bandwidth);
-        let bdp_segments =
-            ((path.bdp_bytes_up().max(1) + seg_payload - 1) / seg_payload).max(1) as u32;
+        let bdp_segments = path.bdp_bytes_up().max(1).div_ceil(seg_payload).max(1) as u32;
 
         let mut remaining = total_segments;
         let mut sent_bytes = 0u64;
@@ -321,7 +317,13 @@ impl TcpConnection {
                 // The pipe is full: the rest of the transfer streams at line
                 // rate, ack-clocked, with no idle gaps.
                 last_sent = self.emit_data_run(
-                    sim, t, direction, remaining, bytes - sent_bytes, seg_tx, rtt,
+                    sim,
+                    t,
+                    direction,
+                    remaining,
+                    bytes - sent_bytes,
+                    seg_tx,
+                    rtt,
                 );
                 sent_bytes = bytes;
                 remaining = 0;
@@ -334,8 +336,7 @@ impl TcpConnection {
                 // the throughput analyzer.
                 let run_bytes = (window * seg_payload).min(bytes - sent_bytes);
                 let spacing = seg_tx.max(rtt / (window + 1));
-                last_sent =
-                    self.emit_data_run(sim, t, direction, window, run_bytes, spacing, rtt);
+                last_sent = self.emit_data_run(sim, t, direction, window, run_bytes, spacing, rtt);
                 sent_bytes += run_bytes;
                 remaining -= window;
                 cwnd = (cwnd * 2).min(MAX_CWND_SEGMENTS);
@@ -583,7 +584,8 @@ mod tests {
             SimTime::ZERO,
         );
         let w0 = conn.congestion_window();
-        let t1 = conn.request(&mut sim, &net, conn.established_at(), 500_000, 100, SimDuration::ZERO);
+        let t1 =
+            conn.request(&mut sim, &net, conn.established_at(), 500_000, 100, SimDuration::ZERO);
         let w1 = conn.congestion_window();
         assert!(w1 > w0, "window should have grown: {w0} -> {w1}");
 
@@ -612,7 +614,14 @@ mod tests {
                 ConnectionOptions::https(FlowKind::Storage),
                 t,
             );
-            t = conn.request(&mut sim, &net, conn.established_at(), 10_000, 300, SimDuration::from_millis(5));
+            t = conn.request(
+                &mut sim,
+                &net,
+                conn.established_at(),
+                10_000,
+                300,
+                SimDuration::from_millis(5),
+            );
             conn.close(&mut sim, &net, t);
         }
         let packets = sim.packets();
@@ -636,7 +645,8 @@ mod tests {
         );
         conn.request(&mut sim, &net, conn.established_at(), 2_000_000, 100, SimDuration::ZERO);
         let packets = sim.packets();
-        let cfg = ThroughputConfig { min_pause: SimDuration::from_millis(40), ..Default::default() };
+        let cfg =
+            ThroughputConfig { min_pause: SimDuration::from_millis(40), ..Default::default() };
         let pauses = analysis::detect_pauses(&packets, cfg);
         // The only admissible gap is the one between the TLS handshake flights
         // and the first data round; no pause may be preceded by a significant
@@ -664,11 +674,7 @@ mod tests {
         assert!(closed_at > conn.established_at());
         // Closing twice is a no-op.
         assert_eq!(conn.close(&mut sim, &net, closed_at), closed_at);
-        let fins = sim
-            .packets()
-            .iter()
-            .filter(|p| p.flags.fin)
-            .count();
+        let fins = sim.packets().iter().filter(|p| p.flags.fin).count();
         assert_eq!(fins, 2);
     }
 
@@ -701,7 +707,8 @@ mod tests {
         );
         // Ask for the second request "in the past": it must still start only
         // after the first completes.
-        let t1 = conn.request(&mut sim, &net, conn.established_at(), 50_000, 200, SimDuration::ZERO);
+        let t1 =
+            conn.request(&mut sim, &net, conn.established_at(), 50_000, 200, SimDuration::ZERO);
         let t2 = conn.request(&mut sim, &net, SimTime::ZERO, 50_000, 200, SimDuration::ZERO);
         assert!(t2 > t1);
     }
@@ -720,7 +727,7 @@ mod tests {
         let mut t = conn.established_at();
         for _ in 0..5 {
             t = conn.send(&mut sim, &net, t, 30_000);
-            t = t + SimDuration::from_millis(300); // application-layer wait
+            t += SimDuration::from_millis(300); // application-layer wait
         }
         let bursts = analysis::detect_bursts(&sim.packets(), BurstConfig::default());
         assert_eq!(bursts.len(), 5);

@@ -25,10 +25,7 @@ pub fn udp_exchange(
     response_bytes: u32,
 ) -> SimTime {
     let path = net.path(host);
-    let server = net
-        .host(host)
-        .unwrap_or_else(|| panic!("unknown host {host}"))
-        .endpoint;
+    let server = net.host(host).unwrap_or_else(|| panic!("unknown host {host}")).endpoint;
     let flow = sim.trace().allocate_flow();
     let client = Endpoint::new(net.client().endpoint.addr, 53000 + (flow.0 % 1000) as u16);
     let rtt = path.sample_rtt(sim.rng());

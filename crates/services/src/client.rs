@@ -46,11 +46,21 @@ pub struct SyncClient {
 }
 
 impl SyncClient {
-    /// Creates a client for a profile, building its deployment.
+    /// Creates a client for a profile, building its deployment. The upload
+    /// pipeline runs in parallel; see [`SyncClient::with_pipeline`] to pin a
+    /// mode (plans are byte-identical either way).
     pub fn new(profile: ServiceProfile) -> SyncClient {
+        SyncClient::with_pipeline(profile, cloudsim_storage::UploadPipeline::parallel())
+    }
+
+    /// Creates a client whose planner uses the given pipeline.
+    pub fn with_pipeline(
+        profile: ServiceProfile,
+        pipeline: cloudsim_storage::UploadPipeline,
+    ) -> SyncClient {
         let deployment = Deployment::new(&profile);
         SyncClient {
-            planner: UploadPlanner::new(profile.clone()),
+            planner: UploadPlanner::with_pipeline(profile.clone(), pipeline),
             profile,
             deployment,
             control_conn: None,
@@ -93,8 +103,9 @@ impl SyncClient {
             );
             // Roughly one third of the login volume goes up (credentials,
             // state queries), two thirds come down (account state, metadata).
-            let exchange = HttpExchange::new(per_server / 3, per_server * 2 / 3, self.profile.server_think)
-                .with_overhead(self.profile.http_overhead);
+            let exchange =
+                HttpExchange::new(per_server / 3, per_server * 2 / 3, self.profile.server_think)
+                    .with_overhead(self.profile.http_overhead);
             let established = conn.established_at();
             let done = exchange.execute(&mut conn, sim, &self.deployment.network, established);
             // Stagger server contacts slightly, as observed in real login
@@ -164,7 +175,14 @@ impl SyncClient {
             conn.close(sim, &self.deployment.network, done)
         } else {
             let conn = self.notify_conn.as_mut().expect("notification channel missing");
-            conn.request(sim, &self.deployment.network, at, request, response, SimDuration::from_millis(15))
+            conn.request(
+                sim,
+                &self.deployment.network,
+                at,
+                request,
+                response,
+                SimDuration::from_millis(15),
+            )
         }
     }
 
@@ -187,11 +205,13 @@ impl SyncClient {
             + self.profile.startup_delay_per_file.saturating_mul(files.len() as u64);
         let sync_start = modification_time + detection;
 
-        // Plan every file (capabilities applied here).
-        let plans: Vec<FilePlan> = files
-            .iter()
-            .map(|f| self.planner.plan_file(&f.path, &f.content))
-            .collect();
+        // Plan every file (capabilities applied here). The batch goes through
+        // the upload pipeline as one unit, so the pure per-chunk work fans
+        // out across worker threads while the plans stay byte-identical to
+        // sequential per-file planning.
+        let batch: Vec<(&str, &[u8])> =
+            files.iter().map(|f| (f.path.as_str(), f.content.as_slice())).collect();
+        let plans: Vec<FilePlan> = self.planner.plan_batch(&batch);
         let uploaded_payload: u64 = plans.iter().map(|p| p.upload_bytes()).sum();
         let logical_bytes: u64 = plans.iter().map(|p| p.logical_bytes).sum();
         let metadata_total: u64 = plans.iter().map(|p| p.metadata_bytes).sum();
@@ -200,7 +220,7 @@ impl SyncClient {
         let control_done = {
             let network = self.deployment.network.clone();
             let conn = self.ensure_control(sim, sync_start);
-            HttpExchange::new(metadata_total.min(64_000).max(600), 800, SimDuration::from_millis(30))
+            HttpExchange::new(metadata_total.clamp(600, 64_000), 800, SimDuration::from_millis(30))
                 .execute(conn, sim, &network, sync_start)
         };
 
@@ -208,17 +228,24 @@ impl SyncClient {
         let transfer_start = control_done.max(sync_start);
         let completed = match self.profile.transfer_mode {
             TransferMode::Bundled => self.transfer_bundled(sim, &plans, transfer_start),
-            TransferMode::SequentialWithAcks => self.transfer_sequential(sim, &plans, transfer_start),
-            TransferMode::ConnectionPerFile { control_connections_per_file } => {
-                self.transfer_connection_per_file(sim, &plans, transfer_start, control_connections_per_file)
+            TransferMode::SequentialWithAcks => {
+                self.transfer_sequential(sim, &plans, transfer_start)
             }
+            TransferMode::ConnectionPerFile { control_connections_per_file } => self
+                .transfer_connection_per_file(
+                    sim,
+                    &plans,
+                    transfer_start,
+                    control_connections_per_file,
+                ),
         };
 
         // Final commit on the control channel.
         let final_commit = {
             let network = self.deployment.network.clone();
             let conn = self.ensure_control(sim, completed);
-            HttpExchange::new(900, 500, SimDuration::from_millis(30)).execute(conn, sim, &network, completed)
+            HttpExchange::new(900, 500, SimDuration::from_millis(30))
+                .execute(conn, sim, &network, completed)
         };
         self.last_activity = final_commit;
 
@@ -234,7 +261,12 @@ impl SyncClient {
 
     /// Dropbox-style bundling: one reused storage connection, small files
     /// coalesced into multi-megabyte bundles, chunks of large files pipelined.
-    fn transfer_bundled(&mut self, sim: &mut Simulator, plans: &[FilePlan], start: SimTime) -> SimTime {
+    fn transfer_bundled(
+        &mut self,
+        sim: &mut Simulator,
+        plans: &[FilePlan],
+        start: SimTime,
+    ) -> SimTime {
         const BUNDLE_LIMIT: u64 = 4 * 1024 * 1024;
         let network = self.deployment.network.clone();
         let think = self.profile.server_think;
@@ -265,9 +297,12 @@ impl SyncClient {
                         .execute(conn, sim, &network, t.max(last));
                     pending_bundle = 0;
                 }
-                last = HttpExchange::new(bytes, 400, think)
-                    .with_overhead(http)
-                    .execute(conn, sim, &network, t.max(last));
+                last = HttpExchange::new(bytes, 400, think).with_overhead(http).execute(
+                    conn,
+                    sim,
+                    &network,
+                    t.max(last),
+                );
             } else {
                 pending_bundle += bytes;
                 if pending_bundle >= BUNDLE_LIMIT {
@@ -279,9 +314,12 @@ impl SyncClient {
             }
         }
         if pending_bundle > 0 {
-            last = HttpExchange::new(pending_bundle, 400, think)
-                .with_overhead(http)
-                .execute(conn, sim, &network, t.max(last));
+            last = HttpExchange::new(pending_bundle, 400, think).with_overhead(http).execute(
+                conn,
+                sim,
+                &network,
+                t.max(last),
+            );
         }
         // The per-file client processing cannot finish after the network work
         // it feeds; completion is whichever is later.
@@ -290,7 +328,12 @@ impl SyncClient {
 
     /// SkyDrive / Wuala: one reused storage connection, one request per chunk,
     /// waiting for the application-layer acknowledgement before the next file.
-    fn transfer_sequential(&mut self, sim: &mut Simulator, plans: &[FilePlan], start: SimTime) -> SimTime {
+    fn transfer_sequential(
+        &mut self,
+        sim: &mut Simulator,
+        plans: &[FilePlan],
+        start: SimTime,
+    ) -> SimTime {
         let network = self.deployment.network.clone();
         let think = self.profile.server_think;
         let per_file = self.profile.per_file_overhead;
@@ -341,8 +384,12 @@ impl SyncClient {
                     t,
                 );
                 let established = conn.established_at();
-                control_done = HttpExchange::new(700, 500, SimDuration::from_millis(25))
-                    .execute(&mut conn, sim, &network, established);
+                control_done = HttpExchange::new(700, 500, SimDuration::from_millis(25)).execute(
+                    &mut conn,
+                    sim,
+                    &network,
+                    established,
+                );
                 conn.close(sim, &network, control_done);
             }
             let mut file_done = control_done.max(t);
@@ -420,7 +467,10 @@ mod tests {
         BatchSpec::new(count, size, FileKind::RandomBinary).generate(77)
     }
 
-    fn run_sync(profile: ServiceProfile, files: &[GeneratedFile]) -> (SyncOutcome, Vec<cloudsim_trace::PacketRecord>) {
+    fn run_sync(
+        profile: ServiceProfile,
+        files: &[GeneratedFile],
+    ) -> (SyncOutcome, Vec<cloudsim_trace::PacketRecord>) {
         let mut sim = Simulator::new(42);
         let mut client = SyncClient::new(profile);
         let login_done = client.login(&mut sim, SimTime::ZERO);
@@ -469,10 +519,7 @@ mod tests {
         let cloud = volumes["Cloud Drive"];
         for (name, bytes) in &volumes {
             if *name != "Cloud Drive" {
-                assert!(
-                    cloud > 5 * bytes,
-                    "Cloud Drive ({cloud}) should dwarf {name} ({bytes})"
-                );
+                assert!(cloud > 5 * bytes, "Cloud Drive ({cloud}) should dwarf {name} ({bytes})");
             }
         }
         // Wuala polls every 5 minutes: the quietest client.
@@ -487,7 +534,10 @@ mod tests {
         let g_time = (g_out.completed_at - g_out.sync_started_at).as_secs_f64();
         let s_time = (s_out.completed_at - s_out.sync_started_at).as_secs_f64();
         assert!(g_time < 1.5, "Google Drive 1 MB took {g_time}s");
-        assert!(s_time > 2.0 * g_time, "SkyDrive ({s_time}s) should be much slower than Google Drive ({g_time}s)");
+        assert!(
+            s_time > 2.0 * g_time,
+            "SkyDrive ({s_time}s) should be much slower than Google Drive ({g_time}s)"
+        );
     }
 
     #[test]
@@ -535,8 +585,12 @@ mod tests {
         let storage_before = sim.trace().wire_bytes(FlowKind::Storage);
 
         // A copy of the same content under a different name.
-        let copy = vec![GeneratedFile { path: "copy/replica.bin".to_string(), content: original[0].content.clone() }];
-        let out2 = client.sync_batch(&mut sim, &copy, out1.completed_at + SimDuration::from_secs(5));
+        let copy = vec![GeneratedFile {
+            path: "copy/replica.bin".to_string(),
+            content: original[0].content.clone(),
+        }];
+        let out2 =
+            client.sync_batch(&mut sim, &copy, out1.completed_at + SimDuration::from_secs(5));
         let storage_after = sim.trace().wire_bytes(FlowKind::Storage);
         assert_eq!(out2.uploaded_payload, 0, "the copy must be deduplicated");
         assert_eq!(storage_before, storage_after, "no storage traffic for a dedup hit");

@@ -52,7 +52,11 @@ impl Deployment {
                     .unwrap_or(u32::from_be_bytes([198, 51, 100, 1]));
                 let addr = base.wrapping_add(100 + i as u32);
                 (
-                    format!("login{}.{}.example", i, profile.name().to_lowercase().replace(' ', "")),
+                    format!(
+                        "login{}.{}.example",
+                        i,
+                        profile.name().to_lowercase().replace(' ', "")
+                    ),
                     addr.to_be_bytes(),
                 )
             };
@@ -107,10 +111,7 @@ trait CountryHint {
 
 impl CountryHint for cloudsim_geo::ServerNode {
     fn country_hint(&self) -> Option<&'static str> {
-        cloudsim_geo::WORLD_CITIES
-            .iter()
-            .find(|c| c.name == self.city)
-            .map(|c| c.country)
+        cloudsim_geo::WORLD_CITIES.iter().find(|c| c.name == self.city).map(|c| c.country)
     }
 }
 

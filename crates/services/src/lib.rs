@@ -33,3 +33,7 @@ pub use profile::ServiceProfile;
 
 // Re-export the provider enum: it identifies services across the workspace.
 pub use cloudsim_geo::Provider;
+
+// Re-export the pipeline handle so harnesses can pin an execution mode
+// without depending on cloudsim-storage directly.
+pub use cloudsim_storage::{PipelineMode, UploadPipeline};

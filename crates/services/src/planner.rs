@@ -10,7 +10,8 @@
 
 use crate::profile::ServiceProfile;
 use cloudsim_storage::{
-    ConvergentCipher, DedupIndex, DeltaScript, FileManifest, ObjectStore, Signature, StoredChunk,
+    ConvergentCipher, DedupIndex, FileArtifacts, FileJob, FileManifest, ObjectStore, PipelineSpec,
+    StoredChunk, UploadPipeline,
 };
 use std::collections::HashMap;
 
@@ -65,11 +66,20 @@ pub struct UploadPlanner {
     /// Last revision of each path as the server knows it (basis for delta).
     previous: HashMap<String, Vec<u8>>,
     user: String,
+    /// Executes the pure per-chunk work (hash, compress, delta estimate).
+    pipeline: UploadPipeline,
 }
 
 impl UploadPlanner {
-    /// Creates a planner for a fresh user account of the given service.
+    /// Creates a planner for a fresh user account of the given service,
+    /// running the upload pipeline in parallel (byte counts are identical to
+    /// sequential execution; see [`UploadPlanner::with_pipeline`]).
     pub fn new(profile: ServiceProfile) -> UploadPlanner {
+        UploadPlanner::with_pipeline(profile, UploadPipeline::parallel())
+    }
+
+    /// Creates a planner with an explicit pipeline execution mode.
+    pub fn with_pipeline(profile: ServiceProfile, pipeline: UploadPipeline) -> UploadPlanner {
         UploadPlanner {
             profile,
             store: ObjectStore::new(),
@@ -77,12 +87,18 @@ impl UploadPlanner {
             cipher: ConvergentCipher::new(),
             previous: HashMap::new(),
             user: "benchmark-user".to_string(),
+            pipeline,
         }
     }
 
     /// The profile this planner applies.
     pub fn profile(&self) -> &ServiceProfile {
         &self.profile
+    }
+
+    /// The pipeline executing this planner's per-chunk work.
+    pub fn pipeline(&self) -> &UploadPipeline {
+        &self.pipeline
     }
 
     /// The server-side object store backing the account.
@@ -95,18 +111,79 @@ impl UploadPlanner {
         (self.dedup.hits(), self.dedup.misses())
     }
 
-    /// Plans (and commits) the upload of one file revision.
+    /// Plans (and commits) the upload of one file revision. Equivalent to a
+    /// one-file [`UploadPlanner::plan_batch`].
     pub fn plan_file(&mut self, path: &str, content: &[u8]) -> FilePlan {
-        let strategy = self.profile.chunking;
-        let new_chunks = strategy.chunk(content);
-        let previous = self.previous.get(path).cloned();
-        let old_chunks = previous.as_deref().map(|old| strategy.chunk(old)).unwrap_or_default();
+        self.plan_batch(&[(path, content)]).pop().expect("plan_batch returns one plan per file")
+    }
 
-        let mut plans = Vec::with_capacity(new_chunks.len());
+    /// Plans (and commits) a batch of file revisions.
+    ///
+    /// The pure per-chunk work — chunking, SHA-256, candidate delta scripts,
+    /// LZSS coding — runs through the planner's [`UploadPipeline`] (fanned
+    /// out across chunks and files when the pipeline is parallel). The
+    /// stateful decisions — dedup index queries, server-side commits — are
+    /// then applied sequentially in file order, so the resulting
+    /// [`FilePlan`]s are bit-identical regardless of the pipeline's
+    /// execution mode, and identical to calling
+    /// [`UploadPlanner::plan_file`] once per file.
+    pub fn plan_batch(&mut self, files: &[(&str, &[u8])]) -> Vec<FilePlan> {
+        let spec = PipelineSpec {
+            chunking: self.profile.chunking,
+            compression: self.profile.compression,
+            delta_encoding: self.profile.delta_encoding,
+        };
+
+        // The delta basis of each file: the server's previous revision of
+        // its path — or, when the same path appears twice in one batch, the
+        // most recent earlier occurrence (it will have been committed by the
+        // time the later file is processed).
+        let mut latest_in_batch: HashMap<&str, usize> = HashMap::new();
+        let jobs: Vec<FileJob<'_>> = files
+            .iter()
+            .enumerate()
+            .map(|(i, (path, content))| {
+                let previous = match latest_in_batch.get(path) {
+                    Some(&j) => Some(files[j].1),
+                    None => self.previous.get(*path).map(Vec::as_slice),
+                };
+                latest_in_batch.insert(path, i);
+                FileJob { content, previous }
+            })
+            .collect();
+
+        // Known-chunk prefilter: when the service deduplicates client-side,
+        // chunks already in the index at batch start are guaranteed dedup
+        // hits (entries are never removed, §4.3), so the pipeline skips
+        // their upload estimates. The merge step below re-checks against the
+        // live index as state evolves within the batch.
+        let pipeline = self.pipeline;
+        let artifacts = {
+            let dedup = &self.dedup;
+            if self.profile.dedup {
+                pipeline.process_filtered(&spec, &jobs, &|hash| dedup.contains(hash))
+            } else {
+                pipeline.process(&spec, &jobs)
+            }
+        };
+
+        files
+            .iter()
+            .zip(artifacts)
+            .map(|((path, content), file_artifacts)| {
+                self.commit_file(path, content, file_artifacts)
+            })
+            .collect()
+    }
+
+    /// Sequential merge step: consumes one file's pipeline artifacts, makes
+    /// the stateful upload decisions and commits the results server-side.
+    fn commit_file(&mut self, path: &str, content: &[u8], artifacts: FileArtifacts) -> FilePlan {
+        let mut plans = Vec::with_capacity(artifacts.chunks.len());
         let mut metadata_bytes = 300u64; // manifest / commit envelope
 
-        for (idx, chunk) in new_chunks.iter().enumerate() {
-            let chunk_data = &content[chunk.offset as usize..chunk.end() as usize];
+        for art in &artifacts.chunks {
+            let chunk = &art.chunk;
             // Dedup works on the plaintext hash: convergent encryption keeps
             // identical plaintexts identical on the wire (§4.3, Wuala).
             let already_stored = if self.profile.dedup {
@@ -126,21 +203,41 @@ impl UploadPlanner {
                     delta_encoded: false,
                 }
             } else {
-                // Delta encoding: only against the same-index chunk of the
-                // previous revision of the *same path* (how Dropbox's
-                // block-level sync behaves; shifted content beyond a chunk
-                // boundary is re-sent, the Fig. 4 right-hand observation).
-                let old_same_index = old_chunks.get(idx).map(|old| {
-                    let old_data = previous.as_deref().unwrap();
-                    &old_data[old.offset as usize..old.end() as usize]
-                });
-                let (bytes, delta_used, extra_meta) = self.bytes_for_chunk(chunk_data, old_same_index);
-                metadata_bytes += extra_meta;
-                ChunkPlan {
-                    upload_bytes: bytes,
-                    plain_bytes: chunk.len,
-                    deduplicated: false,
-                    delta_encoded: delta_used,
+                // Delta encoding: the pipeline estimated the script against
+                // the same-index chunk of the previous revision of the *same
+                // path* (how Dropbox's block-level sync behaves; shifted
+                // content beyond a chunk boundary is re-sent, the Fig. 4
+                // right-hand observation). The client only uses the delta
+                // when it actually saves traffic; otherwise it falls back to
+                // a full (compressed) upload.
+                match art.delta {
+                    Some(est) if est.wire_bytes < chunk.len => {
+                        // Delta literals of the benchmark's random content do
+                        // not compress, so the raw delta size is what travels
+                        // (matching Fig. 4: uploaded volume ≈ modified data).
+                        metadata_bytes += est.signature_bytes.min(4096);
+                        ChunkPlan {
+                            upload_bytes: est.wire_bytes,
+                            plain_bytes: chunk.len,
+                            deduplicated: false,
+                            delta_encoded: true,
+                        }
+                    }
+                    _ => {
+                        if self.profile.client_side_encryption {
+                            // Convergent encryption is size-preserving;
+                            // exercise the cipher so the cost is real, then
+                            // keep the compressed length.
+                            let data = &content[chunk.offset as usize..chunk.end() as usize];
+                            let _ct = self.cipher.encrypt(&data[..data.len().min(4096)]);
+                        }
+                        ChunkPlan {
+                            upload_bytes: art.full_upload_bytes,
+                            plain_bytes: chunk.len,
+                            deduplicated: false,
+                            delta_encoded: false,
+                        }
+                    }
                 }
             };
 
@@ -162,8 +259,8 @@ impl UploadPlanner {
             plans.push(plan);
         }
 
-        if !new_chunks.is_empty() {
-            let manifest = FileManifest::from_chunks(path, &new_chunks, 0);
+        if !artifacts.chunks.is_empty() {
+            let manifest = FileManifest::from_chunks(path, &artifacts.chunk_list(), 0);
             self.store.commit_manifest(&self.user, manifest);
         }
         self.previous.insert(path.to_string(), content.to_vec());
@@ -187,42 +284,6 @@ impl UploadPlanner {
         }
         self.store.delete_file(&self.user, path);
     }
-
-    /// Payload bytes for a chunk that has to be uploaded, applying delta
-    /// encoding, compression and encryption in client order. Returns
-    /// `(bytes, delta_used, extra_metadata_bytes)`.
-    fn bytes_for_chunk(&self, data: &[u8], previous_revision: Option<&[u8]>) -> (u64, bool, u64) {
-        // Delta encoding first: it operates on plaintext blocks.
-        if self.profile.delta_encoding {
-            if let Some(old) = previous_revision {
-                if old != data {
-                    let signature = Signature::new(old);
-                    let delta = DeltaScript::compute(&signature, data);
-                    let delta_bytes = delta.wire_size();
-                    // The client only uses the delta when it actually saves
-                    // traffic; otherwise it falls back to a full upload.
-                    if delta_bytes < data.len() as u64 {
-                        // Delta literals of the benchmark's random content do
-                        // not compress, so the raw delta size is what travels
-                        // (matching Fig. 4: uploaded volume ≈ modified data).
-                        return (delta_bytes, true, signature.wire_size().min(4096));
-                    }
-                }
-            }
-        }
-
-        // Full chunk upload: compression, then (size-preserving) encryption.
-        let compressed = self.profile.compression.upload_size(data);
-        let final_bytes = if self.profile.client_side_encryption {
-            // Convergent encryption is size-preserving; exercise the cipher so
-            // the cost is real, then keep the compressed length.
-            let _ct = self.cipher.encrypt(&data[..data.len().min(4096)]);
-            compressed
-        } else {
-            compressed
-        };
-        (final_bytes, false, 0)
-    }
 }
 
 #[cfg(test)]
@@ -239,11 +300,7 @@ mod tests {
             let plan = planner.plan_file("a.bin", &content);
             assert_eq!(plan.logical_bytes, 500_000);
             let up = plan.upload_bytes();
-            assert!(
-                (500_000..=502_000).contains(&up),
-                "{}: uploaded {up}",
-                profile.name()
-            );
+            assert!((500_000..=502_000).contains(&up), "{}: uploaded {up}", profile.name());
             assert!(!plan.fully_deduplicated());
         }
     }
@@ -346,10 +403,7 @@ mod tests {
         let modified = Mutation::InsertRandom { len: 100_000 }.apply(&original, 12);
         let plan = planner.plan_file("big.bin", &modified);
         let up = plan.upload_bytes();
-        assert!(
-            up < 8_000_000,
-            "variable chunking + dedup should spare most chunks, got {up}"
-        );
+        assert!(up < 8_000_000, "variable chunking + dedup should spare most chunks, got {up}");
         assert!(up >= 100_000);
         assert!(plan.chunks.iter().any(|c| c.deduplicated));
     }
@@ -363,6 +417,76 @@ mod tests {
         assert_eq!(gdrive.plan_file("x.bin", &content).chunks.len(), 2); // 8+1 MB
         let mut clouddrive = UploadPlanner::new(ServiceProfile::cloud_drive());
         assert_eq!(clouddrive.plan_file("x.bin", &content).chunks.len(), 1); // single object
+    }
+
+    /// The acceptance property of the parallel pipeline: for any profile and
+    /// batch, the parallel planner's plans are byte-identical to the
+    /// sequential planner's, including stateful dedup/delta interactions.
+    #[test]
+    fn parallel_and_sequential_planners_produce_identical_plans() {
+        use cloudsim_storage::UploadPipeline;
+
+        for profile in ServiceProfile::all() {
+            let mut sequential =
+                UploadPlanner::with_pipeline(profile.clone(), UploadPipeline::sequential());
+            let mut parallel =
+                UploadPlanner::with_pipeline(profile.clone(), UploadPipeline::with_threads(4));
+
+            // A batch exercising dedup (duplicate content), delta (same path
+            // re-uploaded within one batch), compression (text) and chunking
+            // (a multi-chunk file).
+            let text = generate(FileKind::Text, 400_000, 1);
+            let big = generate(FileKind::RandomBinary, 9_000_000, 2);
+            let copy = text.clone();
+            let appended = Mutation::Append { len: 60_000 }.apply(&text, 3);
+            let batch: Vec<(&str, &[u8])> = vec![
+                ("a/notes.txt", &text),
+                ("b/big.bin", &big),
+                ("c/copy.txt", &copy),
+                ("a/notes.txt", &appended),
+            ];
+
+            let seq_plans = sequential.plan_batch(&batch);
+            let par_plans = parallel.plan_batch(&batch);
+            assert_eq!(seq_plans, par_plans, "{}", profile.name());
+            assert_eq!(sequential.dedup_stats(), parallel.dedup_stats(), "{}", profile.name());
+
+            // A second batch re-uploading modified content must still agree
+            // (delta now runs against planner state from the first batch).
+            let mutated = Mutation::InsertRandom { len: 30_000 }.apply(&big, 4);
+            let batch2: Vec<(&str, &[u8])> = vec![("b/big.bin", &mutated)];
+            assert_eq!(
+                sequential.plan_batch(&batch2),
+                parallel.plan_batch(&batch2),
+                "{} second batch",
+                profile.name()
+            );
+        }
+    }
+
+    /// `plan_batch` must equal per-file `plan_file` calls — the pipeline is
+    /// an execution strategy, not a semantic change.
+    #[test]
+    fn plan_batch_equals_sequential_plan_file_calls() {
+        for profile in [ServiceProfile::dropbox(), ServiceProfile::wuala()] {
+            let mut batched = UploadPlanner::new(profile.clone());
+            let mut one_by_one = UploadPlanner::new(profile.clone());
+            let files: Vec<Vec<u8>> = (0..6)
+                .map(|i| generate(FileKind::RandomBinary, 150_000 + i * 10_000, 50 + i as u64))
+                .collect();
+            let mut batch: Vec<(&str, &[u8])> = Vec::new();
+            let paths: Vec<String> = (0..6).map(|i| format!("f/{i}.bin")).collect();
+            for (path, content) in paths.iter().zip(&files) {
+                batch.push((path, content));
+            }
+            // Duplicate content at a new path to exercise dedup ordering.
+            batch.push(("f/dup.bin", &files[0]));
+
+            let batch_plans = batched.plan_batch(&batch);
+            let file_plans: Vec<FilePlan> =
+                batch.iter().map(|(p, c)| one_by_one.plan_file(p, c)).collect();
+            assert_eq!(batch_plans, file_plans, "{}", profile.name());
+        }
     }
 
     #[test]

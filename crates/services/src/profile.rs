@@ -375,7 +375,9 @@ mod tests {
         assert!(clouddrive > 4_000.0, "cloud drive {clouddrive} b/s");
         assert!(clouddrive > 10.0 * dropbox);
         // The others sit in the tens of b/s.
-        for (name, v) in [("dropbox", dropbox), ("skydrive", skydrive), ("wuala", wuala), ("gdrive", gdrive)] {
+        for (name, v) in
+            [("dropbox", dropbox), ("skydrive", skydrive), ("wuala", wuala), ("gdrive", gdrive)]
+        {
             assert!((20.0..200.0).contains(&v), "{name} idle rate {v}");
         }
         // Relative ordering from §3.1: Dropbox > Wuala > Google Drive > SkyDrive.
@@ -394,7 +396,12 @@ mod tests {
     #[test]
     fn login_chattiness_matches_fig1() {
         let skydrive = ServiceProfile::skydrive();
-        for other in [ServiceProfile::dropbox(), ServiceProfile::wuala(), ServiceProfile::google_drive(), ServiceProfile::cloud_drive()] {
+        for other in [
+            ServiceProfile::dropbox(),
+            ServiceProfile::wuala(),
+            ServiceProfile::google_drive(),
+            ServiceProfile::cloud_drive(),
+        ] {
             assert!(
                 skydrive.login_bytes as f64 >= 3.5 * other.login_bytes as f64,
                 "SkyDrive login must be ~4x {}",

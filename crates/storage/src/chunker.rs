@@ -62,28 +62,55 @@ impl ChunkingStrategy {
 
     /// Splits `data` into chunks according to the strategy.
     pub fn chunk(&self, data: &[u8]) -> Vec<Chunk> {
+        self.spans(data)
+            .into_iter()
+            .map(|span| Chunk::from_slice(span.offset, &data[span.range()]))
+            .collect()
+    }
+
+    /// Computes chunk boundaries only, without hashing the content — the
+    /// cheap sequential part of chunking. The upload pipeline fans the
+    /// per-span hashing and coding out across worker threads.
+    pub fn spans(&self, data: &[u8]) -> Vec<ChunkSpan> {
         match *self {
             ChunkingStrategy::None => {
                 if data.is_empty() {
                     Vec::new()
                 } else {
-                    vec![Chunk::from_slice(0, data)]
+                    vec![ChunkSpan { offset: 0, len: data.len() as u64 }]
                 }
             }
             ChunkingStrategy::Fixed { size } => {
                 assert!(size > 0, "chunk size must be positive");
-                let mut chunks = Vec::new();
+                let mut spans = Vec::with_capacity(data.len() / size as usize + 1);
                 let mut offset = 0u64;
-                for part in data.chunks(size as usize) {
-                    chunks.push(Chunk::from_slice(offset, part));
-                    offset += part.len() as u64;
+                while (offset as usize) < data.len() {
+                    let len = size.min(data.len() as u64 - offset);
+                    spans.push(ChunkSpan { offset, len });
+                    offset += len;
                 }
-                chunks
+                spans
             }
             ChunkingStrategy::ContentDefined { min, avg, max } => {
-                content_defined_chunks(data, min as usize, avg as usize, max as usize)
+                content_defined_spans(data, min as usize, avg as usize, max as usize)
             }
         }
+    }
+}
+
+/// A chunk boundary: offset and length, before the content is hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkSpan {
+    /// Byte offset of the chunk within the file.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+impl ChunkSpan {
+    /// The byte range of the span.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset as usize..(self.offset + self.len) as usize
     }
 }
 
@@ -112,27 +139,32 @@ impl Chunk {
 
 /// Gear-table rolling hash for content-defined chunking. The table is a fixed
 /// pseudo-random permutation derived from a splitmix64 stream so the chunker
-/// is fully deterministic across runs.
-fn gear_table() -> [u64; 256] {
+/// is fully deterministic across runs. It is built once at compile time —
+/// the original implementation recomputed all 256 entries on every chunking
+/// call, a fixed cost the pipeline pays millions of times.
+static GEAR_TABLE: [u64; 256] = build_gear_table();
+
+const fn build_gear_table() -> [u64; 256] {
     let mut table = [0u64; 256];
     let mut x = 0x9E3779B97F4A7C15u64;
-    for entry in table.iter_mut() {
+    let mut i = 0usize;
+    while i < 256 {
         x = x.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = x;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        *entry = z ^ (z >> 31);
+        table[i] = z ^ (z >> 31);
+        i += 1;
     }
     table
 }
 
-fn content_defined_chunks(data: &[u8], min: usize, avg: usize, max: usize) -> Vec<Chunk> {
+fn content_defined_spans(data: &[u8], min: usize, avg: usize, max: usize) -> Vec<ChunkSpan> {
     assert!(min > 0 && min <= avg && avg <= max, "invalid chunking parameters");
     assert!(avg.is_power_of_two(), "average chunk size must be a power of two");
     if data.is_empty() {
         return Vec::new();
     }
-    let table = gear_table();
     // A boundary is declared when log2(avg) selected bits of the rolling hash
     // are all zero, which happens with probability 1/avg per position and thus
     // yields an expected chunk length of `avg`. Bits 16.. are used because the
@@ -140,22 +172,22 @@ fn content_defined_chunks(data: &[u8], min: usize, avg: usize, max: usize) -> Ve
     let bits = avg.trailing_zeros();
     let mask: u64 = ((1u64 << bits) - 1) << 16;
 
-    let mut chunks = Vec::new();
+    let mut spans = Vec::new();
     let mut start = 0usize;
     let mut hash: u64 = 0;
     let mut i = 0usize;
     while i < data.len() {
-        hash = (hash << 1).wrapping_add(table[data[i] as usize]);
+        hash = (hash << 1).wrapping_add(GEAR_TABLE[data[i] as usize]);
         let length = i - start + 1;
         let at_boundary = length >= min && (hash & mask) == 0;
         if at_boundary || length >= max || i == data.len() - 1 {
-            chunks.push(Chunk::from_slice(start as u64, &data[start..=i]));
+            spans.push(ChunkSpan { offset: start as u64, len: length as u64 });
             start = i + 1;
             hash = 0;
         }
         i += 1;
     }
-    chunks
+    spans
 }
 
 #[cfg(test)]
@@ -195,7 +227,7 @@ mod tests {
         assert_eq!(dropbox[2].len, 2 * 1024 * 1024);
         let gdrive = ChunkingStrategy::GOOGLE_DRIVE.chunk(&data);
         assert_eq!(gdrive.len(), 2); // 8 + 2 MB
-        // Offsets tile the file exactly.
+                                     // Offsets tile the file exactly.
         assert_eq!(dropbox.iter().map(|c| c.len).sum::<u64>(), data.len() as u64);
         assert_eq!(dropbox[1].offset, dropbox[0].end());
     }
@@ -272,6 +304,27 @@ mod tests {
             assert_eq!(chunks.len(), 1, "strategy {strategy:?}");
             assert_eq!(chunks[0].len, 10_000);
         }
+    }
+
+    #[test]
+    fn spans_agree_with_chunks_under_every_strategy() {
+        let data = pseudo_random(6 * 1024 * 1024, 17);
+        for strategy in [
+            ChunkingStrategy::None,
+            ChunkingStrategy::DROPBOX,
+            ChunkingStrategy::GOOGLE_DRIVE,
+            ChunkingStrategy::VARIABLE,
+        ] {
+            let spans = strategy.spans(&data);
+            let chunks = strategy.chunk(&data);
+            assert_eq!(spans.len(), chunks.len(), "{strategy:?}");
+            for (span, chunk) in spans.iter().zip(&chunks) {
+                assert_eq!(span.offset, chunk.offset);
+                assert_eq!(span.len, chunk.len);
+                assert_eq!(chunk.hash, sha256(&data[span.range()]));
+            }
+        }
+        assert!(ChunkingStrategy::VARIABLE.spans(&[]).is_empty());
     }
 
     #[test]

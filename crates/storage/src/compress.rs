@@ -15,6 +15,7 @@
 //! Fig. 5 shows for Dropbox.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// When a service compresses data before upload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,14 +44,21 @@ impl CompressionPolicy {
     /// helps; like real implementations, an incompressible input falls back to
     /// stored mode with a one-byte marker.
     pub fn upload_size(&self, data: &[u8]) -> u64 {
+        with_thread_scratch(|scratch| self.upload_size_with(scratch, data))
+    }
+
+    /// [`CompressionPolicy::upload_size`] against an explicit, caller-owned
+    /// scratch state — the form the upload pipeline's worker threads use so
+    /// the coder tables are reused across chunks without any locking.
+    pub fn upload_size_with(&self, scratch: &mut LzssScratch, data: &[u8]) -> u64 {
         match self {
             CompressionPolicy::Never => data.len() as u64,
-            CompressionPolicy::Always => compressed_upload_size(data),
+            CompressionPolicy::Always => scratch.upload_size(data),
             CompressionPolicy::Smart => {
                 if looks_compressed(data) {
                     data.len() as u64
                 } else {
-                    compressed_upload_size(data)
+                    scratch.upload_size(data)
                 }
             }
         }
@@ -91,105 +99,186 @@ fn stored(data: &[u8]) -> Vec<u8> {
     out
 }
 
-fn compressed_upload_size(data: &[u8]) -> u64 {
-    let compressed = compress(data);
-    (compressed.len() as u64).min(data.len() as u64 + 1)
+/// Sentinel for "no chain entry" in the match-finder tables.
+const NO_POS: u32 = u32::MAX;
+
+/// Number of hash-chain candidates examined per position.
+const MAX_TRIES: u32 = 32;
+
+/// Reusable match-finder state of the LZSS coder.
+///
+/// The original coder allocated a fresh 64 k-entry `head` table plus an
+/// O(input) `prev` chain vector *per call*, which made the allocator the
+/// bottleneck of the upload pipeline. The scratch replaces `prev` with a
+/// ring buffer of `WINDOW` entries indexed by `position & (WINDOW - 1)` —
+/// valid because candidates further than `WINDOW` back are never followed —
+/// and uses `u32` indices throughout, shrinking the working set 4× and
+/// reducing the per-call cost to one `memset` of the `head` table. The
+/// output buffer is reused as well, so a warmed-up scratch performs **zero
+/// heap allocation per call**.
+///
+/// One scratch per worker thread: exclusivity comes from the `&mut self`
+/// receivers (the type itself auto-derives `Send`/`Sync` like any plain
+/// `Vec` holder — there is no internal locking to share it through). The
+/// emitted byte stream is identical to the original coder's.
+#[derive(Debug, Clone)]
+pub struct LzssScratch {
+    /// Hash → most recent position with that 4-byte-prefix hash.
+    head: Vec<u32>,
+    /// Ring buffer: `chain[pos & (WINDOW-1)]` = previous position with the
+    /// same prefix hash as `pos` (only meaningful within the window).
+    chain: Vec<u32>,
+    /// Reused output buffer.
+    buf: Vec<u8>,
+}
+
+impl Default for LzssScratch {
+    fn default() -> Self {
+        LzssScratch::new()
+    }
+}
+
+impl LzssScratch {
+    /// Allocates the scratch tables (the only allocations the coder makes).
+    pub fn new() -> LzssScratch {
+        LzssScratch { head: vec![NO_POS; 1 << 16], chain: vec![NO_POS; WINDOW], buf: Vec::new() }
+    }
+
+    /// Bytes of heap the scratch currently owns — test hook for the
+    /// zero-per-call-growth guarantee.
+    pub fn heap_bytes(&self) -> usize {
+        self.head.capacity() * 4 + self.chain.capacity() * 4 + self.buf.capacity()
+    }
+
+    /// Compresses `data`, returning the wire bytes as a slice into the
+    /// reused internal buffer (valid until the next call). Falls back to
+    /// stored mode when compression would expand the input.
+    pub fn compress_into(&mut self, data: &[u8]) -> &[u8] {
+        assert!((data.len() as u64) < NO_POS as u64, "input too large for the LZSS coder");
+        self.head.fill(NO_POS);
+        let head = &mut self.head;
+        let chain = &mut self.chain;
+        let out = &mut self.buf;
+        out.clear();
+        out.push(TAG_LZSS);
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+        let hash = |window: &[u8]| -> usize {
+            let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+            ((v.wrapping_mul(2654435761)) >> 16) as usize
+        };
+        let insert = |head: &mut [u32], chain: &mut [u32], h: usize, pos: usize| {
+            chain[pos & (WINDOW - 1)] = head[h];
+            head[h] = pos as u32;
+        };
+
+        let mut flags_pos = out.len();
+        out.push(0);
+        let mut flag_bit = 0u8;
+        let mut i = 0usize;
+
+        let push_token = |out: &mut Vec<u8>,
+                          flags_pos: &mut usize,
+                          flag_bit: &mut u8,
+                          is_match: bool,
+                          bytes: &[u8]| {
+            if *flag_bit == 8 {
+                *flags_pos = out.len();
+                out.push(0);
+                *flag_bit = 0;
+            }
+            if is_match {
+                out[*flags_pos] |= 1 << *flag_bit;
+            }
+            *flag_bit += 1;
+            out.extend_from_slice(bytes);
+        };
+
+        while i < data.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if i + MIN_MATCH <= data.len() {
+                let h = hash(&data[i..i + 4]);
+                let mut candidate = head[h];
+                let mut tries = MAX_TRIES;
+                while candidate != NO_POS && tries > 0 {
+                    let c = candidate as usize;
+                    if i - c > WINDOW {
+                        break;
+                    }
+                    let limit = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0usize;
+                    while l < limit && data[c + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - c;
+                        if l >= MAX_MATCH {
+                            break;
+                        }
+                    }
+                    candidate = chain[c & (WINDOW - 1)];
+                    tries -= 1;
+                }
+            }
+
+            if best_len >= MIN_MATCH {
+                // Match token: 2-byte distance, 1-byte length (len - MIN_MATCH).
+                let token = [
+                    (best_dist & 0xFF) as u8,
+                    (best_dist >> 8) as u8,
+                    (best_len - MIN_MATCH) as u8,
+                ];
+                push_token(out, &mut flags_pos, &mut flag_bit, true, &token);
+                // Insert the skipped positions into the hash chains.
+                let end = i + best_len;
+                while i < end && i + 4 <= data.len() {
+                    let h = hash(&data[i..i + 4]);
+                    insert(head, chain, h, i);
+                    i += 1;
+                }
+                i = end.max(i);
+            } else {
+                push_token(out, &mut flags_pos, &mut flag_bit, false, &data[i..i + 1]);
+                if i + 4 <= data.len() {
+                    let h = hash(&data[i..i + 4]);
+                    insert(head, chain, h, i);
+                }
+                i += 1;
+            }
+        }
+
+        if out.len() > data.len() {
+            out.clear();
+            out.push(TAG_STORED);
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Bytes that travel on the wire for `data` (compressed or stored-mode
+    /// fallback), without materialising an owned output.
+    pub fn upload_size(&mut self, data: &[u8]) -> u64 {
+        (self.compress_into(data).len() as u64).min(data.len() as u64 + 1)
+    }
+}
+
+thread_local! {
+    /// Shared scratch for the allocation-free [`compress`] entry point.
+    static THREAD_SCRATCH: RefCell<LzssScratch> = RefCell::new(LzssScratch::new());
+}
+
+fn with_thread_scratch<T>(f: impl FnOnce(&mut LzssScratch) -> T) -> T {
+    THREAD_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
 }
 
 /// Compresses `data` with LZSS. Falls back to stored mode when compression
-/// would expand the input.
+/// would expand the input. Uses a per-thread [`LzssScratch`], so repeated
+/// calls do not re-allocate the match-finder tables; pipeline workers that
+/// own a scratch should call [`LzssScratch::compress_into`] directly.
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut out = vec![TAG_LZSS];
-    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-
-    // Hash chains over 4-byte prefixes for match finding.
-    let mut head: Vec<i64> = vec![-1; 1 << 16];
-    let mut prev: Vec<i64> = vec![-1; data.len()];
-    let hash = |window: &[u8]| -> usize {
-        let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
-        ((v.wrapping_mul(2654435761)) >> 16) as usize
-    };
-
-    let mut flags_pos = out.len();
-    out.push(0);
-    let mut flag_bit = 0u8;
-    let mut i = 0usize;
-
-    let push_token = |out: &mut Vec<u8>, flags_pos: &mut usize, flag_bit: &mut u8, is_match: bool, bytes: &[u8]| {
-        if *flag_bit == 8 {
-            *flags_pos = out.len();
-            out.push(0);
-            *flag_bit = 0;
-        }
-        if is_match {
-            out[*flags_pos] |= 1 << *flag_bit;
-        }
-        *flag_bit += 1;
-        out.extend_from_slice(bytes);
-    };
-
-    while i < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        if i + MIN_MATCH <= data.len() {
-            let h = hash(&data[i..i + 4]);
-            let mut candidate = head[h];
-            let mut tries = 32;
-            while candidate >= 0 && tries > 0 {
-                let c = candidate as usize;
-                if i - c > WINDOW {
-                    break;
-                }
-                let limit = (data.len() - i).min(MAX_MATCH);
-                let mut l = 0usize;
-                while l < limit && data[c + l] == data[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = i - c;
-                    if l >= MAX_MATCH {
-                        break;
-                    }
-                }
-                candidate = prev[c];
-                tries -= 1;
-            }
-        }
-
-        if best_len >= MIN_MATCH {
-            // Match token: 2-byte distance, 1-byte length (len - MIN_MATCH).
-            let token = [
-                (best_dist & 0xFF) as u8,
-                (best_dist >> 8) as u8,
-                (best_len - MIN_MATCH) as u8,
-            ];
-            push_token(&mut out, &mut flags_pos, &mut flag_bit, true, &token);
-            // Insert the skipped positions into the hash chains.
-            let end = i + best_len;
-            while i < end && i + 4 <= data.len() {
-                let h = hash(&data[i..i + 4]);
-                prev[i] = head[h];
-                head[h] = i as i64;
-                i += 1;
-            }
-            i = end.max(i);
-        } else {
-            push_token(&mut out, &mut flags_pos, &mut flag_bit, false, &data[i..i + 1]);
-            if i + 4 <= data.len() {
-                let h = hash(&data[i..i + 4]);
-                prev[i] = head[h];
-                head[h] = i as i64;
-            }
-            i += 1;
-        }
-    }
-
-    if out.len() >= data.len() + 1 {
-        stored(data)
-    } else {
-        out
-    }
+    with_thread_scratch(|scratch| scratch.compress_into(data).to_vec())
 }
 
 /// Decompresses a stream produced by [`compress`] or
@@ -280,20 +369,20 @@ fn decompress_lzss(stream: &[u8]) -> Result<Vec<u8>, DecompressError> {
 /// Google Drive uploading fake JPEGs uncompressed).
 pub fn looks_compressed(data: &[u8]) -> bool {
     const SIGNATURES: &[&[u8]] = &[
-        b"\xFF\xD8\xFF",          // JPEG
-        b"\x89PNG\r\n\x1a\n",     // PNG
-        b"GIF87a",                // GIF
-        b"GIF89a",                // GIF
-        b"PK\x03\x04",            // ZIP / OOXML
-        b"\x1F\x8B",              // gzip
-        b"7z\xBC\xAF\x27\x1C",    // 7-Zip
-        b"Rar!\x1A\x07",          // RAR
-        b"\x42\x5A\x68",          // bzip2
-        b"\x00\x00\x00\x1Cftyp",  // MP4
-        b"OggS",                  // Ogg
-        b"fLaC",                  // FLAC
-        b"\xFF\xFB",              // MP3
-        b"ID3",                   // MP3 with ID3 tag
+        b"\xFF\xD8\xFF",         // JPEG
+        b"\x89PNG\r\n\x1a\n",    // PNG
+        b"GIF87a",               // GIF
+        b"GIF89a",               // GIF
+        b"PK\x03\x04",           // ZIP / OOXML
+        b"\x1F\x8B",             // gzip
+        b"7z\xBC\xAF\x27\x1C",   // 7-Zip
+        b"Rar!\x1A\x07",         // RAR
+        b"\x42\x5A\x68",         // bzip2
+        b"\x00\x00\x00\x1Cftyp", // MP4
+        b"OggS",                 // Ogg
+        b"fLaC",                 // FLAC
+        b"\xFF\xFB",             // MP3
+        b"ID3",                  // MP3 with ID3 tag
     ];
     SIGNATURES.iter().any(|sig| data.starts_with(sig))
 }
@@ -303,6 +392,7 @@ mod tests {
     use super::*;
 
     fn dictionary_text(len: usize) -> Vec<u8> {
+        #[rustfmt::skip]
         const WORDS: &[&str] = &[
             "cloud", "storage", "benchmark", "synchronization", "personal", "measurement",
             "service", "traffic", "capability", "performance", "network", "protocol",
@@ -405,11 +495,9 @@ mod tests {
     #[test]
     fn encode_roundtrips_under_every_policy() {
         let text = dictionary_text(50_000);
-        for policy in [
-            CompressionPolicy::Never,
-            CompressionPolicy::Always,
-            CompressionPolicy::Smart,
-        ] {
+        for policy in
+            [CompressionPolicy::Never, CompressionPolicy::Always, CompressionPolicy::Smart]
+        {
             let encoded = policy.encode(&text);
             assert_eq!(decompress(&encoded).unwrap(), text, "{policy:?}");
         }
@@ -431,6 +519,96 @@ mod tests {
         assert_eq!(CompressionPolicy::Never.describe(), "no");
         assert_eq!(CompressionPolicy::Always.describe(), "always");
         assert_eq!(CompressionPolicy::Smart.describe(), "smart");
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_stable_and_correct() {
+        let mut scratch = LzssScratch::new();
+        let inputs = [
+            dictionary_text(150_000),
+            random_bytes(100_000, 21),
+            dictionary_text(10),
+            Vec::new(),
+            dictionary_text(300_000),
+        ];
+        // Warm up with every input so the output buffer reaches its
+        // high-water mark, then assert the heap footprint never grows again.
+        for data in &inputs {
+            let _ = scratch.compress_into(data);
+        }
+        let footprint = scratch.heap_bytes();
+        for (i, data) in inputs.iter().enumerate() {
+            let wire = scratch.compress_into(data).to_vec();
+            assert_eq!(decompress(&wire).unwrap(), *data, "case {i}");
+            assert_eq!(wire, compress(data), "scratch and one-shot paths must agree, case {i}");
+            assert_eq!(
+                scratch.heap_bytes(),
+                footprint,
+                "per-call heap growth detected on case {i}"
+            );
+        }
+    }
+
+    /// Regression pin for the emitted byte stream itself: the scratch-based
+    /// coder was written to be byte-identical to the original per-call
+    /// allocator version, and every figure of the paper reproduction depends
+    /// on these byte counts staying put. A future match-finder change that
+    /// alters the stream (even roundtrip-correctly) must update these
+    /// digests deliberately.
+    #[test]
+    fn compressed_streams_are_byte_stable() {
+        use crate::hash::sha256;
+        let text = dictionary_text(200_000);
+        let c1 = compress(&text);
+        assert_eq!(c1.len(), 2548);
+        assert_eq!(
+            sha256(&c1).to_hex(),
+            "7f9700701e586d9657b9f0c81acceab1a5f5b6d7a69dc1f3102e37079ea7f022"
+        );
+        let mut mixed = pseudo_random_for_golden(50_000, 42);
+        mixed.extend_from_slice(&dictionary_text(50_000));
+        mixed.extend_from_slice(&mixed.clone()[..30_000]);
+        let c2 = compress(&mixed);
+        assert_eq!(c2.len(), 90739);
+        assert_eq!(
+            sha256(&c2).to_hex(),
+            "7def903e84f30d1b5ee829360797c8dbce762c5760336545fe8a4f9b41f74f8e"
+        );
+    }
+
+    /// Same generator as `random_bytes`, pinned separately so test-helper
+    /// refactors cannot silently change the golden inputs.
+    fn pseudo_random_for_golden(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03) | 1;
+        while out.len() < len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    #[test]
+    fn upload_size_with_matches_upload_size() {
+        let mut scratch = LzssScratch::new();
+        let text = dictionary_text(80_000);
+        let random = random_bytes(80_000, 5);
+        let mut fake_jpeg = b"\xFF\xD8\xFF\xE0".to_vec();
+        fake_jpeg.extend_from_slice(&dictionary_text(20_000));
+        for policy in
+            [CompressionPolicy::Never, CompressionPolicy::Always, CompressionPolicy::Smart]
+        {
+            for data in [&text, &random, &fake_jpeg] {
+                assert_eq!(
+                    policy.upload_size_with(&mut scratch, data),
+                    policy.upload_size(data),
+                    "{policy:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,11 +22,14 @@ use std::collections::HashMap;
 /// a few kB per block inside each 4 MB chunk).
 pub const DEFAULT_BLOCK_SIZE: usize = 8 * 1024;
 
-/// Weak rolling checksum (Adler-32 flavour used by rsync).
+/// Weak rolling checksum (Adler-32 flavour used by rsync). Public so the
+/// property tests can assert the rolled value equals a from-scratch
+/// recomputation at every offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct WeakSum(u32);
+pub struct WeakSum(pub u32);
 
-fn weak_sum(data: &[u8]) -> WeakSum {
+/// Computes the weak checksum of a block from scratch.
+pub fn weak_sum(data: &[u8]) -> WeakSum {
     let mut a: u32 = 0;
     let mut b: u32 = 0;
     for (i, &byte) in data.iter().enumerate() {
@@ -36,8 +39,9 @@ fn weak_sum(data: &[u8]) -> WeakSum {
     WeakSum((a & 0xFFFF) | (b << 16))
 }
 
-/// Rolls the weak checksum forward by one byte.
-fn roll(sum: WeakSum, out_byte: u8, in_byte: u8, block_len: usize) -> WeakSum {
+/// Rolls the weak checksum forward by one byte: the sum of
+/// `data[i+1..i+1+len]` from the sum of `data[i..i+len]` in O(1).
+pub fn roll(sum: WeakSum, out_byte: u8, in_byte: u8, block_len: usize) -> WeakSum {
     let a = sum.0 & 0xFFFF;
     let b = sum.0 >> 16;
     let a = a.wrapping_sub(out_byte as u32).wrapping_add(in_byte as u32) & 0xFFFF;
@@ -137,10 +141,7 @@ impl DeltaScript {
                 };
                 let matched = signature.weak_index.get(&weak.0).and_then(|candidates| {
                     let strong = sha256(window);
-                    candidates
-                        .iter()
-                        .copied()
-                        .find(|&idx| signature.blocks[idx] == strong)
+                    candidates.iter().copied().find(|&idx| signature.blocks[idx] == strong)
                 });
                 if let Some(idx) = matched {
                     if !literal.is_empty() {
@@ -250,7 +251,7 @@ mod tests {
         assert_eq!(delta.apply(&old), new);
         let literal = delta.literal_bytes();
         assert!(
-            literal >= 100_000 && literal < 120_000,
+            (100_000..120_000).contains(&literal),
             "literal bytes {literal} should track the 100 kB append"
         );
     }
@@ -268,7 +269,7 @@ mod tests {
         assert_eq!(delta.apply(&old), new);
         let literal = delta.literal_bytes();
         assert!(
-            literal >= 50_000 && literal < 70_000,
+            (50_000..70_000).contains(&literal),
             "literal bytes {literal} should track the 50 kB prepend"
         );
     }

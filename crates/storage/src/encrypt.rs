@@ -31,12 +31,17 @@ fn chacha20_block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&constants);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
     }
     let mut working = state;
     for _ in 0..10 {
@@ -58,7 +63,12 @@ fn chacha20_block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
 }
 
 /// Raw ChaCha20 stream cipher: XORs `data` with the keystream.
-pub fn chacha20_xor(key: &[u8; 32], nonce: &[u8; 12], initial_counter: u32, data: &[u8]) -> Vec<u8> {
+pub fn chacha20_xor(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    initial_counter: u32,
+    data: &[u8],
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len());
     for (block_idx, chunk) in data.chunks(64).enumerate() {
         let keystream = chacha20_block(key, nonce, initial_counter + block_idx as u32);

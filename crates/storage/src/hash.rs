@@ -14,9 +14,18 @@ use std::fmt;
 pub struct ContentHash(pub [u8; 32]);
 
 impl ContentHash {
-    /// Hexadecimal rendering of the hash.
+    /// Hexadecimal rendering of the hash. Uses a nibble lookup table instead
+    /// of a per-byte `format!` — this sits under every manifest and report
+    /// render, where the formatting machinery dominated the cost.
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut out = Vec::with_capacity(64);
+        for &byte in &self.0 {
+            out.push(HEX[(byte >> 4) as usize]);
+            out.push(HEX[(byte & 0x0F) as usize]);
+        }
+        // Safety of from_utf8: every pushed byte is an ASCII hex digit.
+        String::from_utf8(out).expect("hex digits are valid UTF-8")
     }
 
     /// A short prefix, handy for logs and debug output.
@@ -105,7 +114,8 @@ impl Sha256 {
         // Padding: 0x80, zeros, then the 64-bit big-endian length.
         let mut pad = [0u8; 128];
         pad[0] = 0x80;
-        let pad_len = if self.buffer_len < 56 { 56 - self.buffer_len } else { 120 - self.buffer_len };
+        let pad_len =
+            if self.buffer_len < 56 { 56 - self.buffer_len } else { 120 - self.buffer_len };
         let mut tail = Vec::with_capacity(pad_len + 8);
         tail.extend_from_slice(&pad[..pad_len]);
         tail.extend_from_slice(&bit_len.to_be_bytes());
@@ -126,20 +136,13 @@ impl Sha256 {
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+            let temp1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let temp2 = s0.wrapping_add(maj);

@@ -22,7 +22,11 @@
 //!   which keeps dedup possible because identical plaintexts yield identical
 //!   ciphertexts, §4.3),
 //! * [`store`] — the server-side object store (chunks, file manifests, user
-//!   namespaces) the simulated services commit uploads to.
+//!   namespaces) the simulated services commit uploads to,
+//! * [`pipeline`] — the parallel, zero-copy upload pipeline that runs
+//!   chunking, hashing, delta estimation and compression over borrowed
+//!   slices with preallocated per-worker scratch, fanned out across chunks
+//!   and files with `std::thread::scope`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +37,17 @@ pub mod dedup;
 pub mod delta;
 pub mod encrypt;
 pub mod hash;
+pub mod pipeline;
 pub mod store;
 
-pub use chunker::{Chunk, ChunkingStrategy};
-pub use compress::{compress, decompress, CompressionPolicy};
+pub use chunker::{Chunk, ChunkSpan, ChunkingStrategy};
+pub use compress::{compress, decompress, CompressionPolicy, LzssScratch};
 pub use dedup::DedupIndex;
 pub use delta::{DeltaScript, Signature};
 pub use encrypt::ConvergentCipher;
 pub use hash::{sha256, ContentHash};
+pub use pipeline::{
+    ChunkArtifacts, DeltaEstimate, FileArtifacts, FileJob, PipelineMode, PipelineSpec,
+    UploadPipeline,
+};
 pub use store::{FileManifest, ObjectStore, StoredChunk};

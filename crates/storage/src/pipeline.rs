@@ -1,0 +1,398 @@
+//! The parallel, zero-copy upload pipeline.
+//!
+//! The paper's capability experiments (§4, Figs. 4–6) all flow through the
+//! client-side processing chain — chunk → hash → dedup probe → delta →
+//! compress — and a realistic benchmark harness must not be bottlenecked on
+//! that chain running single-threaded with per-call scratch allocations.
+//! This module makes the chain a first-class, measured subsystem:
+//!
+//! * **Zero-copy**: every stage works on borrowed slices of the original
+//!   file content ([`FileJob`] holds `&[u8]`); nothing is copied until a
+//!   result must be owned.
+//! * **Preallocated scratch**: each worker owns one
+//!   [`LzssScratch`](crate::compress::LzssScratch), so the LZSS coder
+//!   performs no per-chunk heap allocation, and the content-defined chunker
+//!   reads a `static` gear table.
+//! * **Parallel**: work is fanned out across *chunks and files* with
+//!   `std::thread::scope` — first the per-file boundary scans, then the
+//!   flattened `(file, chunk)` hash/delta/compress units, so one huge file
+//!   parallelises as well as many small ones.
+//! * **Deterministic**: workers tag every result with its work-item index
+//!   and the merge step reassembles them in file/chunk order, so the
+//!   produced artifacts — and therefore every downstream byte count — are
+//!   bit-identical between [`UploadPipeline::sequential`] and
+//!   [`UploadPipeline::parallel`]. Property tests assert this.
+//!
+//! The pipeline computes the *pure* per-chunk quantities (hash, compressed
+//! upload size, candidate delta estimate). The stateful decisions — dedup
+//! index queries, server commits — stay sequential in
+//! `cloudsim_services::UploadPlanner`, which consumes these artifacts in
+//! deterministic file order.
+
+use crate::chunker::{Chunk, ChunkSpan, ChunkingStrategy};
+use crate::compress::{CompressionPolicy, LzssScratch};
+use crate::delta::{DeltaScript, Signature};
+use crate::hash::ContentHash;
+use cloudsim_parallel::{auto_workers, run_indexed};
+
+/// Batches smaller than this (total content bytes) run single-threaded in
+/// auto-parallel mode: the scoped-thread fan-out costs more than the work,
+/// and harnesses that are already parallel at a higher level (one thread per
+/// benchmark cell) would otherwise oversubscribe the host with nested
+/// spawns. An explicit nonzero [`UploadPipeline::with_threads`] count is
+/// honoured regardless.
+const PARALLEL_THRESHOLD_BYTES: u64 = 4 * 1024 * 1024;
+
+/// How the pipeline schedules its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// Single-threaded reference execution (also the fallback on one-core
+    /// hosts). Produces bit-identical artifacts to `Parallel`.
+    Sequential,
+    /// Fan out across worker threads. `threads == 0` means "use the host's
+    /// available parallelism".
+    Parallel {
+        /// Worker thread count; `0` auto-detects.
+        threads: usize,
+    },
+}
+
+/// What the pipeline computes per chunk (see [`ChunkArtifacts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaEstimate {
+    /// Wire size of the delta script against the previous revision's
+    /// same-index chunk.
+    pub wire_bytes: u64,
+    /// Wire size of the block signature the client must download/compare
+    /// (control-plane cost of the delta protocol).
+    pub signature_bytes: u64,
+}
+
+/// Per-chunk pipeline output: identity plus the byte counts every upload
+/// decision needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkArtifacts {
+    /// The chunk (offset, length, SHA-256).
+    pub chunk: Chunk,
+    /// Bytes a full upload of this chunk would transfer under the service's
+    /// compression policy. `0` when the estimate is provably never read:
+    /// the chunk was skipped by the known-chunk filter of
+    /// [`UploadPipeline::process_filtered`] (a dedup hit uploads nothing) or
+    /// its [`DeltaEstimate`] already wins over any full upload.
+    pub full_upload_bytes: u64,
+    /// Candidate delta transfer, present only when the service delta-encodes
+    /// and the previous revision has a differing same-index chunk (and the
+    /// chunk was not skipped by the known-chunk filter).
+    pub delta: Option<DeltaEstimate>,
+}
+
+/// Per-file pipeline output, in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileArtifacts {
+    /// Chunk artifacts in chunk order.
+    pub chunks: Vec<ChunkArtifacts>,
+}
+
+impl FileArtifacts {
+    /// The plain [`Chunk`] list (identical to what
+    /// [`ChunkingStrategy::chunk`] returns for the same content).
+    pub fn chunk_list(&self) -> Vec<Chunk> {
+        self.chunks.iter().map(|c| c.chunk.clone()).collect()
+    }
+}
+
+/// One file to process: borrowed content plus the borrowed previous revision
+/// (when the service delta-encodes and the path has history).
+#[derive(Debug, Clone, Copy)]
+pub struct FileJob<'a> {
+    /// The new revision's content.
+    pub content: &'a [u8],
+    /// The previous revision the server holds for this path, if any.
+    pub previous: Option<&'a [u8]>,
+}
+
+/// The capability parameters the pipeline applies (a projection of the
+/// service profile that `cloudsim_storage` can see without depending on the
+/// services crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// Chunking strategy.
+    pub chunking: ChunkingStrategy,
+    /// Compression policy for full chunk uploads.
+    pub compression: CompressionPolicy,
+    /// Whether the service delta-encodes modified files.
+    pub delta_encoding: bool,
+}
+
+/// The reusable upload pipeline. Cheap to clone (configuration only); worker
+/// scratch state lives on the worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadPipeline {
+    mode: PipelineMode,
+}
+
+impl Default for UploadPipeline {
+    fn default() -> Self {
+        UploadPipeline::parallel()
+    }
+}
+
+impl UploadPipeline {
+    /// Single-threaded reference pipeline.
+    pub fn sequential() -> UploadPipeline {
+        UploadPipeline { mode: PipelineMode::Sequential }
+    }
+
+    /// Parallel pipeline using the host's available parallelism.
+    pub fn parallel() -> UploadPipeline {
+        UploadPipeline { mode: PipelineMode::Parallel { threads: 0 } }
+    }
+
+    /// Parallel pipeline with an explicit worker count. `1` behaves like
+    /// [`UploadPipeline::sequential`]; a count of `0` is identical to
+    /// [`UploadPipeline::parallel`] (auto-detect, subject to the small-batch
+    /// threshold); any other count is honoured unconditionally.
+    pub fn with_threads(threads: usize) -> UploadPipeline {
+        UploadPipeline { mode: PipelineMode::Parallel { threads } }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> PipelineMode {
+        self.mode
+    }
+
+    fn worker_count(&self, work_items: usize, total_bytes: u64) -> usize {
+        let configured = match self.mode {
+            PipelineMode::Sequential => 1,
+            // Auto mode applies the shared sizing policy; an explicit thread
+            // count is honoured unconditionally (tests pin it to exercise
+            // the concurrent path on arbitrarily small inputs).
+            PipelineMode::Parallel { threads: 0 } => {
+                auto_workers(work_items, total_bytes, PARALLEL_THRESHOLD_BYTES)
+            }
+            PipelineMode::Parallel { threads } => threads,
+        };
+        configured.clamp(1, work_items.max(1))
+    }
+
+    /// Runs the full chain over a batch of files, returning artifacts in
+    /// file order. All byte counts are independent of the execution mode.
+    pub fn process(&self, spec: &PipelineSpec, jobs: &[FileJob<'_>]) -> Vec<FileArtifacts> {
+        self.process_filtered(spec, jobs, &|_| false)
+    }
+
+    /// [`UploadPipeline::process`] with a *known-chunk filter*: chunks whose
+    /// hash the filter recognises (typically a read-only dedup-index lookup)
+    /// skip the expensive upload estimates — a dedup hit uploads nothing, so
+    /// neither the compressed size nor a delta script would ever be read.
+    /// The filter sees the batch's *initial* state only (it must be pure);
+    /// chunks that become duplicates within the batch still carry estimates,
+    /// which the merge step simply ignores. Artifacts remain bit-identical
+    /// across execution modes for any given filter.
+    pub fn process_filtered(
+        &self,
+        spec: &PipelineSpec,
+        jobs: &[FileJob<'_>],
+        known: &(dyn Fn(&ContentHash) -> bool + Sync),
+    ) -> Vec<FileArtifacts> {
+        let total_bytes: u64 = jobs.iter().map(|j| j.content.len() as u64).sum();
+
+        // Stage 1 — boundary scans, parallel over files: spans of the new
+        // revision, plus spans of the previous revision when delta encoding
+        // will want same-index chunk pairs.
+        let boundaries: Vec<(Vec<ChunkSpan>, Vec<ChunkSpan>)> = run_indexed(
+            self.worker_count(jobs.len(), total_bytes),
+            jobs.len(),
+            || (),
+            |(), file_idx| {
+                let job = &jobs[file_idx];
+                let new_spans = spec.chunking.spans(job.content);
+                let old_spans = match (spec.delta_encoding, job.previous) {
+                    (true, Some(old)) => spec.chunking.spans(old),
+                    _ => Vec::new(),
+                };
+                (new_spans, old_spans)
+            },
+        );
+
+        // Stage 2 — flatten to (file, chunk) work units and fan out the
+        // expensive per-chunk work: SHA-256, then (unless the chunk is
+        // already known to the server) LZSS coding and delta estimation.
+        let units: Vec<(usize, usize)> = boundaries
+            .iter()
+            .enumerate()
+            .flat_map(|(file_idx, (new_spans, _))| {
+                (0..new_spans.len()).map(move |chunk_idx| (file_idx, chunk_idx))
+            })
+            .collect();
+
+        let chunk_artifacts: Vec<ChunkArtifacts> = run_indexed(
+            self.worker_count(units.len(), total_bytes),
+            units.len(),
+            LzssScratch::new,
+            |scratch, unit_idx| {
+                let (file_idx, chunk_idx) = units[unit_idx];
+                let job = &jobs[file_idx];
+                let (new_spans, old_spans) = &boundaries[file_idx];
+                let span = new_spans[chunk_idx];
+                let data = &job.content[span.range()];
+
+                let chunk = Chunk::from_slice(span.offset, data);
+                if known(&chunk.hash) {
+                    return ChunkArtifacts { chunk, full_upload_bytes: 0, delta: None };
+                }
+                let delta = match (job.previous, old_spans.get(chunk_idx)) {
+                    (Some(old), Some(old_span)) => {
+                        let old_data = &old[old_span.range()];
+                        if old_data != data {
+                            let signature = Signature::new(old_data);
+                            let script = DeltaScript::compute(&signature, data);
+                            Some(DeltaEstimate {
+                                wire_bytes: script.wire_size(),
+                                signature_bytes: signature.wire_size(),
+                            })
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                // A winning delta (the merge step's condition) means the full
+                // upload size is never read — skip the LZSS pass entirely,
+                // matching the old sequential planner's early return.
+                let full_upload_bytes = match delta {
+                    Some(est) if est.wire_bytes < span.len => 0,
+                    _ => spec.compression.upload_size_with(scratch, data),
+                };
+                ChunkArtifacts { chunk, full_upload_bytes, delta }
+            },
+        );
+
+        // Merge — reassemble per-file in deterministic order.
+        let mut out: Vec<FileArtifacts> = boundaries
+            .iter()
+            .map(|(new_spans, _)| FileArtifacts { chunks: Vec::with_capacity(new_spans.len()) })
+            .collect();
+        for ((file_idx, _), artifact) in units.into_iter().zip(chunk_artifacts) {
+            out[file_idx].chunks.push(artifact);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03) | 1;
+        while out.len() < len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+
+    fn text(len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            out.extend_from_slice(b"benchmarking personal cloud storage services ");
+        }
+        out.truncate(len);
+        out
+    }
+
+    fn spec() -> PipelineSpec {
+        PipelineSpec {
+            chunking: ChunkingStrategy::Fixed { size: 256 * 1024 },
+            compression: CompressionPolicy::Always,
+            delta_encoding: true,
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_artifacts_are_identical() {
+        let file_a = text(700_000);
+        let file_b = pseudo_random(1_200_000, 3);
+        let mut file_b_v2 = file_b.clone();
+        file_b_v2.extend_from_slice(&pseudo_random(50_000, 4));
+        let jobs = vec![
+            FileJob { content: &file_a, previous: None },
+            FileJob { content: &file_b_v2, previous: Some(&file_b) },
+            FileJob { content: &[], previous: None },
+        ];
+        let spec = spec();
+        let sequential = UploadPipeline::sequential().process(&spec, &jobs);
+        for threads in [0usize, 2, 3, 7] {
+            let parallel = UploadPipeline::with_threads(threads).process(&spec, &jobs);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn artifacts_match_the_standalone_substrates() {
+        let content = pseudo_random(900_000, 9);
+        let jobs = vec![FileJob { content: &content, previous: None }];
+        let spec = spec();
+        let arts = UploadPipeline::parallel().process(&spec, &jobs);
+        assert_eq!(arts.len(), 1);
+        assert_eq!(arts[0].chunk_list(), spec.chunking.chunk(&content));
+        for art in &arts[0].chunks {
+            let data =
+                &content[art.chunk.offset as usize..(art.chunk.offset + art.chunk.len) as usize];
+            assert_eq!(art.full_upload_bytes, spec.compression.upload_size(data));
+            assert!(art.delta.is_none());
+        }
+    }
+
+    #[test]
+    fn delta_estimates_appear_only_for_differing_same_index_chunks() {
+        let old = pseudo_random(600_000, 5);
+        let mut new = old.clone();
+        // Mutate only the second 256 kB chunk.
+        for b in &mut new[300_000..300_100] {
+            *b ^= 0xFF;
+        }
+        let jobs = vec![FileJob { content: &new, previous: Some(&old) }];
+        let arts = UploadPipeline::sequential().process(&spec(), &jobs);
+        let chunks = &arts[0].chunks;
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks[0].delta.is_none(), "identical chunk needs no delta");
+        let est = chunks[1].delta.expect("modified chunk must carry a delta estimate");
+        assert!(est.wire_bytes < chunks[1].chunk.len, "delta must beat a full upload");
+        assert!(chunks[2].delta.is_none());
+    }
+
+    #[test]
+    fn no_delta_estimates_when_the_capability_is_off() {
+        let old = pseudo_random(100_000, 6);
+        let new = pseudo_random(100_000, 7);
+        let jobs = vec![FileJob { content: &new, previous: Some(&old) }];
+        let mut spec = spec();
+        spec.delta_encoding = false;
+        let arts = UploadPipeline::parallel().process(&spec, &jobs);
+        assert!(arts[0].chunks.iter().all(|c| c.delta.is_none()));
+    }
+
+    #[test]
+    fn known_chunk_filter_skips_estimates_without_changing_identity() {
+        let content = pseudo_random(600_000, 11);
+        let jobs = vec![FileJob { content: &content, previous: None }];
+        let spec = spec();
+        let unfiltered = UploadPipeline::sequential().process(&spec, &jobs);
+        // Mark the middle chunk as already known to the server.
+        let known_hash = unfiltered[0].chunks[1].chunk.hash;
+        for pipeline in [UploadPipeline::sequential(), UploadPipeline::with_threads(3)] {
+            let filtered = pipeline.process_filtered(&spec, &jobs, &|h| *h == known_hash);
+            assert_eq!(filtered[0].chunk_list(), unfiltered[0].chunk_list());
+            assert_eq!(filtered[0].chunks[1].full_upload_bytes, 0, "skipped estimate");
+            assert!(filtered[0].chunks[1].delta.is_none());
+            assert_eq!(filtered[0].chunks[0], unfiltered[0].chunks[0]);
+            assert_eq!(filtered[0].chunks[2], unfiltered[0].chunks[2]);
+        }
+    }
+}

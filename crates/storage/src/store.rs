@@ -91,11 +91,7 @@ impl ObjectStore {
     /// True when the user's namespace already holds a chunk with this hash
     /// (server-side deduplication check).
     pub fn has_chunk(&self, user: &str, hash: &ContentHash) -> bool {
-        self.inner
-            .read()
-            .get(user)
-            .map(|ns| ns.chunks.contains_key(hash))
-            .unwrap_or(false)
+        self.inner.read().get(user).map(|ns| ns.chunks.contains_key(hash)).unwrap_or(false)
     }
 
     /// Stores a chunk payload. Returns `true` when the chunk was new, `false`
@@ -103,11 +99,12 @@ impl ObjectStore {
     pub fn put_chunk(&self, user: &str, chunk: StoredChunk) -> bool {
         let mut guard = self.inner.write();
         let ns = guard.entry(user.to_string()).or_default();
-        if ns.chunks.contains_key(&chunk.hash) {
-            false
-        } else {
-            ns.chunks.insert(chunk.hash, chunk);
-            true
+        match ns.chunks.entry(chunk.hash) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(chunk);
+                true
+            }
         }
     }
 
@@ -118,10 +115,7 @@ impl ObjectStore {
         let mut guard = self.inner.write();
         let ns = guard.entry(user.to_string()).or_default();
         for hash in &manifest.chunks {
-            assert!(
-                ns.chunks.contains_key(hash),
-                "manifest references unknown chunk {hash}"
-            );
+            assert!(ns.chunks.contains_key(hash), "manifest references unknown chunk {hash}");
         }
         ns.next_version += 1;
         manifest.version = ns.next_version;
@@ -139,11 +133,7 @@ impl ObjectStore {
     /// matching the delete/restore observation of §4.3. Returns `true` when a
     /// file was removed.
     pub fn delete_file(&self, user: &str, path: &str) -> bool {
-        self.inner
-            .write()
-            .get_mut(user)
-            .map(|ns| ns.files.remove(path).is_some())
-            .unwrap_or(false)
+        self.inner.write().get_mut(user).map(|ns| ns.files.remove(path).is_some()).unwrap_or(false)
     }
 
     /// Lists the live file paths of a user, sorted.
@@ -185,7 +175,11 @@ mod tests {
     use crate::hash::sha256;
 
     fn stored(data: &[u8]) -> StoredChunk {
-        StoredChunk { hash: sha256(data), stored_len: data.len() as u64, plain_len: data.len() as u64 }
+        StoredChunk {
+            hash: sha256(data),
+            stored_len: data.len() as u64,
+            plain_len: data.len() as u64,
+        }
     }
 
     #[test]
@@ -209,11 +203,10 @@ mod tests {
         let data = vec![9u8; 100_000];
         let chunks = ChunkingStrategy::Fixed { size: 30_000 }.chunk(&data);
         for ch in &chunks {
-            store.put_chunk("alice", StoredChunk {
-                hash: ch.hash,
-                stored_len: ch.len,
-                plain_len: ch.len,
-            });
+            store.put_chunk(
+                "alice",
+                StoredChunk { hash: ch.hash, stored_len: ch.len, plain_len: ch.len },
+            );
         }
         let manifest = FileManifest::from_chunks("docs/report.bin", &chunks, 0);
         assert_eq!(manifest.size, 100_000);

@@ -5,9 +5,10 @@
 //! reconstruct *any* new revision from *any* old one, and chunking must tile
 //! the input exactly regardless of strategy.
 
+use cloudsim_storage::delta::{roll, weak_sum};
 use cloudsim_storage::{
     compress, decompress, sha256, Chunk, ChunkingStrategy, CompressionPolicy, ConvergentCipher,
-    DeltaScript, Signature,
+    DeltaScript, FileJob, PipelineSpec, Signature, UploadPipeline,
 };
 use proptest::prelude::*;
 
@@ -90,6 +91,53 @@ proptest! {
             prop_assert_eq!(chunk.hash, sha256(slice));
             offset = chunk.end();
         }
+    }
+
+    #[test]
+    fn rolled_weak_checksum_equals_recomputation_at_every_offset(
+        data in proptest::collection::vec(any::<u8>(), 600..4_000),
+        block_exp in 4u32..9,
+    ) {
+        // The rolling update must agree with a from-scratch weak_sum() at
+        // every window offset of a random buffer — the invariant that lets
+        // the delta encoder find matches at arbitrary byte positions.
+        let block = 1usize << block_exp; // 16..256, always < data.len()
+        let mut rolled = weak_sum(&data[0..block]);
+        for i in 0..=data.len() - block {
+            prop_assert_eq!(rolled, weak_sum(&data[i..i + block]));
+            if i + block < data.len() {
+                rolled = roll(rolled, data[i], data[i + block], block);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_artifacts_are_mode_independent(
+        file_a in proptest::collection::vec(any::<u8>(), 0..60_000),
+        file_b in proptest::collection::vec(any::<u8>(), 0..60_000),
+        prefix in proptest::collection::vec(any::<u8>(), 0..2_000),
+        threads in 2usize..6,
+    ) {
+        // The acceptance property of the parallel pipeline: chunks, hashes
+        // and upload byte counts identical to the sequential path, for any
+        // content, including a delta job against a mutated previous
+        // revision.
+        let mut file_b_v2 = prefix;
+        file_b_v2.extend_from_slice(&file_b);
+        let jobs = vec![
+            FileJob { content: &file_a, previous: None },
+            FileJob { content: &file_b_v2, previous: Some(&file_b) },
+        ];
+        let spec = PipelineSpec {
+            chunking: ChunkingStrategy::Fixed { size: 8 * 1024 },
+            compression: CompressionPolicy::Always,
+            delta_encoding: true,
+        };
+        let sequential = UploadPipeline::sequential().process(&spec, &jobs);
+        let parallel = UploadPipeline::with_threads(threads).process(&spec, &jobs);
+        prop_assert_eq!(&sequential, &parallel);
+        // And the chunk identities agree with the standalone chunker.
+        prop_assert_eq!(sequential[0].chunk_list(), spec.chunking.chunk(&file_a));
     }
 
     #[test]

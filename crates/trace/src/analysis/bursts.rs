@@ -63,9 +63,7 @@ pub fn detect_bursts(packets: &[PacketRecord], config: BurstConfig) -> Vec<Burst
     let mut bursts = Vec::new();
     let mut current: Option<Burst> = None;
 
-    let relevant = packets
-        .iter()
-        .filter(|p| p.direction == Direction::Upload && p.has_payload());
+    let relevant = packets.iter().filter(|p| p.direction == Direction::Upload && p.has_payload());
 
     for p in relevant {
         match current.as_mut() {
@@ -124,7 +122,11 @@ mod tests {
 
     /// Builds a synthetic trace of `files` sequential file uploads separated by
     /// an application-level acknowledgement gap.
-    fn sequential_upload_trace(files: usize, packets_per_file: usize, ack_gap_ms: u64) -> Vec<PacketRecord> {
+    fn sequential_upload_trace(
+        files: usize,
+        packets_per_file: usize,
+        ack_gap_ms: u64,
+    ) -> Vec<PacketRecord> {
         let mut trace = Vec::new();
         let mut t = 0u64;
         for _ in 0..files {

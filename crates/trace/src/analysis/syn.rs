@@ -22,9 +22,7 @@ pub fn syn_count_by_kind(packets: &[PacketRecord], kind: FlowKind) -> u64 {
 
 /// Builds the cumulative-SYN-versus-time step series plotted in Fig. 3.
 pub fn cumulative_syns(packets: &[PacketRecord]) -> CumulativeSeries {
-    CumulativeSeries::from_events(
-        packets.iter().filter(|p| p.is_syn()).map(|p| (p.timestamp, 1.0)),
-    )
+    CumulativeSeries::from_events(packets.iter().filter(|p| p.is_syn()).map(|p| (p.timestamp, 1.0)))
 }
 
 #[cfg(test)]

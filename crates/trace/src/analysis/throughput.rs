@@ -54,12 +54,13 @@ impl Pause {
 
 /// Bins upload payload bytes into fixed intervals and returns
 /// `(bin start time, bytes per second within the bin)` samples.
-pub fn throughput_series(packets: &[PacketRecord], config: ThroughputConfig) -> Vec<(SimTime, f64)> {
+pub fn throughput_series(
+    packets: &[PacketRecord],
+    config: ThroughputConfig,
+) -> Vec<(SimTime, f64)> {
     assert!(!config.bin.is_zero(), "throughput bin must be positive");
-    let uploads: Vec<&PacketRecord> = packets
-        .iter()
-        .filter(|p| p.direction == Direction::Upload && p.has_payload())
-        .collect();
+    let uploads: Vec<&PacketRecord> =
+        packets.iter().filter(|p| p.direction == Direction::Upload && p.has_payload()).collect();
     let Some(last) = uploads.iter().map(|p| p.timestamp).max() else {
         return Vec::new();
     };
@@ -87,7 +88,11 @@ pub fn detect_pauses(packets: &[PacketRecord], config: ThroughputConfig) -> Vec<
         if let Some(prev_ts) = prev {
             let gap = p.timestamp - prev_ts;
             if gap >= config.min_pause {
-                pauses.push(Pause { start: prev_ts, end: p.timestamp, bytes_before: bytes_since_pause });
+                pauses.push(Pause {
+                    start: prev_ts,
+                    end: p.timestamp,
+                    bytes_before: bytes_since_pause,
+                });
                 bytes_since_pause = 0;
             }
         }

@@ -57,8 +57,7 @@ impl SyncTimeline {
 
     /// Synchronization start-up delay (Fig. 6a), if a storage flow was observed.
     pub fn startup_delay(&self) -> Option<SimDuration> {
-        self.first_storage_packet
-            .map(|t| t.saturating_since(self.modification_start))
+        self.first_storage_packet.map(|t| t.saturating_since(self.modification_start))
     }
 
     /// Upload completion time (Fig. 6b), if any storage payload was observed.
@@ -149,10 +148,7 @@ mod tests {
             packet(FlowKind::Storage, 1_100, 1460, TcpFlags::ACK),
             packet(FlowKind::Storage, 4_100, 1460, TcpFlags::ACK),
         ];
-        assert_eq!(
-            startup_delay(&packets, SimTime::ZERO),
-            Some(SimDuration::from_secs(1))
-        );
+        assert_eq!(startup_delay(&packets, SimTime::ZERO), Some(SimDuration::from_secs(1)));
         assert_eq!(completion_time(&packets), Some(SimDuration::from_secs(3)));
     }
 }

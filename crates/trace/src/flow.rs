@@ -291,7 +291,12 @@ mod tests {
         }
     }
 
-    fn handshake_and_data(flow: u64, start_ms: u64, kind: FlowKind, data_packets: u32) -> Vec<PacketRecord> {
+    fn handshake_and_data(
+        flow: u64,
+        start_ms: u64,
+        kind: FlowKind,
+        data_packets: u32,
+    ) -> Vec<PacketRecord> {
         let mut v = vec![
             packet(flow, start_ms, Direction::Upload, TcpFlags::SYN, 0, kind),
             packet(flow, start_ms + 50, Direction::Download, TcpFlags::SYN_ACK, 0, kind),
@@ -339,14 +344,8 @@ mod tests {
         assert_eq!(table.of_kind(FlowKind::Control).count(), 1);
         assert_eq!(table.connections(FlowKind::Storage), 2);
         assert_eq!(table.connections(FlowKind::Control), 1);
-        assert_eq!(
-            table.first_payload(FlowKind::Storage),
-            Some(SimTime::from_millis(610))
-        );
-        assert_eq!(
-            table.last_payload(FlowKind::Storage),
-            Some(SimTime::from_millis(1014))
-        );
+        assert_eq!(table.first_payload(FlowKind::Storage), Some(SimTime::from_millis(610)));
+        assert_eq!(table.last_payload(FlowKind::Storage), Some(SimTime::from_millis(1014)));
         assert!(table.first_payload(FlowKind::Dns).is_none());
     }
 

@@ -36,12 +36,7 @@ impl Endpoint {
 
     /// The four dotted-quad octets of the address.
     pub const fn octets(&self) -> [u8; 4] {
-        [
-            (self.addr >> 24) as u8,
-            (self.addr >> 16) as u8,
-            (self.addr >> 8) as u8,
-            self.addr as u8,
-        ]
+        [(self.addr >> 24) as u8, (self.addr >> 16) as u8, (self.addr >> 8) as u8, self.addr as u8]
     }
 }
 

@@ -13,11 +13,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// A point in virtual time, measured in microseconds since experiment start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -134,7 +138,7 @@ impl SimDuration {
     pub fn for_transmission(bytes: u64, bits_per_sec: u64) -> SimDuration {
         assert!(bits_per_sec > 0, "bandwidth must be positive");
         let bits = bytes as u128 * 8;
-        let us = (bits * 1_000_000 + bits_per_sec as u128 - 1) / bits_per_sec as u128;
+        let us = (bits * 1_000_000).div_ceil(bits_per_sec as u128);
         SimDuration(us as u64)
     }
 
@@ -309,10 +313,7 @@ mod tests {
         // 1500 bytes over 1 Gb/s = 12 us.
         assert_eq!(SimDuration::for_transmission(1500, 1_000_000_000).as_micros(), 12);
         // 1 MB over 8 Mb/s = 1 s.
-        assert_eq!(
-            SimDuration::for_transmission(1_000_000, 8_000_000),
-            SimDuration::from_secs(1)
-        );
+        assert_eq!(SimDuration::for_transmission(1_000_000, 8_000_000), SimDuration::from_secs(1));
         // Rounds up to the next microsecond.
         assert_eq!(SimDuration::for_transmission(1, 1_000_000_000).as_micros(), 1);
         // Zero bytes take zero time.

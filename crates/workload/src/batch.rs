@@ -79,9 +79,9 @@ impl BatchSpec {
     /// A short label like `100x10kB` used as the x-axis tick in Fig. 6.
     pub fn label(&self) -> String {
         let size = self.file_size;
-        let size_label = if size % 1_000_000 == 0 && size >= 1_000_000 {
+        let size_label = if size.is_multiple_of(1_000_000) && size >= 1_000_000 {
             format!("{}MB", size / 1_000_000)
-        } else if size % 1000 == 0 && size >= 1000 {
+        } else if size.is_multiple_of(1000) && size >= 1000 {
             format!("{}kB", size / 1000)
         } else {
             format!("{size}B")
@@ -90,14 +90,24 @@ impl BatchSpec {
     }
 
     /// Generates the files of the batch, deterministically from `seed`.
-    /// Every file gets distinct content (different derived seed).
+    /// Every file gets distinct content (different derived seed), so
+    /// generation fans out across worker threads for large batches; the
+    /// result is identical to sequential generation.
     pub fn generate(&self, seed: u64) -> Vec<GeneratedFile> {
-        (0..self.file_count)
-            .map(|i| GeneratedFile {
-                path: format!("batch/{}_{i:04}.{}", self.label(), self.kind.extension()),
-                content: generate(self.kind, self.file_size, seed.wrapping_add(i as u64 * 7919 + 1)),
-            })
-            .collect()
+        // Below ~2 MB of total content the thread fan-out costs more than
+        // the generation itself.
+        const PARALLEL_THRESHOLD_BYTES: u64 = 2 * 1024 * 1024;
+
+        let one = |i: usize| GeneratedFile {
+            path: format!("batch/{}_{i:04}.{}", self.label(), self.kind.extension()),
+            content: generate(self.kind, self.file_size, seed.wrapping_add(i as u64 * 7919 + 1)),
+        };
+        let workers = cloudsim_parallel::auto_workers(
+            self.file_count,
+            self.total_bytes(),
+            PARALLEL_THRESHOLD_BYTES,
+        );
+        cloudsim_parallel::run_indexed(workers, self.file_count, || (), |(), i| one(i))
     }
 }
 
@@ -153,6 +163,24 @@ mod tests {
         // Deterministic per seed.
         assert_eq!(spec.generate(1234), files);
         assert_ne!(spec.generate(99)[0].content, files[0].content);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential_output() {
+        // Large enough to cross the parallel threshold.
+        let spec = BatchSpec::new(8, 500_000, FileKind::RandomBinary);
+        let files = spec.generate(42);
+        let expected: Vec<GeneratedFile> = (0..8)
+            .map(|i| GeneratedFile {
+                path: format!("batch/{}_{i:04}.{}", spec.label(), spec.kind.extension()),
+                content: crate::generate(
+                    spec.kind,
+                    spec.file_size,
+                    42u64.wrapping_add(i as u64 * 7919 + 1),
+                ),
+            })
+            .collect();
+        assert_eq!(files, expected);
     }
 
     #[test]

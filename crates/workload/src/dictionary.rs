@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// The embedded word list used to synthesise "readable" text.
+#[rustfmt::skip]
 pub const WORDS: &[&str] = &[
     "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
     "are", "as", "with", "his", "they", "I", "at", "be", "this", "have", "from", "or", "one",

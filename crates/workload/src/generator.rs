@@ -28,12 +28,8 @@ pub enum FileKind {
 
 impl FileKind {
     /// All kinds, in a stable order.
-    pub const ALL: [FileKind; 4] = [
-        FileKind::Text,
-        FileKind::RandomBinary,
-        FileKind::FakeJpeg,
-        FileKind::RandomPixelImage,
-    ];
+    pub const ALL: [FileKind; 4] =
+        [FileKind::Text, FileKind::RandomBinary, FileKind::FakeJpeg, FileKind::RandomPixelImage];
 
     /// A short label used in reports ("text", "binary", "fake-jpeg", "image").
     pub fn label(&self) -> &'static str {
@@ -58,8 +54,8 @@ impl FileKind {
 
 /// JPEG JFIF header: SOI marker, APP0 segment with "JFIF\0" identifier.
 const JPEG_HEADER: &[u8] = &[
-    0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, b'J', b'F', b'I', b'F', 0x00, 0x01, 0x01, 0x00, 0x00,
-    0x48, 0x00, 0x48, 0x00, 0x00,
+    0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, b'J', b'F', b'I', b'F', 0x00, 0x01, 0x01, 0x00, 0x00, 0x48,
+    0x00, 0x48, 0x00, 0x00,
 ];
 
 /// Generates `size` bytes of content of the given kind, deterministically from

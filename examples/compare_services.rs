@@ -10,10 +10,7 @@ use cloudbench::report::{Fig6Metric, Report};
 use cloudbench::testbed::Testbed;
 
 fn main() {
-    let repetitions: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let repetitions: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let testbed = Testbed::new(2013);
     println!("Running the Fig. 6 performance suite ({repetitions} repetitions per cell)...\n");
     let suite = run_performance_suite(&testbed, repetitions);
@@ -25,10 +22,9 @@ fn main() {
     }
 
     // The headline comparison of §5.2: who wins the 100x10kB case and by how much.
-    if let (Some(dropbox), Some(gdrive)) = (
-        suite.row("Dropbox", "100x10kB"),
-        suite.row("Google Drive", "100x10kB"),
-    ) {
+    if let (Some(dropbox), Some(gdrive)) =
+        (suite.row("Dropbox", "100x10kB"), suite.row("Google Drive", "100x10kB"))
+    {
         println!(
             "100x10kB completion: Dropbox {:.1} s vs Google Drive {:.1} s ({:.1}x)",
             dropbox.completion_secs.mean,

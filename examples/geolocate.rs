@@ -19,10 +19,8 @@ fn main() {
         fleet.isp_count()
     );
 
-    let reports: Vec<_> = Provider::ALL
-        .iter()
-        .map(|p| discover_architecture(*p, &fleet, 99))
-        .collect();
+    let reports: Vec<_> =
+        Provider::ALL.iter().map(|p| discover_architecture(*p, &fleet, 99)).collect();
     let refs: Vec<&_> = reports.iter().collect();
     let rendered = Report::figure2(&refs);
     println!("{}", rendered.title);

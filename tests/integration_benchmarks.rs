@@ -6,7 +6,7 @@ use cloudbench::testbed::Testbed;
 
 #[test]
 fn figure6_rankings_hold() {
-    let testbed = Testbed::new(0xF16_6);
+    let testbed = Testbed::new(0xF166);
     let suite = run_performance_suite(&testbed, 2);
 
     // Every service × workload cell is present.
@@ -14,15 +14,12 @@ fn figure6_rankings_hold() {
     let workloads = suite.workloads();
     assert_eq!(workloads, vec!["1x100kB", "1x1MB", "10x100kB", "100x10kB"]);
 
-    let completion = |service: &str, workload: &str| {
-        suite.row(service, workload).unwrap().completion_secs.mean
-    };
-    let startup = |service: &str, workload: &str| {
-        suite.row(service, workload).unwrap().startup_secs.mean
-    };
-    let overhead = |service: &str, workload: &str| {
-        suite.row(service, workload).unwrap().overhead.mean
-    };
+    let completion =
+        |service: &str, workload: &str| suite.row(service, workload).unwrap().completion_secs.mean;
+    let startup =
+        |service: &str, workload: &str| suite.row(service, workload).unwrap().startup_secs.mean;
+    let overhead =
+        |service: &str, workload: &str| suite.row(service, workload).unwrap().overhead.mean;
 
     // §5.2 single files: RTT dominates. Google Drive and Wuala (nearby
     // servers) beat Dropbox and SkyDrive (US data centres).

@@ -12,7 +12,9 @@ fn detected_matrix_matches_table_1() {
     assert_eq!(matrix.rows.len(), 5);
 
     let dropbox = matrix.row("Dropbox").expect("Dropbox row");
-    assert!(matches!(dropbox.chunking, ChunkingVerdict::Fixed { size } if (3_500_000..4_700_000).contains(&size)));
+    assert!(
+        matches!(dropbox.chunking, ChunkingVerdict::Fixed { size } if (3_500_000..4_700_000).contains(&size))
+    );
     assert!(dropbox.bundling);
     assert_eq!(dropbox.compression, "always");
     assert!(dropbox.deduplication);
@@ -33,7 +35,9 @@ fn detected_matrix_matches_table_1() {
     assert!(!wuala.delta_encoding);
 
     let gdrive = matrix.row("Google Drive").expect("Google Drive row");
-    assert!(matches!(gdrive.chunking, ChunkingVerdict::Fixed { size } if (7_000_000..9_400_000).contains(&size)));
+    assert!(
+        matches!(gdrive.chunking, ChunkingVerdict::Fixed { size } if (7_000_000..9_400_000).contains(&size))
+    );
     assert!(!gdrive.bundling);
     assert_eq!(gdrive.compression, "smart");
     assert!(!gdrive.deduplication);
@@ -74,14 +78,22 @@ fn fig4_and_fig5_series_have_the_papers_shape() {
     // Fig. 5: text compresses for Dropbox (always) and Google Drive (smart),
     // not for the others; fake JPEGs are only skipped by Google Drive.
     let text_sizes = [1_000_000u64, 2_000_000];
-    let dropbox_text = compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::Text, &text_sizes);
-    let skydrive_text = compression_series(&testbed, &ServiceProfile::skydrive(), FileKind::Text, &text_sizes);
+    let dropbox_text =
+        compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::Text, &text_sizes);
+    let skydrive_text =
+        compression_series(&testbed, &ServiceProfile::skydrive(), FileKind::Text, &text_sizes);
     for (d, s) in dropbox_text.iter().zip(&skydrive_text) {
         assert!(d.uploaded < s.uploaded, "Dropbox should compress text");
         assert!(s.uploaded >= s.file_size, "SkyDrive uploads text uncompressed");
     }
-    let gdrive_fake = compression_series(&testbed, &ServiceProfile::google_drive(), FileKind::FakeJpeg, &[1_000_000]);
-    let dropbox_fake = compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::FakeJpeg, &[1_000_000]);
+    let gdrive_fake = compression_series(
+        &testbed,
+        &ServiceProfile::google_drive(),
+        FileKind::FakeJpeg,
+        &[1_000_000],
+    );
+    let dropbox_fake =
+        compression_series(&testbed, &ServiceProfile::dropbox(), FileKind::FakeJpeg, &[1_000_000]);
     assert!(gdrive_fake[0].uploaded >= 1_000_000, "Google Drive must not compress (fake) JPEGs");
     assert!(dropbox_fake[0].uploaded < 700_000, "Dropbox compresses fake JPEGs anyway");
 }

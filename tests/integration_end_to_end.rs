@@ -15,7 +15,12 @@ fn full_campaign_for_dropbox() {
     let profile = ServiceProfile::dropbox();
 
     // 1. Idle observation (Fig. 1 leg).
-    let idle = idle_traffic_for(&testbed, &profile, SimDuration::from_secs(10 * 60), SimDuration::from_secs(60));
+    let idle = idle_traffic_for(
+        &testbed,
+        &profile,
+        SimDuration::from_secs(10 * 60),
+        SimDuration::from_secs(60),
+    );
     assert!(idle.total_bytes > 10_000);
     assert!(idle.megabytes_per_day < 5.0);
 
@@ -24,7 +29,12 @@ fn full_campaign_for_dropbox() {
         let run = testbed.run_sync(&profile, &spec, 0);
         assert!(run.startup_delay().is_some(), "{}", spec.label());
         assert!(run.completion_time().is_some(), "{}", spec.label());
-        assert!(run.overhead() > 1.0 && run.overhead() < 10.0, "{}: {}", spec.label(), run.overhead());
+        assert!(
+            run.overhead() > 1.0 && run.overhead() < 10.0,
+            "{}: {}",
+            spec.label(),
+            run.overhead()
+        );
         // The trace is well-formed: storage payload at least matches what the
         // planner decided to upload, and flows are classified.
         let table = cloudsim_trace::FlowTable::from_packets(&run.packets);
@@ -38,15 +48,21 @@ fn full_campaign_for_dropbox() {
     let appended = Mutation::Append { len: 150_000 }.apply(&original, 0xE2E2);
     let ((first_bytes, second_bytes, copy_bytes), packets) =
         testbed.run_scripted(&profile, 0, |sim, client, t0| {
-            let first = vec![GeneratedFile { path: "docs/report.bin".into(), content: original.clone() }];
+            let first =
+                vec![GeneratedFile { path: "docs/report.bin".into(), content: original.clone() }];
             let out1 = client.sync_batch(sim, &first, t0 + SimDuration::from_secs(5));
             let b1 = analysis::uploaded_payload(&sim.packets());
 
-            let second = vec![GeneratedFile { path: "docs/report.bin".into(), content: appended.clone() }];
-            let out2 = client.sync_batch(sim, &second, out1.completed_at + SimDuration::from_secs(20));
+            let second =
+                vec![GeneratedFile { path: "docs/report.bin".into(), content: appended.clone() }];
+            let out2 =
+                client.sync_batch(sim, &second, out1.completed_at + SimDuration::from_secs(20));
             let b2 = analysis::uploaded_payload(&sim.packets()) - b1;
 
-            let copy = vec![GeneratedFile { path: "backup/report-copy.bin".into(), content: appended.clone() }];
+            let copy = vec![GeneratedFile {
+                path: "backup/report-copy.bin".into(),
+                content: appended.clone(),
+            }];
             client.sync_batch(sim, &copy, out2.completed_at + SimDuration::from_secs(20));
             let b3 = analysis::uploaded_payload(&sim.packets()) - b1 - b2;
             (b1, b2, b3)

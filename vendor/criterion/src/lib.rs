@@ -1,0 +1,271 @@
+//! Local stub of `criterion` for an offline build environment.
+//!
+//! Implements the API surface the workspace's bench targets use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size, warm_up_time,
+//! measurement_time, throughput, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! harness. Each benchmark runs one warm-up call and then a capped number of
+//! timed samples; the mean, min and (when a throughput was declared) MB/s are
+//! printed to stdout. There is no statistics engine, HTML report, or
+//! comparison baseline: the targets exist to measure and to guard against
+//! harness regressions, and the stub keeps them runnable offline.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, used to derive rates from times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then up to `samples` timed calls
+    /// (stopping early once the measurement budget is spent).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = self.measurement;
+        let started = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut n = 0usize;
+        while n < self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            n += 1;
+            if started.elapsed() > budget && n >= 3 {
+                break;
+            }
+        }
+        self.result = Some((total / n.max(1) as u32, min));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget (the stub always runs exactly one warm-up
+    /// call; accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size.max(1),
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size.max(1),
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some((mean, min)) = bencher.result else {
+            println!("{}/{}: no measurement (closure never called iter)", self.name, id.id);
+            return;
+        };
+        let mut line = format!(
+            "{}/{}: mean {} (min {})",
+            self.name,
+            id.id,
+            format_duration(mean),
+            format_duration(min)
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  [{:.1} MB/s]", per_sec(n) / 1e6));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  [{:.0} elem/s]", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Finishes the group (reports are printed eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            measurement: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        group.throughput(Throughput::Bytes(1024));
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 2, "warm-up plus at least one sample, got {calls}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Local stub of the `serde` facade for an offline build environment.
+//!
+//! The real serde models serialization as a visitor protocol; this stub
+//! collapses it to a single [`Value`] tree, which is all the workspace needs:
+//! `#[derive(Serialize)]` (re-exported from the vendored `serde_derive`)
+//! builds a `Value` and the vendored `serde_json` renders it. `Deserialize`
+//! is a marker trait — nothing in the workspace deserializes yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-shaped value tree, the serialization data model of the stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (wide enough for u64 and i64).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map (insertion order preserved, like a struct's fields).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`; implementations are emitted
+/// by the derive but carry no behaviour in the stub.
+pub trait Deserialize {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(*self as i128) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Renders a serialized key for use as a JSON object key.
+fn key_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => f.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_string(k.serialize()), v.serialize())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S> {}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_string(k.serialize()), v.serialize())).collect(),
+        )
+    }
+}
+impl<K, V> Deserialize for BTreeMap<K, V> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(5u32.serialize(), Value::Int(5));
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!("x".to_string().serialize(), Value::String("x".into()));
+        assert_eq!(Option::<u8>::None.serialize(), Value::Null);
+        assert_eq!(vec![1u8, 2].serialize(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!((1u8, 2.5f64).serialize(), Value::Array(vec![Value::Int(1), Value::Float(2.5)]));
+    }
+}

@@ -1,0 +1,314 @@
+//! Stub implementation of `serde_derive` for an offline build environment.
+//!
+//! Parses the deriving item with a hand-rolled token walker (no `syn`/`quote`
+//! available) and generates an implementation of the vendored `serde`
+//! facade's traits: [`Serialize`] builds a `serde::Value` tree (rendered to
+//! JSON by the vendored `serde_json`), [`Deserialize`] is a marker impl.
+//!
+//! Supported shapes — everything this workspace actually derives on:
+//! named-field structs, tuple structs (newtype and longer), unit structs, and
+//! enums with unit / tuple / struct variants. The only field attribute in use
+//! is `#[serde(skip)]`, which omits the field from serialization. Generics
+//! are not supported and produce a compile error naming the offending type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String, // field name, or tuple index as a string
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// True when an attribute group body is exactly `serde(... skip ...)`.
+fn is_serde_skip(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes (`#[...]`), returning whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes an optional visibility (`pub`, `pub(crate)`, ...).
+fn eat_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `{ field: Ty, ... }` contents into named fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type: commas inside angle brackets are not separators.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses `( Ty, Ty, ... )` contents into positional fields.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    let mut index = 0usize;
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let skip = eat_attrs(&mut tokens);
+        eat_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let mut angle_depth = 0i32;
+        let mut saw_any = false;
+        for tok in tokens.by_ref() {
+            saw_any = true;
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        if saw_any {
+            fields.push(Field { name: index.to_string(), skip });
+            index += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        eat_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: unexpected token in enum body: {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match tokens.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        for tok in tokens.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive stub: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive stub: unexpected enum body: {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}`"),
+    }
+}
+
+fn named_fields_expr(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __fields: Vec<(String, ::serde::Value)> = Vec::new(); ");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__fields.push((String::from(\"{}\"), ::serde::Serialize::serialize({})));",
+            f.name,
+            access(&f.name)
+        ));
+    }
+    out.push_str(" ::serde::Value::Object(__fields) }");
+    out
+}
+
+fn tuple_fields_expr(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+    if live.len() == 1 {
+        return format!("::serde::Serialize::serialize({})", access(&live[0].name));
+    }
+    let items: Vec<String> = live
+        .iter()
+        .map(|f| format!("::serde::Serialize::serialize({})", access(&f.name)))
+        .collect();
+    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (name, body) = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Named(fields) => named_fields_expr(fields, |f| format!("&self.{f}")),
+                Shape::Tuple(fields) => tuple_fields_expr(fields, |f| format!("&self.{f}")),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),",
+                        v = v.name
+                    )),
+                    Shape::Named(fields) => {
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_expr(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{v}\"), {inner})]),",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| format!("__f{}", f.name)).collect();
+                        let inner = tuple_fields_expr(fields, |f| format!("__f{f}"));
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(String::from(\"{v}\"), {inner})]),",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name.clone(), format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
