@@ -1,0 +1,62 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.15]
+//! ```
+//!
+//! Both files are flat `{"metric": number, …}` objects as produced by
+//! `repro bench-json`. Every baseline metric must be present in the current
+//! run and within the relative tolerance; new metrics in the current run are
+//! reported but do not fail the gate (they become binding once the baseline
+//! is refreshed). Exits 0 on pass, 1 on regression, 2 on usage errors.
+//!
+//! Refresh the committed baseline after an intentional simulator change:
+//!
+//! ```text
+//! cargo run --release -p cloudbench-bench --bin repro -- bench-json bench_baseline.json
+//! ```
+
+use cloudbench_bench::gate::{compare, parse_flat};
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_flat(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .map(|i| {
+            args.get(i + 1).and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("--tolerance needs a numeric argument");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.15);
+    let files: Vec<&String> = args.iter().take_while(|a| a.as_str() != "--tolerance").collect();
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15]");
+        std::process::exit(2);
+    };
+
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let report = compare(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    if report.passed() {
+        println!("bench gate: PASS ({} metrics within ±{:.0}%)", baseline.len(), tolerance * 100.0);
+    } else {
+        println!("bench gate: FAIL — refresh bench_baseline.json only for intentional changes");
+        std::process::exit(1);
+    }
+}

@@ -3,19 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch] [--reps N]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet] [--reps N]
+//! repro bench-json [PATH]
 //! ```
 //!
 //! Each target runs the corresponding experiment on the simulated substrate
 //! and prints the same rows/series the paper reports. Absolute values differ
 //! from the 2013 testbed; EXPERIMENTS.md records the paper-vs-measured
 //! comparison for every target.
+//!
+//! Beyond the paper, `fleet` prints the multi-tenant fleet scaling suite and
+//! `bench-json` dumps the deterministic gate metrics as flat JSON (to PATH,
+//! default stdout) for the CI bench-regression gate.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
 use cloudbench::capability::{
     compression_series, delta_encoding_series, syn_series, CapabilityMatrix,
 };
+use cloudbench::fleet::{run_fleet_scaling, FLEET_SIZES};
 use cloudbench::idle::idle_traffic_series;
 use cloudbench::report::{Fig6Metric, Report};
 use cloudbench::testbed::Testbed;
@@ -85,6 +91,26 @@ fn fig5(testbed: &Testbed) {
     }
 }
 
+fn fleet() {
+    let suite = run_fleet_scaling(&ServiceProfile::dropbox(), &FLEET_SIZES, REPRO_SEED);
+    print_report(&Report::fleet_scaling(&suite));
+}
+
+fn bench_json(path: Option<&str>) {
+    let metrics = cloudbench_bench::metrics::collect();
+    let rendered = cloudbench_bench::gate::render_flat(&metrics);
+    match path {
+        Some(path) => {
+            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {} metrics to {path}", metrics.len());
+        }
+        None => print!("{rendered}"),
+    }
+}
+
 fn fig6(testbed: &Testbed, reps: usize, metric: Option<Fig6Metric>) {
     let suite = run_performance_suite(testbed, reps);
     let metrics = match metric {
@@ -118,6 +144,8 @@ fn main() {
         "fig6b" => fig6(&testbed, reps, Some(Fig6Metric::Completion)),
         "fig6c" => fig6(&testbed, reps, Some(Fig6Metric::Overhead)),
         "fig6" => fig6(&testbed, reps, None),
+        "fleet" => fleet(),
+        "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
             fig1(&testbed);
@@ -126,10 +154,12 @@ fn main() {
             fig4(&testbed);
             fig5(&testbed);
             fig6(&testbed, reps, None);
+            fleet();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch] [--reps N]");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet] [--reps N]");
+            eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }
     }

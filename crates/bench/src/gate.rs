@@ -1,0 +1,271 @@
+//! The bench-regression gate: flat metric files and tolerance comparison.
+//!
+//! The CI perf gate runs `repro bench-json` to produce a flat
+//! `{"metric": number, …}` JSON file of deterministic simulation metrics and
+//! compares it against the committed `bench_baseline.json` with a relative
+//! tolerance. The vendored `serde_json` stub only serialises, so this module
+//! carries the tiny parser the gate binary needs (flat string→number
+//! objects only — exactly the shape `repro bench-json` emits).
+
+use std::fmt::Write as _;
+
+/// Parses a flat JSON object of string keys and finite numbers, preserving
+/// key order. Rejects nesting, arrays and non-numeric values: baseline files
+/// are machine-written, so anything else is a corrupted file.
+pub fn parse_flat(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut chars = json.char_indices().peekable();
+    let mut entries = Vec::new();
+
+    let err = |at: usize, what: &str| Err(format!("{what} at byte {at}"));
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        Some((i, _)) => return err(i, "expected '{'"),
+        None => return Err("empty input".to_string()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        return Ok(entries);
+    }
+
+    loop {
+        skip_ws(&mut chars);
+        // Key.
+        match chars.next() {
+            Some((_, '"')) => {}
+            Some((i, _)) => return err(i, "expected '\"' opening a key"),
+            None => return Err("unterminated object".to_string()),
+        }
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, 'n')) => key.push('\n'),
+                    Some((_, 't')) => key.push('\t'),
+                    Some((_, c)) => key.push(c),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some((_, c)) => key.push(c),
+                None => return Err("unterminated key".to_string()),
+            }
+        }
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ':')) => {}
+            Some((i, _)) => return err(i, "expected ':'"),
+            None => return Err("unterminated object".to_string()),
+        }
+        skip_ws(&mut chars);
+        // Number.
+        let mut number = String::new();
+        while matches!(
+            chars.peek(),
+            Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            number.push(chars.next().expect("peeked").1);
+        }
+        let value: f64 =
+            number.parse().map_err(|_| format!("key {key:?}: invalid number {number:?}"))?;
+        if !value.is_finite() {
+            return Err(format!("key {key:?}: non-finite value"));
+        }
+        entries.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            Some((i, _)) => return err(i, "expected ',' or '}'"),
+            None => return Err("unterminated object".to_string()),
+        }
+    }
+    Ok(entries)
+}
+
+/// Renders a flat metric list as the pretty JSON the gate parses back.
+pub fn render_flat(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{key}\": {value}{comma}");
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+/// One metric's verdict in a gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Outside tolerance; carries the relative deviation.
+    Regressed(f64),
+    /// Present in the baseline but absent from the current run.
+    Missing,
+    /// Present in the current run but not in the baseline (informational).
+    New,
+}
+
+/// The outcome of comparing a current metric file against the baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// (metric, baseline, current, verdict) rows in baseline order, then new
+    /// metrics.
+    pub rows: Vec<(String, Option<f64>, Option<f64>, Verdict)>,
+    /// The tolerance the comparison used.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when no metric regressed or went missing.
+    pub fn passed(&self) -> bool {
+        !self.rows.iter().any(|(_, _, _, v)| matches!(v, Verdict::Regressed(_) | Verdict::Missing))
+    }
+
+    /// Renders the comparison as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>9}  verdict (tolerance ±{:.0}%)",
+            "metric",
+            "baseline",
+            "current",
+            "delta",
+            self.tolerance * 100.0
+        );
+        for (key, baseline, current, verdict) in &self.rows {
+            let fmt =
+                |v: &Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".to_string());
+            let delta = match (baseline, current) {
+                (Some(b), Some(c)) if *b != 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+                _ => "-".to_string(),
+            };
+            let verdict = match verdict {
+                Verdict::Ok => "ok".to_string(),
+                Verdict::Regressed(d) => format!("REGRESSED ({:+.1}%)", d * 100.0),
+                Verdict::Missing => "MISSING".to_string(),
+                Verdict::New => "new".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>9}  {}",
+                key,
+                fmt(baseline),
+                fmt(current),
+                delta,
+                verdict
+            );
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with a relative tolerance: a metric
+/// fails when `|current - baseline| > tolerance * max(|baseline|, ε)`.
+/// Metrics missing from `current` fail; metrics new in `current` pass (they
+/// become binding once the baseline is refreshed).
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> GateReport {
+    let mut rows = Vec::new();
+    for (key, base) in baseline {
+        match current.iter().find(|(k, _)| k == key) {
+            Some((_, cur)) => {
+                let scale = base.abs().max(1e-12);
+                let deviation = (cur - base) / scale;
+                let verdict = if deviation.abs() <= tolerance {
+                    Verdict::Ok
+                } else {
+                    Verdict::Regressed(deviation)
+                };
+                rows.push((key.clone(), Some(*base), Some(*cur), verdict));
+            }
+            None => rows.push((key.clone(), Some(*base), None, Verdict::Missing)),
+        }
+    }
+    for (key, cur) in current {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            rows.push((key.clone(), None, Some(*cur), Verdict::New));
+        }
+    }
+    GateReport { rows, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_rendered_metrics() {
+        let metrics = vec![
+            ("fig6.completion.dropbox.100x10kB".to_string(), 12.75),
+            ("fleet8.dedup_ratio".to_string(), 1.0),
+            ("negative.exponent".to_string(), -3.5e-2),
+        ];
+        let rendered = render_flat(&metrics);
+        assert_eq!(parse_flat(&rendered).unwrap(), metrics);
+        // And the serde_json stub's own pretty output parses too.
+        let pretty = "{\n  \"a\": 1.0,\n  \"b\": 2.5\n}";
+        assert_eq!(
+            parse_flat(pretty).unwrap(),
+            vec![("a".to_string(), 1.0), ("b".to_string(), 2.5)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_flat("").is_err());
+        assert!(parse_flat("[1, 2]").is_err());
+        assert!(parse_flat("{\"a\": \"text\"}").is_err());
+        assert!(parse_flat("{\"a\": {\"nested\": 1}}").is_err());
+        assert!(parse_flat("{\"a\": 1.0,").is_err());
+        assert!(parse_flat("{\"a\" 1.0}").is_err());
+        assert_eq!(parse_flat("{}").unwrap(), vec![]);
+        assert_eq!(parse_flat("  {  }  ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn compare_flags_regressions_beyond_tolerance() {
+        let baseline = vec![
+            ("stable".to_string(), 10.0),
+            ("drifted".to_string(), 10.0),
+            ("gone".to_string(), 5.0),
+        ];
+        let current = vec![
+            ("stable".to_string(), 10.9),
+            ("drifted".to_string(), 12.0),
+            ("fresh".to_string(), 1.0),
+        ];
+        let report = compare(&baseline, &current, 0.15);
+        assert!(!report.passed());
+        let verdicts: Vec<&Verdict> = report.rows.iter().map(|(_, _, _, v)| v).collect();
+        assert_eq!(verdicts[0], &Verdict::Ok);
+        assert!(matches!(verdicts[1], Verdict::Regressed(d) if (*d - 0.2).abs() < 1e-9));
+        assert_eq!(verdicts[2], &Verdict::Missing);
+        assert_eq!(verdicts[3], &Verdict::New);
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("MISSING"));
+    }
+
+    #[test]
+    fn compare_passes_identical_runs_and_handles_zero_baselines() {
+        let baseline = vec![("a".to_string(), 0.0), ("b".to_string(), 123.456)];
+        let report = compare(&baseline, &baseline.clone(), 0.15);
+        assert!(report.passed());
+        // A zero baseline tolerates only ~zero currents.
+        let drifted = vec![("a".to_string(), 0.5), ("b".to_string(), 123.456)];
+        assert!(!compare(&baseline, &drifted, 0.15).passed());
+    }
+}

@@ -7,11 +7,18 @@
 //!   repro -- all`).
 //! * The Criterion benches under `benches/` measure how long each experiment
 //!   takes to simulate and double as regression guards for the harness itself;
-//!   one bench target exists per table/figure plus ablation and substrate
-//!   micro-benchmarks.
+//!   one bench target exists per table/figure plus ablation, substrate and
+//!   fleet-scaling micro-benchmarks.
+//! * [`metrics`] defines the deterministic metric set of the CI
+//!   bench-regression gate (`repro bench-json` dumps it, the `bench_gate`
+//!   binary compares it against the committed `bench_baseline.json` with a
+//!   relative tolerance implemented in [`gate`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
+pub mod metrics;
 
 /// Shared helper: the default testbed seed used by the harness, so the repro
 /// binary and the benches measure the same simulated universe.

@@ -1,0 +1,81 @@
+//! The deterministic metric set behind the CI bench-regression gate.
+//!
+//! Every metric is a pure function of the simulation (no wall-clock, no
+//! host parallelism dependence): per-service completion times and overheads
+//! on the paper's key workloads, plus the fleet suite's multi-tenant
+//! metrics at 8 clients. `repro bench-json` dumps them; the `bench_gate`
+//! binary compares a fresh dump against the committed `bench_baseline.json`.
+
+use cloudbench::fleet::{fleet_spec, FleetScalingRow};
+use cloudbench::testbed::Testbed;
+use cloudbench::ServiceProfile;
+use cloudsim_services::fleet::run_fleet;
+use cloudsim_storage::ObjectStore;
+use cloudsim_workload::{BatchSpec, FileKind};
+
+use crate::REPRO_SEED;
+
+/// Gate repetitions: enough to exercise the repetition loop, small enough to
+/// keep the CI gate fast.
+pub const GATE_REPETITIONS: usize = 2;
+
+/// The fleet size the gate pins (the acceptance point of the scaling suite).
+pub const GATE_FLEET_CLIENTS: usize = 8;
+
+/// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
+/// rerunning produces bit-identical values, so the gate's ±tolerance only
+/// absorbs intentional simulator changes, not noise.
+pub fn collect() -> Vec<(String, f64)> {
+    let mut metrics = Vec::new();
+    let testbed = Testbed::new(REPRO_SEED);
+
+    // Fig. 6 key cells: the many-small-files and single-large-file regimes
+    // that separate the services most sharply.
+    let small_files = BatchSpec::new(100, 10_000, FileKind::RandomBinary);
+    let one_megabyte = BatchSpec::new(1, 1_000_000, FileKind::RandomBinary);
+    let cells: [(&str, ServiceProfile, &BatchSpec); 5] = [
+        ("dropbox", ServiceProfile::dropbox(), &small_files),
+        ("google_drive", ServiceProfile::google_drive(), &small_files),
+        ("cloud_drive", ServiceProfile::cloud_drive(), &small_files),
+        ("dropbox", ServiceProfile::dropbox(), &one_megabyte),
+        ("skydrive", ServiceProfile::skydrive(), &one_megabyte),
+    ];
+    for (name, profile, spec) in &cells {
+        let row =
+            cloudbench::benchmarks::run_performance_cell(&testbed, profile, spec, GATE_REPETITIONS);
+        let label = spec.label();
+        metrics.push((format!("fig6.completion_s.{name}.{label}"), row.completion_secs.mean));
+        metrics.push((format!("fig6.overhead.{name}.{label}"), row.overhead.mean));
+    }
+
+    // Fleet suite at the acceptance size: the multi-tenant metrics.
+    let spec = fleet_spec(&ServiceProfile::dropbox(), GATE_FLEET_CLIENTS, REPRO_SEED);
+    let run = run_fleet(&spec, ObjectStore::new(), GATE_FLEET_CLIENTS);
+    let row = FleetScalingRow::from_run(&run);
+    metrics.push(("fleet8.goodput_mbps".to_string(), row.aggregate_goodput_bps / 1e6));
+    metrics.push(("fleet8.completion_mean_s".to_string(), row.completion_secs.mean));
+    metrics.push(("fleet8.dedup_ratio".to_string(), row.dedup_ratio));
+    metrics.push(("fleet8.physical_mb".to_string(), row.physical_bytes as f64 / 1e6));
+    metrics.push(("fleet8.uploaded_mb".to_string(), row.uploaded_payload as f64 / 1e6));
+
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_are_deterministic_and_named_uniquely() {
+        let a = collect();
+        let b = collect();
+        assert_eq!(a, b, "gate metrics must be bit-identical across runs");
+        let names: std::collections::HashSet<&String> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(names.len(), a.len(), "metric names must be unique");
+        assert!(a.len() >= 10);
+        for (key, value) in &a {
+            assert!(value.is_finite(), "{key} must be finite");
+            assert!(*value > 0.0, "{key} must be positive, got {value}");
+        }
+    }
+}

@@ -22,6 +22,12 @@
 //! application" plus the instrumented test computer), and [`report`] renders
 //! every table and figure of the paper from the measured data.
 //!
+//! Beyond the paper's single test computer, [`fleet`] scales the methodology
+//! out: concurrent multi-client fleets committing into one shared sharded
+//! object store, measuring aggregate goodput, per-client completion-time
+//! distributions and the server-side inter-user deduplication ratio as a
+//! function of fleet size.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -41,6 +47,7 @@
 pub mod architecture;
 pub mod benchmarks;
 pub mod capability;
+pub mod fleet;
 pub mod idle;
 pub mod report;
 pub mod testbed;
@@ -48,6 +55,7 @@ pub mod testbed;
 pub use architecture::{discover_architecture, ArchitectureReport};
 pub use benchmarks::{run_performance_suite, PerformanceRow, PerformanceSuite};
 pub use capability::{CapabilityMatrix, ServiceCapabilities};
+pub use fleet::{run_fleet_scaling, FleetScalingRow, FleetScalingSuite, FLEET_SIZES};
 pub use idle::{idle_traffic_series, IdleSeries};
 pub use report::Report;
 pub use testbed::{ExperimentRun, Testbed};

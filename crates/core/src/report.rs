@@ -9,6 +9,7 @@
 use crate::architecture::ArchitectureReport;
 use crate::benchmarks::PerformanceSuite;
 use crate::capability::{CapabilityMatrix, CompressionPoint, DeltaPoint};
+use crate::fleet::FleetScalingSuite;
 use crate::idle::IdleSeries;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -194,6 +195,48 @@ impl Report {
             let _ = writeln!(body);
         }
         Report { title: format!("Figure 6{}: {}", metric.panel(), metric.describe()), body }
+    }
+
+    /// Renders the fleet scaling suite: the multi-tenant metrics a
+    /// single-computer testbed cannot observe, as a function of fleet size.
+    pub fn fleet_scaling(suite: &FleetScalingSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} fleet, {} per client, shared pool {:.0}%",
+            suite.service,
+            suite.workload,
+            suite.shared_fraction * 100.0
+        );
+        let _ = writeln!(
+            body,
+            "{:>8} {:>14} {:>14} {:>12} {:>12} {:>12} {:>10}",
+            "clients",
+            "goodput Mb/s",
+            "completion s",
+            "p-bytes MB",
+            "r-bytes MB",
+            "dedup x",
+            "wall s"
+        );
+        for row in &suite.rows {
+            let _ = writeln!(
+                body,
+                "{:>8} {:>14.2} {:>9.1}±{:<4.1} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
+                row.clients,
+                row.aggregate_goodput_bps / 1e6,
+                row.completion_secs.mean,
+                row.completion_secs.std_dev,
+                row.physical_bytes as f64 / 1e6,
+                row.referenced_bytes as f64 / 1e6,
+                row.dedup_ratio,
+                row.wall_secs,
+            );
+        }
+        Report {
+            title: "Fleet scaling: concurrent multi-client sync into one sharded store".to_string(),
+            body,
+        }
     }
 
     /// Serialises any serialisable payload as pretty JSON (used by the repro

@@ -60,7 +60,7 @@ pub mod tls;
 pub mod udp;
 
 pub use host::{HostId, HostInfo, HostRole};
-pub use network::Network;
+pub use network::{Network, EPHEMERAL_PORT_MIN};
 pub use path::PathSpec;
 pub use rng::SimRng;
 pub use sim::Simulator;

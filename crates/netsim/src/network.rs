@@ -14,7 +14,11 @@ pub struct Network {
     paths: HashMap<HostId, PathSpec>,
     default_path: PathSpec,
     next_client_port: u16,
+    ports_allocated: u64,
 }
+
+/// First port of the IANA ephemeral range client connections draw from.
+pub const EPHEMERAL_PORT_MIN: u16 = 49152;
 
 impl Network {
     /// Creates a topology with the default test computer (192.168.1.10).
@@ -29,7 +33,8 @@ impl Network {
             hosts: Vec::new(),
             paths: HashMap::new(),
             default_path: PathSpec::default(),
-            next_client_port: 49152,
+            next_client_port: EPHEMERAL_PORT_MIN,
+            ports_allocated: 0,
         }
     }
 
@@ -94,12 +99,25 @@ impl Network {
         self.hosts.len()
     }
 
-    /// Allocates a fresh ephemeral client port for a new connection.
+    /// Allocates an ephemeral client port for a new connection. The counter
+    /// wraps back to [`EPHEMERAL_PORT_MIN`] past 65535 via `checked_add`
+    /// (never a `u16` overflow), so a fleet client that opens thousands of
+    /// connections — e.g. Cloud Drive's four connections per file across
+    /// many batches — cycles through the ephemeral range like a real TCP
+    /// stack instead of panicking in debug builds.
     pub fn allocate_client_port(&mut self) -> u16 {
         let port = self.next_client_port;
-        self.next_client_port =
-            if self.next_client_port == u16::MAX { 49152 } else { self.next_client_port + 1 };
+        self.next_client_port = self.next_client_port.checked_add(1).unwrap_or(EPHEMERAL_PORT_MIN);
+        self.ports_allocated += 1;
         port
+    }
+
+    /// Total ports handed out over the network's lifetime (diagnostic: a
+    /// value beyond the 16384-port ephemeral range means port reuse, which
+    /// is fine for the simulator's flow accounting — packets are attributed
+    /// to connections, not reverse-mapped from port numbers).
+    pub fn ports_allocated(&self) -> u64 {
+        self.ports_allocated
     }
 
     /// Finds the servers with a given role.
@@ -154,10 +172,26 @@ mod tests {
         let p1 = net.allocate_client_port();
         let p2 = net.allocate_client_port();
         assert_ne!(p1, p2);
-        assert!(p1 >= 49152);
+        assert!(p1 >= EPHEMERAL_PORT_MIN);
         net.next_client_port = u16::MAX;
         assert_eq!(net.allocate_client_port(), u16::MAX);
-        assert_eq!(net.allocate_client_port(), 49152);
+        assert_eq!(net.allocate_client_port(), EPHEMERAL_PORT_MIN);
+    }
+
+    #[test]
+    fn fleet_scale_port_allocation_cycles_the_ephemeral_range() {
+        // A fleet client can open thousands of connections (Cloud Drive opens
+        // four per file); exhaust the 16384-port ephemeral range six times
+        // over and check the allocator never overflows or leaves the range.
+        let mut net = Network::new();
+        let span = (u16::MAX - EPHEMERAL_PORT_MIN) as u64 + 1;
+        for i in 0..(6 * span) {
+            let port = net.allocate_client_port();
+            assert!(port >= EPHEMERAL_PORT_MIN, "allocation {i} left the range: {port}");
+        }
+        assert_eq!(net.ports_allocated(), 6 * span);
+        // After exactly one full cycle the allocator is back at the start.
+        assert_eq!(net.allocate_client_port(), EPHEMERAL_PORT_MIN);
     }
 
     #[test]

@@ -91,8 +91,12 @@ impl TcpConnection {
         let server = net.host(host).unwrap_or_else(|| panic!("unknown host {host}")).endpoint;
         let flow = sim.trace().allocate_flow();
         // Ephemeral port derived from the flow id keeps connections distinct
-        // without requiring mutable access to the topology.
-        let client_port = 49152u16.wrapping_add((flow.0 % 16000) as u16);
+        // without requiring mutable access to the topology. Modulo the full
+        // IANA ephemeral span so a fleet client opening thousands of
+        // connections cycles through 49152..=65535 without ever exceeding
+        // u16::MAX (49152 + span-1 == 65535 exactly).
+        let span = (u16::MAX - crate::network::EPHEMERAL_PORT_MIN) as u64 + 1;
+        let client_port = crate::network::EPHEMERAL_PORT_MIN + (flow.0 % span) as u16;
         let client = Endpoint::new(net.client().endpoint.addr, client_port);
 
         let mut conn = TcpConnection {

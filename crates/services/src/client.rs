@@ -58,9 +58,29 @@ impl SyncClient {
         profile: ServiceProfile,
         pipeline: cloudsim_storage::UploadPipeline,
     ) -> SyncClient {
+        SyncClient::from_planner(UploadPlanner::with_pipeline(profile.clone(), pipeline), profile)
+    }
+
+    /// Creates a client for a named user account committing into a shared
+    /// object store — the fleet constructor. Each client still owns its
+    /// deployment, connections and client-side dedup/delta state; only the
+    /// server-side store is shared.
+    pub fn for_user(
+        profile: ServiceProfile,
+        pipeline: cloudsim_storage::UploadPipeline,
+        store: cloudsim_storage::ObjectStore,
+        user: &str,
+    ) -> SyncClient {
+        SyncClient::from_planner(
+            UploadPlanner::for_user(profile.clone(), pipeline, store, user),
+            profile,
+        )
+    }
+
+    fn from_planner(planner: UploadPlanner, profile: ServiceProfile) -> SyncClient {
         let deployment = Deployment::new(&profile);
         SyncClient {
-            planner: UploadPlanner::with_pipeline(profile.clone(), pipeline),
+            planner,
             profile,
             deployment,
             control_conn: None,

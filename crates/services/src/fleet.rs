@@ -1,0 +1,411 @@
+//! Concurrent multi-client fleet harness.
+//!
+//! The paper measures each service from a *single* test computer; its
+//! server-side findings (inter-user deduplication, per-service completion
+//! time and overhead, §4–§5) only matter at provider scale. This module
+//! drives K independent [`SyncClient`]s — one simulated user each, every one
+//! with its own deterministic network simulator, workload and client-side
+//! state — committing into one *shared* sharded [`ObjectStore`], so
+//! cross-user deduplication and store-lock contention are exercised under
+//! real OS-thread concurrency.
+//!
+//! Determinism contract: a client's simulation consumes only its own seed
+//! and its own planner state, and the shared store's aggregate accounting is
+//! order-independent, so [`run_fleet`] produces bit-identical
+//! [`ClientSummary`]s and [`AggregateStats`] whether the clients run on one
+//! thread (sequential replay) or on one thread per client. The
+//! `fleet_scaling` bench and the workspace property tests assert exactly
+//! that.
+
+use crate::client::{SyncClient, SyncOutcome};
+use crate::profile::ServiceProfile;
+use cloudsim_net::Simulator;
+use cloudsim_storage::{AggregateStats, ObjectStore, UploadPipeline};
+use cloudsim_trace::series::SampleStats;
+use cloudsim_trace::{SimDuration, SimTime};
+use cloudsim_workload::{generate, FileKind, GeneratedFile};
+use serde::Serialize;
+
+/// Workload description for one fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetSpec {
+    /// The service every client runs (the paper benchmarks one service at a
+    /// time; mixed fleets can be built by running several fleets into one
+    /// shared store).
+    pub profile: ServiceProfile,
+    /// Number of concurrent sync clients (users).
+    pub clients: usize,
+    /// Sync batches each client performs, one after the other.
+    pub batches_per_client: usize,
+    /// Files per batch.
+    pub files_per_batch: usize,
+    /// Size of each file in bytes.
+    pub file_size: usize,
+    /// Content type of the generated files.
+    pub kind: FileKind,
+    /// Fraction of each batch (0.0–1.0) drawn from a fleet-wide shared pool:
+    /// identical bytes across users, modelling popular content. This is what
+    /// inter-user dedup (§4.3) acts on.
+    pub shared_fraction: f64,
+    /// Master seed; every (client, batch, file) derives an independent seed.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A fleet of `clients` Dropbox-profile users, each syncing one batch of
+    /// ten 64 kB files, half of them from the shared pool.
+    pub fn new(profile: ServiceProfile, clients: usize) -> FleetSpec {
+        FleetSpec {
+            profile,
+            clients,
+            batches_per_client: 1,
+            files_per_batch: 10,
+            file_size: 64 * 1024,
+            kind: FileKind::RandomBinary,
+            shared_fraction: 0.5,
+            seed: 0xF1EE7,
+        }
+    }
+
+    /// Sets batches per client.
+    pub fn with_batches(mut self, batches: usize) -> FleetSpec {
+        self.batches_per_client = batches;
+        self
+    }
+
+    /// Sets the per-batch workload (file count and size).
+    pub fn with_files(mut self, files_per_batch: usize, file_size: usize) -> FleetSpec {
+        self.files_per_batch = files_per_batch;
+        self.file_size = file_size;
+        self
+    }
+
+    /// Sets the shared-pool fraction.
+    pub fn with_shared_fraction(mut self, fraction: f64) -> FleetSpec {
+        assert!((0.0..=1.0).contains(&fraction), "shared fraction must be within [0, 1]");
+        self.shared_fraction = fraction;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> FleetSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Total plaintext bytes the whole fleet synchronises.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.clients as u64
+            * self.batches_per_client as u64
+            * self.files_per_batch as u64
+            * self.file_size as u64
+    }
+
+    /// The user name of client `i`.
+    pub fn user(&self, i: usize) -> String {
+        format!("user-{i:04}")
+    }
+
+    fn derived_seed(&self, client: u64, batch: u64, file: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(client.wrapping_add(1)))
+            .wrapping_add(0xD1B54A32D192ED03u64.wrapping_mul(batch.wrapping_add(1)))
+            .wrapping_add(0x94D049BB133111EBu64.wrapping_mul(file.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Number of files of each batch that come from the fleet-wide shared
+    /// pool (identical bytes for every client).
+    pub fn shared_files_per_batch(&self) -> usize {
+        ((self.files_per_batch as f64) * self.shared_fraction).round() as usize
+    }
+
+    /// Generates batch `batch` of client `client`. The first
+    /// [`FleetSpec::shared_files_per_batch`] files carry shared-pool content
+    /// (seeded by batch and file index only, identical across clients); the
+    /// rest are private to the client.
+    pub fn workload(&self, client: usize, batch: usize) -> Vec<GeneratedFile> {
+        let shared = self.shared_files_per_batch();
+        (0..self.files_per_batch)
+            .map(|f| {
+                let (label, seed) = if f < shared {
+                    // Shared pool: client index deliberately excluded.
+                    ("shared", self.derived_seed(u64::MAX, batch as u64, f as u64))
+                } else {
+                    ("private", self.derived_seed(client as u64, batch as u64, f as u64))
+                };
+                GeneratedFile {
+                    path: format!("{label}/b{batch:03}_f{f:04}.{}", self.kind.extension()),
+                    content: generate(self.kind, self.file_size, seed),
+                }
+            })
+            .collect()
+    }
+}
+
+/// What one client of the fleet did, in its own simulated universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSummary {
+    /// The user account the client synced as.
+    pub user: String,
+    /// One outcome per batch, in order.
+    pub outcomes: Vec<SyncOutcome>,
+    /// Simulated seconds from the first batch's modification to the last
+    /// batch's upload completion.
+    pub completion_secs: f64,
+    /// Plaintext bytes of all batches.
+    pub logical_bytes: u64,
+    /// Payload bytes the client actually uploaded (after its capabilities).
+    pub uploaded_payload: u64,
+}
+
+/// The result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-client summaries, indexed by client number.
+    pub clients: Vec<ClientSummary>,
+    /// The shared store the fleet committed into.
+    pub store: ObjectStore,
+    /// Host wall-clock time the run took (the only non-deterministic field;
+    /// used for sharded-vs-single-lock throughput comparisons).
+    pub elapsed: std::time::Duration,
+}
+
+impl FleetRun {
+    /// Aggregate server-side statistics after the run.
+    pub fn aggregate(&self) -> AggregateStats {
+        self.store.aggregate()
+    }
+
+    /// Distribution of per-client completion times (simulated seconds).
+    pub fn completion_stats(&self) -> SampleStats {
+        let samples: Vec<f64> = self.clients.iter().map(|c| c.completion_secs).collect();
+        SampleStats::from_samples(&samples).unwrap_or(SampleStats {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            std_dev: 0.0,
+        })
+    }
+
+    /// Plaintext bytes synchronised by the whole fleet.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.clients.iter().map(|c| c.logical_bytes).sum()
+    }
+
+    /// Payload bytes uploaded by the whole fleet.
+    pub fn total_uploaded_payload(&self) -> u64 {
+        self.clients.iter().map(|c| c.uploaded_payload).sum()
+    }
+
+    /// Aggregate goodput in bits per simulated second: fleet plaintext volume
+    /// over the slowest client's completion time (clients sync in parallel
+    /// wall-clock-wise, so the fleet is done when the last client is).
+    pub fn aggregate_goodput_bps(&self) -> f64 {
+        let slowest = self.clients.iter().map(|c| c.completion_secs).fold(0.0f64, f64::max);
+        if slowest > 0.0 {
+            self.total_logical_bytes() as f64 * 8.0 / slowest
+        } else {
+            0.0
+        }
+    }
+
+    /// Server-side inter-user dedup ratio after the run.
+    pub fn dedup_ratio(&self) -> f64 {
+        self.aggregate().dedup_ratio()
+    }
+
+    /// Host-side throughput of the harness itself: plaintext bytes committed
+    /// per wall-clock second. This is the number the sharded store improves.
+    pub fn wall_throughput_bps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total_logical_bytes() as f64 * 8.0 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn run_client(spec: &FleetSpec, store: &ObjectStore, i: usize) -> ClientSummary {
+    let user = spec.user(i);
+    // Each fleet client occupies one OS thread, so its upload pipeline runs
+    // sequentially — nesting per-chunk fan-outs inside the per-client fan-out
+    // would oversubscribe the host (plans are byte-identical either way).
+    let mut client = SyncClient::for_user(
+        spec.profile.clone(),
+        UploadPipeline::sequential(),
+        store.clone(),
+        &user,
+    );
+    let mut sim = Simulator::new(spec.derived_seed(i as u64, u64::MAX, 0));
+    let login_done = client.login(&mut sim, SimTime::ZERO);
+
+    let mut outcomes = Vec::with_capacity(spec.batches_per_client);
+    let mut modification = login_done + SimDuration::from_secs(5);
+    for batch in 0..spec.batches_per_client {
+        let files = spec.workload(i, batch);
+        let outcome = client.sync_batch(&mut sim, &files, modification);
+        modification = outcome.completed_at + SimDuration::from_secs(2);
+        outcomes.push(outcome);
+    }
+
+    let first = outcomes.first().expect("at least one batch");
+    let last = outcomes.last().expect("at least one batch");
+    ClientSummary {
+        user,
+        completion_secs: (last.completed_at - first.modification_time).as_secs_f64(),
+        logical_bytes: outcomes.iter().map(|o| o.logical_bytes).sum(),
+        uploaded_payload: outcomes.iter().map(|o| o.uploaded_payload).sum(),
+        outcomes,
+    }
+}
+
+/// Runs the fleet on up to `workers` OS threads, committing into `store`.
+/// `workers = 1` is the sequential replay; any other count produces
+/// bit-identical [`ClientSummary`]s and aggregate store statistics.
+pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetRun {
+    assert!(spec.clients > 0, "a fleet needs at least one client");
+    assert!(spec.batches_per_client > 0, "a fleet client needs at least one batch");
+    let started = std::time::Instant::now();
+    let clients = cloudsim_parallel::run_indexed(
+        workers,
+        spec.clients,
+        || (),
+        |(), i| run_client(spec, &store, i),
+    );
+    FleetRun { clients, store, elapsed: started.elapsed() }
+}
+
+/// Runs the fleet with one OS thread per client (capped at the host's
+/// available parallelism) against a fresh sharded store.
+pub fn run_fleet_concurrent(spec: &FleetSpec) -> FleetRun {
+    let workers = cloudsim_parallel::available_workers().clamp(1, spec.clients);
+    run_fleet(spec, ObjectStore::new(), workers)
+}
+
+/// Replays the same fleet sequentially on the calling thread against a fresh
+/// sharded store — the determinism baseline concurrent runs are compared to.
+pub fn run_fleet_sequential(spec: &FleetSpec) -> FleetRun {
+    run_fleet(spec, ObjectStore::new(), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(clients: usize) -> FleetSpec {
+        FleetSpec::new(ServiceProfile::dropbox(), clients)
+            .with_files(4, 16 * 1024)
+            .with_batches(2)
+            .with_seed(42)
+    }
+
+    #[test]
+    fn workloads_share_content_across_clients_but_not_private_files() {
+        let spec = small_spec(3);
+        let a = spec.workload(0, 0);
+        let b = spec.workload(1, 0);
+        assert_eq!(a.len(), 4);
+        let shared = spec.shared_files_per_batch();
+        assert_eq!(shared, 2);
+        for f in 0..shared {
+            assert_eq!(a[f].content, b[f].content, "shared file {f} must match across clients");
+        }
+        for f in shared..4 {
+            assert_ne!(a[f].content, b[f].content, "private file {f} must differ");
+        }
+        // Batches differ from each other even in the shared pool.
+        assert_ne!(spec.workload(0, 0)[0].content, spec.workload(0, 1)[0].content);
+        // Workload generation is deterministic.
+        assert_eq!(spec.workload(2, 1), spec.workload(2, 1));
+    }
+
+    #[test]
+    fn concurrent_fleet_matches_sequential_replay_bit_for_bit() {
+        let spec = small_spec(6);
+        let concurrent = run_fleet(&spec, ObjectStore::new(), 6);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        for summary in &concurrent.clients {
+            assert_eq!(
+                concurrent.store.stats(&summary.user),
+                sequential.store.stats(&summary.user),
+                "{} per-user stats must match",
+                summary.user
+            );
+            assert_eq!(
+                concurrent.store.list_files(&summary.user),
+                sequential.store.list_files(&summary.user)
+            );
+        }
+    }
+
+    #[test]
+    fn shared_content_is_deduplicated_across_users_server_side() {
+        // Dropbox dedups client-side per user, but only the *server* can
+        // collapse identical chunks across users.
+        let spec = small_spec(8);
+        let run = run_fleet_concurrent(&spec);
+        let agg = run.aggregate();
+        assert_eq!(agg.users, 8);
+        assert!(agg.server_dedup_hits > 0, "shared files must produce inter-user dedup hits");
+        assert!(
+            agg.physical_bytes < agg.referenced_bytes,
+            "physical {} should be below referenced {}",
+            agg.physical_bytes,
+            agg.referenced_bytes
+        );
+        assert!(run.dedup_ratio() > 1.2, "dedup ratio {}", run.dedup_ratio());
+        // Every client uploaded its full logical volume (client-side dedup
+        // does not apply across users), so goodput accounting is non-trivial.
+        assert_eq!(run.total_logical_bytes(), spec.total_logical_bytes());
+        assert!(run.aggregate_goodput_bps() > 0.0);
+        assert!(run.completion_stats().count == 8);
+    }
+
+    #[test]
+    fn dedup_ratio_grows_with_fleet_size() {
+        // The multi-tenant observation the single-computer testbed cannot
+        // make: the bigger the fleet, the more the shared pool collapses.
+        let small = run_fleet_concurrent(&small_spec(2));
+        let large = run_fleet_concurrent(&small_spec(12));
+        assert!(
+            large.dedup_ratio() > small.dedup_ratio(),
+            "12-client ratio {} must exceed 2-client ratio {}",
+            large.dedup_ratio(),
+            small.dedup_ratio()
+        );
+    }
+
+    #[test]
+    fn mixed_service_fleets_share_one_store() {
+        // Two fleets of different services committing into one store: the
+        // store is service-agnostic, so the shared pool deduplicates across
+        // the whole user population regardless of which client uploaded it.
+        let store = ObjectStore::new();
+        let dropbox =
+            FleetSpec::new(ServiceProfile::dropbox(), 2).with_files(3, 8 * 1024).with_seed(7);
+        let wuala = FleetSpec { profile: ServiceProfile::wuala(), ..dropbox.clone() };
+        run_fleet(&dropbox, store.clone(), 2);
+        let run = run_fleet(&wuala, store.clone(), 2);
+        let agg = run.aggregate();
+        // The second fleet re-uses the same user indices, so the population
+        // stays at two namespaces and identical content collapses.
+        assert_eq!(agg.users, 2);
+        assert!(agg.server_dedup_hits > 0);
+        assert!(agg.physical_bytes < agg.referenced_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "a fleet needs at least one client")]
+    fn empty_fleets_are_rejected() {
+        let spec = FleetSpec { clients: 0, ..small_spec(1) };
+        run_fleet(&spec, ObjectStore::new(), 1);
+    }
+}

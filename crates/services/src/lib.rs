@@ -23,11 +23,15 @@
 
 pub mod client;
 pub mod deployment;
+pub mod fleet;
 pub mod planner;
 pub mod profile;
 
 pub use client::{SyncClient, SyncOutcome};
 pub use deployment::Deployment;
+pub use fleet::{
+    run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSummary, FleetRun, FleetSpec,
+};
 pub use planner::{FilePlan, UploadPlanner};
 pub use profile::ServiceProfile;
 

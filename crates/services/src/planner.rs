@@ -80,15 +80,34 @@ impl UploadPlanner {
 
     /// Creates a planner with an explicit pipeline execution mode.
     pub fn with_pipeline(profile: ServiceProfile, pipeline: UploadPipeline) -> UploadPlanner {
+        UploadPlanner::for_user(profile, pipeline, ObjectStore::new(), "benchmark-user")
+    }
+
+    /// Creates a planner for a named user account committing into a shared
+    /// (sharded) object store. This is the constructor the fleet harness
+    /// uses: every client keeps its own client-side dedup index and delta
+    /// state, while the server-side store is shared across the whole fleet
+    /// so inter-user deduplication is exercised.
+    pub fn for_user(
+        profile: ServiceProfile,
+        pipeline: UploadPipeline,
+        store: ObjectStore,
+        user: &str,
+    ) -> UploadPlanner {
         UploadPlanner {
             profile,
-            store: ObjectStore::new(),
+            store,
             dedup: DedupIndex::new(),
             cipher: ConvergentCipher::new(),
             previous: HashMap::new(),
-            user: "benchmark-user".to_string(),
+            user: user.to_string(),
             pipeline,
         }
+    }
+
+    /// The user account this planner commits as.
+    pub fn user(&self) -> &str {
+        &self.user
     }
 
     /// The profile this planner applies.

@@ -21,8 +21,11 @@
 //! * [`encrypt`] — convergent client-side encryption (Wuala's privacy layer,
 //!   which keeps dedup possible because identical plaintexts yield identical
 //!   ciphertexts, §4.3),
-//! * [`store`] — the server-side object store (chunks, file manifests, user
-//!   namespaces) the simulated services commit uploads to,
+//! * [`store`] — the sharded server-side object store (a content-addressed
+//!   chunk table with inter-user deduplication plus per-user file manifests)
+//!   the simulated services commit uploads to; lock shards keyed by
+//!   chunk-hash prefix and user name let a concurrent client fleet commit
+//!   without serializing on one lock,
 //! * [`pipeline`] — the parallel, zero-copy upload pipeline that runs
 //!   chunking, hashing, delta estimation and compression over borrowed
 //!   slices with preallocated per-worker scratch, fanned out across chunks
@@ -50,4 +53,6 @@ pub use pipeline::{
     ChunkArtifacts, DeltaEstimate, FileArtifacts, FileJob, PipelineMode, PipelineSpec,
     UploadPipeline,
 };
-pub use store::{FileManifest, ObjectStore, StoredChunk};
+pub use store::{
+    AggregateStats, FileManifest, ObjectStore, StoreStats, StoredChunk, DEFAULT_SHARDS,
+};

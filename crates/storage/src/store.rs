@@ -1,4 +1,4 @@
-//! Server-side object store.
+//! Server-side object store, sharded for concurrent multi-client fleets.
 //!
 //! The storage back-end the simulated services commit uploads to: a
 //! content-addressed chunk store plus per-user file manifests. It backs the
@@ -6,12 +6,36 @@
 //! uploads, copies, deletes and restores files and the store (together with
 //! [`crate::dedup::DedupIndex`]) determines how many bytes actually had to
 //! travel.
+//!
+//! # Sharding
+//!
+//! A fleet of concurrent sync clients (one OS thread per simulated user)
+//! commits into one shared store, so the original single
+//! `RwLock<HashMap<user, Namespace>>` would serialize every upload. The
+//! store is therefore split into two independent shard arrays:
+//!
+//! * **user shards** — per-user state (file manifests, the user's logical
+//!   view of their chunks, version counters), sharded by a hash of the user
+//!   name. Two clients syncing as different users touch different locks.
+//! * **chunk shards** — the physical content-addressed chunk table shared by
+//!   *all* users, sharded by the first byte of the chunk hash. This is where
+//!   server-side inter-user deduplication (§4.3) happens: the second user to
+//!   upload a chunk adds a reference instead of new bytes.
+//!
+//! Aggregate accounting (unique chunks, physical bytes, per-user referenced
+//! bytes, server-side dedup hits) lives in atomic counters updated with
+//! order-independent operations only (count of distinct keys, sums of
+//! per-user values, a commutative `min` for the canonical stored size), so a
+//! concurrent fleet run ends with **bit-identical** [`AggregateStats`] to a
+//! sequential replay of the same per-user operations — the property the
+//! `fleet_scaling` bench and the storage property tests assert.
 
 use crate::chunker::Chunk;
 use crate::hash::ContentHash;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A chunk as stored on the server.
@@ -53,7 +77,7 @@ impl FileManifest {
     }
 }
 
-/// Statistics about the state of an object store namespace.
+/// Statistics about the state of one user's namespace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Number of live file manifests.
@@ -66,53 +90,221 @@ pub struct StoreStats {
     pub logical_bytes: u64,
 }
 
-/// A per-user namespace: manifests and chunks.
+/// Aggregate statistics of the whole store, across every user namespace.
+///
+/// All fields are order-independent functions of the set of per-user
+/// operations performed, so a concurrent fleet and a sequential replay of
+/// the same per-user commits produce bit-identical values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Number of user namespaces that hold at least one chunk or file.
+    pub users: usize,
+    /// Live file manifests summed over all users.
+    pub files: usize,
+    /// Plaintext bytes of live files summed over all users.
+    pub logical_bytes: u64,
+    /// Distinct chunk hashes in the physical store (after inter-user dedup).
+    pub unique_chunks: u64,
+    /// Bytes the server physically stores (each unique chunk counted once,
+    /// at the most compact representation any user uploaded).
+    pub physical_bytes: u64,
+    /// Bytes the server would store without inter-user dedup: the sum of
+    /// every user's own view of their stored chunks.
+    pub referenced_bytes: u64,
+    /// Chunk commits that found the payload already present in the physical
+    /// store (uploaded earlier by the same or another user).
+    pub server_dedup_hits: u64,
+    /// Total accepted chunk commits (new to the committing user).
+    pub chunk_puts: u64,
+}
+
+impl AggregateStats {
+    /// Server-side deduplication ratio: logical chunk bytes over physical
+    /// bytes (1.0 = no redundancy across users, higher = more savings).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.referenced_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+
+    /// Bytes inter-user deduplication saved compared to storing every user's
+    /// chunks verbatim.
+    pub fn saved_bytes(&self) -> u64 {
+        self.referenced_bytes.saturating_sub(self.physical_bytes)
+    }
+}
+
+/// A per-user namespace: manifests and the user's logical view of chunks.
 #[derive(Debug, Default)]
-struct Namespace {
+struct UserSpace {
     files: HashMap<String, FileManifest>,
     chunks: HashMap<ContentHash, StoredChunk>,
     next_version: u64,
 }
 
+/// One entry of the physical content-addressed chunk table.
+#[derive(Debug)]
+struct ChunkEntry {
+    record: StoredChunk,
+    /// Number of distinct users referencing the chunk.
+    owners: u64,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    user_shards: Box<[RwLock<HashMap<String, UserSpace>>]>,
+    chunk_shards: Box<[RwLock<HashMap<ContentHash, ChunkEntry>>]>,
+    unique_chunks: AtomicU64,
+    physical_bytes: AtomicU64,
+    referenced_bytes: AtomicU64,
+    server_dedup_hits: AtomicU64,
+    chunk_puts: AtomicU64,
+}
+
 /// The server-side object store, shared by control and storage servers of a
-/// simulated service. Thread-safe so the parallel experiment runner can drive
-/// independent user accounts concurrently.
-#[derive(Debug, Clone, Default)]
+/// simulated service — and, since the fleet harness exists, by every client
+/// of a multi-user fleet. Clones share the same underlying shards.
+#[derive(Debug, Clone)]
 pub struct ObjectStore {
-    inner: Arc<RwLock<HashMap<String, Namespace>>>,
+    inner: Arc<StoreInner>,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore::new()
+    }
+}
+
+/// Default shard count for both shard arrays. Enough to keep a 32-client
+/// fleet's writers on distinct locks with high probability while staying
+/// cheap to iterate for aggregate reads.
+pub const DEFAULT_SHARDS: usize = 16;
+
+fn shard_for_user(user: &str, shards: usize) -> usize {
+    // FNV-1a over the user name; stable across runs (no RandomState).
+    let mut h = 0xcbf29ce484222325u64;
+    for b in user.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
+}
+
+fn shard_for_chunk(hash: &ContentHash, shards: usize) -> usize {
+    // SHA-256 output is uniform: the first bytes are an ideal shard key.
+    (u16::from_be_bytes([hash.0[0], hash.0[1]]) as usize) % shards
 }
 
 impl ObjectStore {
-    /// Creates an empty store.
+    /// Creates an empty store with [`DEFAULT_SHARDS`] lock shards.
     pub fn new() -> Self {
-        ObjectStore::default()
+        ObjectStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty store with an explicit shard count (1 = the original
+    /// single-lock layout, used as the contention baseline in benches).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let user_shards = (0..shards).map(|_| RwLock::new(HashMap::new())).collect();
+        let chunk_shards = (0..shards).map(|_| RwLock::new(HashMap::new())).collect();
+        ObjectStore {
+            inner: Arc::new(StoreInner {
+                user_shards,
+                chunk_shards,
+                unique_chunks: AtomicU64::new(0),
+                physical_bytes: AtomicU64::new(0),
+                referenced_bytes: AtomicU64::new(0),
+                server_dedup_hits: AtomicU64::new(0),
+                chunk_puts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of lock shards in each shard array.
+    pub fn shard_count(&self) -> usize {
+        self.inner.user_shards.len()
+    }
+
+    fn user_shard(&self, user: &str) -> &RwLock<HashMap<String, UserSpace>> {
+        &self.inner.user_shards[shard_for_user(user, self.inner.user_shards.len())]
+    }
+
+    fn chunk_shard(&self, hash: &ContentHash) -> &RwLock<HashMap<ContentHash, ChunkEntry>> {
+        &self.inner.chunk_shards[shard_for_chunk(hash, self.inner.chunk_shards.len())]
     }
 
     /// True when the user's namespace already holds a chunk with this hash
     /// (server-side deduplication check).
     pub fn has_chunk(&self, user: &str, hash: &ContentHash) -> bool {
-        self.inner.read().get(user).map(|ns| ns.chunks.contains_key(hash)).unwrap_or(false)
+        self.user_shard(user)
+            .read()
+            .get(user)
+            .map(|ns| ns.chunks.contains_key(hash))
+            .unwrap_or(false)
     }
 
-    /// Stores a chunk payload. Returns `true` when the chunk was new, `false`
-    /// when an identical chunk was already present (nothing is overwritten).
+    /// True when *any* user has stored this chunk — the inter-user question a
+    /// dedup-capable server answers before accepting an upload.
+    pub fn has_chunk_globally(&self, hash: &ContentHash) -> bool {
+        self.chunk_shard(hash).read().contains_key(hash)
+    }
+
+    /// Stores a chunk payload for a user. Returns `true` when the chunk was
+    /// new *to this user*, `false` when the user already had it (nothing is
+    /// overwritten either way).
+    ///
+    /// Physically the payload is stored at most once across all users: a put
+    /// whose hash another user already committed only adds a reference, and
+    /// the canonical stored size is the minimum any committer reported (the
+    /// server keeps the most compact representation it has seen — `min` is
+    /// commutative, which keeps aggregate stats independent of commit order).
     pub fn put_chunk(&self, user: &str, chunk: StoredChunk) -> bool {
-        let mut guard = self.inner.write();
-        let ns = guard.entry(user.to_string()).or_default();
-        match ns.chunks.entry(chunk.hash) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(chunk);
-                true
+        // Lock discipline: user shard first, released before the chunk shard
+        // is taken — the two arrays are never held simultaneously.
+        {
+            let mut guard = self.user_shard(user).write();
+            let ns = guard.entry(user.to_string()).or_default();
+            match ns.chunks.entry(chunk.hash) {
+                std::collections::hash_map::Entry::Occupied(_) => return false,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(chunk.clone());
+                }
             }
         }
+
+        let stats = &*self.inner;
+        stats.chunk_puts.fetch_add(1, Ordering::Relaxed);
+        stats.referenced_bytes.fetch_add(chunk.stored_len, Ordering::Relaxed);
+
+        let mut shard = self.chunk_shard(&chunk.hash).write();
+        match shard.entry(chunk.hash) {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let entry = slot.get_mut();
+                entry.owners += 1;
+                if chunk.stored_len < entry.record.stored_len {
+                    let saved = entry.record.stored_len - chunk.stored_len;
+                    entry.record = chunk;
+                    stats.physical_bytes.fetch_sub(saved, Ordering::Relaxed);
+                }
+                stats.server_dedup_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                stats.unique_chunks.fetch_add(1, Ordering::Relaxed);
+                stats.physical_bytes.fetch_add(chunk.stored_len, Ordering::Relaxed);
+                slot.insert(ChunkEntry { record: chunk, owners: 1 });
+            }
+        }
+        true
     }
 
     /// Commits a file manifest (creating or replacing the path). Returns the
-    /// version number assigned. Panics if any referenced chunk is missing —
-    /// a protocol error a real service would reject as well.
+    /// version number assigned. Panics if any referenced chunk is missing
+    /// from the user's namespace — a protocol error a real service would
+    /// reject as well.
     pub fn commit_manifest(&self, user: &str, mut manifest: FileManifest) -> u64 {
-        let mut guard = self.inner.write();
+        let mut guard = self.user_shard(user).write();
         let ns = guard.entry(user.to_string()).or_default();
         for hash in &manifest.chunks {
             assert!(ns.chunks.contains_key(hash), "manifest references unknown chunk {hash}");
@@ -126,20 +318,24 @@ impl ObjectStore {
 
     /// Fetches the current manifest of a path.
     pub fn manifest(&self, user: &str, path: &str) -> Option<FileManifest> {
-        self.inner.read().get(user).and_then(|ns| ns.files.get(path).cloned())
+        self.user_shard(user).read().get(user).and_then(|ns| ns.files.get(path).cloned())
     }
 
     /// Deletes a file. The chunks it referenced are *not* garbage-collected,
     /// matching the delete/restore observation of §4.3. Returns `true` when a
     /// file was removed.
     pub fn delete_file(&self, user: &str, path: &str) -> bool {
-        self.inner.write().get_mut(user).map(|ns| ns.files.remove(path).is_some()).unwrap_or(false)
+        self.user_shard(user)
+            .write()
+            .get_mut(user)
+            .map(|ns| ns.files.remove(path).is_some())
+            .unwrap_or(false)
     }
 
     /// Lists the live file paths of a user, sorted.
     pub fn list_files(&self, user: &str) -> Vec<String> {
         let mut paths: Vec<String> = self
-            .inner
+            .user_shard(user)
             .read()
             .get(user)
             .map(|ns| ns.files.keys().cloned().collect())
@@ -148,14 +344,20 @@ impl ObjectStore {
         paths
     }
 
-    /// Returns a stored chunk record.
+    /// Returns a stored chunk record as the user sees it (their own uploaded
+    /// representation, not the canonical physical one).
     pub fn chunk(&self, user: &str, hash: &ContentHash) -> Option<StoredChunk> {
-        self.inner.read().get(user).and_then(|ns| ns.chunks.get(hash).cloned())
+        self.user_shard(user).read().get(user).and_then(|ns| ns.chunks.get(hash).cloned())
+    }
+
+    /// Number of distinct users that committed a given chunk.
+    pub fn chunk_owners(&self, hash: &ContentHash) -> u64 {
+        self.chunk_shard(hash).read().get(hash).map(|e| e.owners).unwrap_or(0)
     }
 
     /// Aggregate statistics of a user's namespace.
     pub fn stats(&self, user: &str) -> StoreStats {
-        let guard = self.inner.read();
+        let guard = self.user_shard(user).read();
         let Some(ns) = guard.get(user) else {
             return StoreStats::default();
         };
@@ -164,6 +366,53 @@ impl ObjectStore {
             chunks: ns.chunks.len(),
             stored_bytes: ns.chunks.values().map(|c| c.stored_len).sum(),
             logical_bytes: ns.files.values().map(|f| f.size).sum(),
+        }
+    }
+
+    /// The user names with a non-empty namespace, sorted.
+    pub fn users(&self) -> Vec<String> {
+        let mut users = Vec::new();
+        for shard in self.inner.user_shards.iter() {
+            let guard = shard.read();
+            users.extend(
+                guard
+                    .iter()
+                    .filter(|(_, ns)| !ns.files.is_empty() || !ns.chunks.is_empty())
+                    .map(|(name, _)| name.clone()),
+            );
+        }
+        users.sort();
+        users
+    }
+
+    /// Aggregate statistics across every user namespace. Chunk-level fields
+    /// come from the atomic counters; file-level fields are summed over the
+    /// user shards under their read locks.
+    pub fn aggregate(&self) -> AggregateStats {
+        let mut users = 0usize;
+        let mut files = 0usize;
+        let mut logical_bytes = 0u64;
+        for shard in self.inner.user_shards.iter() {
+            let guard = shard.read();
+            for ns in guard.values() {
+                if ns.files.is_empty() && ns.chunks.is_empty() {
+                    continue;
+                }
+                users += 1;
+                files += ns.files.len();
+                logical_bytes += ns.files.values().map(|f| f.size).sum::<u64>();
+            }
+        }
+        let stats = &*self.inner;
+        AggregateStats {
+            users,
+            files,
+            logical_bytes,
+            unique_chunks: stats.unique_chunks.load(Ordering::Relaxed),
+            physical_bytes: stats.physical_bytes.load(Ordering::Relaxed),
+            referenced_bytes: stats.referenced_bytes.load(Ordering::Relaxed),
+            server_dedup_hits: stats.server_dedup_hits.load(Ordering::Relaxed),
+            chunk_puts: stats.chunk_puts.load(Ordering::Relaxed),
         }
     }
 }
@@ -192,9 +441,12 @@ mod tests {
         // Second put of the same content is a no-op.
         assert!(!store.put_chunk("alice", c.clone()));
         assert_eq!(store.chunk("alice", &c.hash), Some(c.clone()));
-        // Namespaces are isolated per user.
+        // Namespaces are isolated per user (logical view)…
         assert!(!store.has_chunk("bob", &c.hash));
         assert_eq!(store.chunk("bob", &c.hash), None);
+        // …but the physical store knows the chunk globally.
+        assert!(store.has_chunk_globally(&c.hash));
+        assert_eq!(store.chunk_owners(&c.hash), 1);
     }
 
     #[test]
@@ -230,6 +482,17 @@ mod tests {
             chunks: vec![sha256(b"never uploaded")],
             version: 0,
         };
+        store.commit_manifest("alice", manifest);
+    }
+
+    #[test]
+    #[should_panic(expected = "manifest references unknown chunk")]
+    fn another_users_chunks_do_not_satisfy_a_manifest() {
+        let store = ObjectStore::new();
+        let c = stored(b"bob's bytes");
+        store.put_chunk("bob", c.clone());
+        let manifest =
+            FileManifest { path: "x".into(), size: 10, chunks: vec![c.hash], version: 0 };
         store.commit_manifest("alice", manifest);
     }
 
@@ -287,6 +550,90 @@ mod tests {
     }
 
     #[test]
+    fn inter_user_dedup_stores_bytes_once() {
+        let store = ObjectStore::new();
+        let shared = stored(&vec![7u8; 5000]);
+        let private = stored(b"only alice");
+        assert!(store.put_chunk("alice", shared.clone()));
+        assert!(store.put_chunk("alice", private.clone()));
+        // Bob uploads the same shared payload: accepted (new to him), but the
+        // server physically keeps one copy.
+        assert!(store.put_chunk("bob", shared.clone()));
+        let agg = store.aggregate();
+        assert_eq!(agg.unique_chunks, 2);
+        assert_eq!(agg.physical_bytes, 5000 + private.stored_len);
+        assert_eq!(agg.referenced_bytes, 2 * 5000 + private.stored_len);
+        assert_eq!(agg.server_dedup_hits, 1);
+        assert_eq!(agg.chunk_puts, 3);
+        assert_eq!(agg.saved_bytes(), 5000);
+        assert!(agg.dedup_ratio() > 1.0);
+        assert_eq!(store.chunk_owners(&shared.hash), 2);
+        // Per-user views are unaffected.
+        assert_eq!(store.stats("alice").chunks, 2);
+        assert_eq!(store.stats("bob").chunks, 1);
+    }
+
+    #[test]
+    fn canonical_stored_size_is_the_minimum_seen() {
+        let store = ObjectStore::new();
+        let hash = sha256(b"same plaintext");
+        // Alice's service compresses poorly, Bob's well; order must not
+        // matter for the physical accounting.
+        store.put_chunk("alice", StoredChunk { hash, stored_len: 900, plain_len: 1000 });
+        store.put_chunk("bob", StoredChunk { hash, stored_len: 600, plain_len: 1000 });
+        assert_eq!(store.aggregate().physical_bytes, 600);
+
+        let store2 = ObjectStore::new();
+        store2.put_chunk("bob", StoredChunk { hash, stored_len: 600, plain_len: 1000 });
+        store2.put_chunk("alice", StoredChunk { hash, stored_len: 900, plain_len: 1000 });
+        assert_eq!(store2.aggregate().physical_bytes, 600);
+        assert_eq!(store.aggregate(), store2.aggregate());
+    }
+
+    #[test]
+    fn users_and_aggregate_cover_all_namespaces() {
+        let store = ObjectStore::new();
+        for user in ["u1", "u2", "u3"] {
+            let c = stored(user.as_bytes());
+            store.put_chunk(user, c.clone());
+            store.commit_manifest(
+                user,
+                FileManifest {
+                    path: "f".into(),
+                    size: c.plain_len,
+                    chunks: vec![c.hash],
+                    version: 0,
+                },
+            );
+        }
+        assert_eq!(store.users(), vec!["u1", "u2", "u3"]);
+        let agg = store.aggregate();
+        assert_eq!(agg.users, 3);
+        assert_eq!(agg.files, 3);
+        assert_eq!(agg.unique_chunks, 3);
+        assert_eq!(agg.logical_bytes, 6);
+    }
+
+    #[test]
+    fn single_shard_store_behaves_identically() {
+        let sharded = ObjectStore::with_shards(16);
+        let single = ObjectStore::with_shards(1);
+        assert_eq!(sharded.shard_count(), 16);
+        assert_eq!(single.shard_count(), 1);
+        for store in [&sharded, &single] {
+            for i in 0..50u32 {
+                let user = format!("user-{}", i % 5);
+                store.put_chunk(&user, stored(&i.to_le_bytes()));
+            }
+        }
+        assert_eq!(sharded.aggregate(), single.aggregate());
+        for i in 0..5 {
+            let user = format!("user-{i}");
+            assert_eq!(sharded.stats(&user), single.stats(&user));
+        }
+    }
+
+    #[test]
     fn concurrent_access_from_multiple_threads() {
         let store = ObjectStore::new();
         let mut handles = Vec::new();
@@ -303,5 +650,48 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.stats("shared").chunks, 400);
+        assert_eq!(store.aggregate().unique_chunks, 400);
+    }
+
+    #[test]
+    fn concurrent_users_match_sequential_replay() {
+        // The determinism contract of the sharded refactor, in miniature:
+        // 8 threads (users) commit overlapping chunk sets concurrently; a
+        // sequential replay of the same per-user commits into a fresh store
+        // yields bit-identical per-user and aggregate statistics.
+        let concurrent = ObjectStore::new();
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let store = concurrent.clone();
+            handles.push(std::thread::spawn(move || {
+                let user = format!("user-{t}");
+                for i in 0..60u32 {
+                    // Every user shares chunks i%20, giving heavy overlap.
+                    let data = vec![(i % 20) as u8; 256 + (i % 20) as usize];
+                    store.put_chunk(&user, stored(&data));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let sequential = ObjectStore::new();
+        for t in 0..8u32 {
+            let user = format!("user-{t}");
+            for i in 0..60u32 {
+                let data = vec![(i % 20) as u8; 256 + (i % 20) as usize];
+                sequential.put_chunk(&user, stored(&data));
+            }
+        }
+
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        for t in 0..8u32 {
+            let user = format!("user-{t}");
+            assert_eq!(concurrent.stats(&user), sequential.stats(&user));
+        }
+        // 20 distinct payloads, referenced by all 8 users.
+        assert_eq!(concurrent.aggregate().unique_chunks, 20);
+        assert_eq!(concurrent.aggregate().server_dedup_hits, 7 * 20);
     }
 }

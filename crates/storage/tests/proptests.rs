@@ -8,7 +8,8 @@
 use cloudsim_storage::delta::{roll, weak_sum};
 use cloudsim_storage::{
     compress, decompress, sha256, Chunk, ChunkingStrategy, CompressionPolicy, ConvergentCipher,
-    DeltaScript, FileJob, PipelineSpec, Signature, UploadPipeline,
+    DeltaScript, FileJob, FileManifest, ObjectStore, PipelineSpec, Signature, StoredChunk,
+    UploadPipeline,
 };
 use proptest::prelude::*;
 
@@ -150,5 +151,83 @@ proptest! {
         hasher.update(&data[..split]);
         hasher.update(&data[split..]);
         prop_assert_eq!(hasher.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn concurrent_sharded_commits_equal_sequential_replay(
+        users in 2usize..8,
+        plan in proptest::collection::vec(any::<u16>(), 16..64),
+        shards in 1usize..32,
+    ) {
+        // The acceptance property of the sharded store: K threads (one per
+        // user) committing interleaved batches of chunks and manifests end
+        // with bit-identical per-user `StoreStats`, manifests and aggregate
+        // accounting to the same batches replayed sequentially on one
+        // thread. The `plan` vector seeds the batch structure; a small
+        // payload alphabet forces heavy cross-user chunk overlap so the
+        // inter-user dedup path is exercised, and varying stored sizes per
+        // uploader exercise the commutative-min canonical-size rule.
+        let batches_of = |user: usize| -> Vec<Vec<StoredChunk>> {
+            let mut batches = Vec::new();
+            let mut chunk_batch = Vec::new();
+            for (i, &v) in plan.iter().enumerate() {
+                // Payload identity: a small alphabet shared by every user,
+                // so most chunks collide across users.
+                let payload_id = v % 23;
+                let stored_len = 100 + u64::from(v % 7) * 50 + user as u64;
+                chunk_batch.push(StoredChunk {
+                    hash: sha256(&payload_id.to_le_bytes()),
+                    stored_len,
+                    plain_len: 1000,
+                });
+                if v % 5 == 0 || i + 1 == plan.len() {
+                    batches.push(std::mem::take(&mut chunk_batch));
+                }
+            }
+            batches
+        };
+        let sync_user = |store: &ObjectStore, user: usize| {
+            let name = format!("prop-user-{user}");
+            for (b, batch) in batches_of(user).iter().enumerate() {
+                for chunk in batch {
+                    store.put_chunk(&name, chunk.clone());
+                }
+                let manifest = FileManifest {
+                    path: format!("batch-{b}.bin"),
+                    size: batch.iter().map(|c| c.plain_len).sum(),
+                    chunks: batch.iter().map(|c| c.hash).collect(),
+                    version: 0,
+                };
+                store.commit_manifest(&name, manifest);
+            }
+        };
+
+        let concurrent = ObjectStore::with_shards(shards);
+        std::thread::scope(|scope| {
+            let sync_user = &sync_user;
+            for user in 0..users {
+                let store = concurrent.clone();
+                scope.spawn(move || sync_user(&store, user));
+            }
+        });
+
+        let sequential = ObjectStore::with_shards(shards);
+        for user in 0..users {
+            sync_user(&sequential, user);
+        }
+
+        prop_assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        prop_assert_eq!(concurrent.users(), sequential.users());
+        for user in 0..users {
+            let name = format!("prop-user-{user}");
+            prop_assert_eq!(concurrent.stats(&name), sequential.stats(&name));
+            prop_assert_eq!(concurrent.list_files(&name), sequential.list_files(&name));
+            for path in concurrent.list_files(&name) {
+                prop_assert_eq!(
+                    concurrent.manifest(&name, &path),
+                    sequential.manifest(&name, &path)
+                );
+            }
+        }
     }
 }
