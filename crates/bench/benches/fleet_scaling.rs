@@ -71,7 +71,7 @@ fn scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("concurrent", clients),
             &spec,
-            |b, spec: &FleetSpec| b.iter(|| run_fleet(spec, ObjectStore::new(), spec.clients)),
+            |b, spec: &FleetSpec| b.iter(|| run_fleet(spec, ObjectStore::new(), spec.clients())),
         );
     }
     group.finish();
@@ -80,7 +80,7 @@ fn scaling(c: &mut Criterion) {
 fn acceptance(c: &mut Criterion) {
     // --- Invariant 1: concurrent == sequential replay, bit for bit. ---
     let spec = fleet_spec(&ServiceProfile::dropbox(), 8, REPRO_SEED);
-    let concurrent = run_fleet(&spec, ObjectStore::new(), spec.clients);
+    let concurrent = run_fleet(&spec, ObjectStore::new(), spec.clients());
     let sequential = run_fleet(&spec, ObjectStore::new(), 1);
     assert_eq!(
         concurrent.clients, sequential.clients,
@@ -100,7 +100,7 @@ fn acceptance(c: &mut Criterion) {
     // Minimum of three runs each; 15% grace absorbs scheduler noise on
     // small or noisy-neighbor CI runners.
     let concurrent_t = best_of(3, || {
-        run_fleet(&spec, ObjectStore::new(), spec.clients);
+        run_fleet(&spec, ObjectStore::new(), spec.clients());
     });
     let sequential_t = best_of(3, || {
         run_fleet(&spec, ObjectStore::new(), 1);

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet] [--reps N]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero] [--reps N]
 //! repro bench-json [PATH]
 //! ```
 //!
@@ -12,9 +12,11 @@
 //! from the 2013 testbed; EXPERIMENTS.md records the paper-vs-measured
 //! comparison for every target.
 //!
-//! Beyond the paper, `fleet` prints the multi-tenant fleet scaling suite and
-//! `bench-json` dumps the deterministic gate metrics as flat JSON (to PATH,
-//! default stdout) for the CI bench-regression gate.
+//! Beyond the paper, `fleet` prints the multi-tenant fleet scaling suite,
+//! `hetero` runs the heterogeneous scenario matrix (mixed service profiles ×
+//! mixed access links × churn, against eager- and mark-sweep-collected
+//! stores), and `bench-json` dumps the deterministic gate metrics as flat
+//! JSON (to PATH, default stdout) for the CI bench-regression gate.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -96,6 +98,12 @@ fn fleet() {
     print_report(&Report::fleet_scaling(&suite));
 }
 
+fn hetero() {
+    let suite =
+        cloudbench::hetero::run_hetero(cloudbench_bench::metrics::HETERO_CLIENTS, REPRO_SEED);
+    print_report(&Report::heterogeneous(&suite));
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -145,6 +153,7 @@ fn main() {
         "fig6c" => fig6(&testbed, reps, Some(Fig6Metric::Overhead)),
         "fig6" => fig6(&testbed, reps, None),
         "fleet" => fleet(),
+        "hetero" => hetero(),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -155,10 +164,11 @@ fn main() {
             fig5(&testbed);
             fig6(&testbed, reps, None);
             fleet();
+            hetero();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet] [--reps N]");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero] [--reps N]");
             eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }

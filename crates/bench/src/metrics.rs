@@ -2,14 +2,18 @@
 //!
 //! Every metric is a pure function of the simulation (no wall-clock, no
 //! host parallelism dependence): per-service completion times and overheads
-//! on the paper's key workloads, plus the fleet suite's multi-tenant
-//! metrics at 8 clients. `repro bench-json` dumps them; the `bench_gate`
-//! binary compares a fresh dump against the committed `bench_baseline.json`.
+//! on the paper's key workloads, the fleet suite's multi-tenant metrics at
+//! 8 clients, and the heterogeneous scenario matrix (`hetero.*` per-profile
+//! completions and per-link goodputs, `gc.*` reclamation under churn).
+//! `repro bench-json` dumps them; the `bench_gate` binary compares a fresh
+//! dump against the committed `bench_baseline.json`.
 
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
+use cloudbench::hetero::run_hetero;
 use cloudbench::testbed::Testbed;
 use cloudbench::ServiceProfile;
 use cloudsim_services::fleet::run_fleet;
+use cloudsim_services::GcPolicy;
 use cloudsim_storage::ObjectStore;
 use cloudsim_workload::{BatchSpec, FileKind};
 
@@ -21,6 +25,13 @@ pub const GATE_REPETITIONS: usize = 2;
 
 /// The fleet size the gate pins (the acceptance point of the scaling suite).
 pub const GATE_FLEET_CLIENTS: usize = 8;
+
+/// The fleet size of the heterogeneous scenario. Slot `i` gets profile
+/// `i % 3` and link `i % 4`, so 9 slots cover 9 of the 12 profile×link
+/// pairs — every profile appears on three distinct links and every link
+/// carries at least two profiles (the full matrix would need lcm(3,4)=12
+/// slots; 9 keeps the CI gate fast).
+pub const HETERO_CLIENTS: usize = 9;
 
 /// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
 /// rerunning produces bit-identical values, so the gate's ±tolerance only
@@ -57,6 +68,25 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("fleet8.dedup_ratio".to_string(), row.dedup_ratio));
     metrics.push(("fleet8.physical_mb".to_string(), row.physical_bytes as f64 / 1e6));
     metrics.push(("fleet8.uploaded_mb".to_string(), row.uploaded_payload as f64 / 1e6));
+
+    // The heterogeneous scenario matrix: per-profile completion
+    // distributions, per-link goodput, dedup over churn, and GC reclamation
+    // under both policies.
+    let suite = run_hetero(HETERO_CLIENTS, REPRO_SEED);
+    for (service, stats) in &suite.completion_by_service {
+        let key = service.to_lowercase().replace(' ', "_");
+        metrics.push((format!("hetero.completion_mean_s.{key}"), stats.mean));
+    }
+    for (link, bps) in &suite.goodput_by_link {
+        metrics.push((format!("hetero.goodput_mbps.{link}"), bps / 1e6));
+    }
+    for row in &suite.gc_rows {
+        metrics.push((format!("gc.reclaimed_mb.{}", row.policy), row.reclaimed_bytes as f64 / 1e6));
+        metrics.push((format!("gc.physical_mb.{}", row.policy), row.physical_bytes as f64 / 1e6));
+        metrics.push((format!("gc.freed_chunks.{}", row.policy), row.freed_chunks as f64));
+    }
+    let eager = suite.gc_row(GcPolicy::Eager).expect("eager row");
+    metrics.push(("hetero.dedup_ratio".to_string(), eager.dedup_ratio));
 
     metrics
 }

@@ -104,10 +104,10 @@ pub fn run_fleet_scaling(
     FleetScalingSuite {
         service: profile.name().to_string(),
         workload: format!(
-            "{}x{}kB x{} batches",
+            "{}x{}kB x{} rounds",
             spec.files_per_batch,
             spec.file_size / 1024,
-            spec.batches_per_client
+            spec.rounds
         ),
         shared_fraction: spec.shared_fraction,
         rows,

@@ -26,7 +26,10 @@
 //! out: concurrent multi-client fleets committing into one shared sharded
 //! object store, measuring aggregate goodput, per-client completion-time
 //! distributions and the server-side inter-user deduplication ratio as a
-//! function of fleet size.
+//! function of fleet size. [`hetero`] runs the scenario *matrix* on top:
+//! mixed service profiles on mixed access links with seeded churn (joins and
+//! leaves mid-run) against a garbage-collected store, comparing eager and
+//! mark-sweep reclamation.
 //!
 //! ## Quick start
 //!
@@ -48,6 +51,7 @@ pub mod architecture;
 pub mod benchmarks;
 pub mod capability;
 pub mod fleet;
+pub mod hetero;
 pub mod idle;
 pub mod report;
 pub mod testbed;
@@ -56,6 +60,7 @@ pub use architecture::{discover_architecture, ArchitectureReport};
 pub use benchmarks::{run_performance_suite, PerformanceRow, PerformanceSuite};
 pub use capability::{CapabilityMatrix, ServiceCapabilities};
 pub use fleet::{run_fleet_scaling, FleetScalingRow, FleetScalingSuite, FLEET_SIZES};
+pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};
 pub use report::Report;
 pub use testbed::{ExperimentRun, Testbed};

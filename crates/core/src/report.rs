@@ -10,6 +10,7 @@ use crate::architecture::ArchitectureReport;
 use crate::benchmarks::PerformanceSuite;
 use crate::capability::{CapabilityMatrix, CompressionPoint, DeltaPoint};
 use crate::fleet::FleetScalingSuite;
+use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -235,6 +236,58 @@ impl Report {
         }
         Report {
             title: "Fleet scaling: concurrent multi-client sync into one sharded store".to_string(),
+            body,
+        }
+    }
+
+    /// Renders the heterogeneous scenario suite: per-profile completion
+    /// distributions, per-link goodput, and the GC policy comparison of the
+    /// churning fleet.
+    pub fn heterogeneous(suite: &HeteroSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} clients, {} rounds of {}, churn: {} leavers / {} joiners",
+            suite.clients, suite.rounds, suite.workload, suite.leavers, suite.joiners
+        );
+        let _ = writeln!(body, "\ncompletion time by service profile (simulated seconds):");
+        let _ = writeln!(
+            body,
+            "{:<16} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "service", "clients", "mean", "min", "max", "stddev"
+        );
+        for (service, stats) in &suite.completion_by_service {
+            let _ = writeln!(
+                body,
+                "{:<16} {:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                service, stats.count, stats.mean, stats.min, stats.max, stats.std_dev
+            );
+        }
+        let _ = writeln!(body, "\ngoodput by access link (Mb/s, simulated):");
+        let _ = writeln!(body, "{:<16} {:>12}", "link", "goodput Mb/s");
+        for (link, bps) in &suite.goodput_by_link {
+            let _ = writeln!(body, "{:<16} {:>12.3}", link, bps / 1e6);
+        }
+        let _ = writeln!(body, "\ngarbage collection over churn (identical schedule per policy):");
+        let _ = writeln!(
+            body,
+            "{:<12} {:>12} {:>12} {:>8} {:>10} {:>9}",
+            "policy", "physical MB", "reclaimed MB", "freed", "manifests", "dedup x"
+        );
+        for row in &suite.gc_rows {
+            let _ = writeln!(
+                body,
+                "{:<12} {:>12.2} {:>12.2} {:>8} {:>10} {:>9.2}",
+                row.policy,
+                row.physical_bytes as f64 / 1e6,
+                row.reclaimed_bytes as f64 / 1e6,
+                row.freed_chunks,
+                row.manifest_deletes,
+                row.dedup_ratio,
+            );
+        }
+        Report {
+            title: "Heterogeneous fleet: profiles x links x churn with a GC'd store".to_string(),
             body,
         }
     }

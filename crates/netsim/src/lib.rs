@@ -51,6 +51,7 @@
 
 pub mod host;
 pub mod http;
+pub mod link;
 pub mod network;
 pub mod path;
 pub mod rng;
@@ -60,6 +61,7 @@ pub mod tls;
 pub mod udp;
 
 pub use host::{HostId, HostInfo, HostRole};
+pub use link::AccessLink;
 pub use network::{Network, EPHEMERAL_PORT_MIN};
 pub use path::PathSpec;
 pub use rng::SimRng;

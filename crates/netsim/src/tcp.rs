@@ -132,7 +132,7 @@ impl TcpConnection {
                 established,
                 Direction::Upload,
                 tls.client_handshake_bytes as u64 / 2,
-                path.up_bandwidth,
+                path.effective_up_bandwidth(),
                 0,
             );
             conn.emit_stream(
@@ -140,7 +140,7 @@ impl TcpConnection {
                 established + rtt,
                 Direction::Download,
                 tls.server_handshake_bytes as u64,
-                path.down_bandwidth,
+                path.effective_down_bandwidth(),
                 0,
             );
             conn.emit_stream(
@@ -148,7 +148,7 @@ impl TcpConnection {
                 established + rtt,
                 Direction::Upload,
                 tls.client_handshake_bytes as u64 / 2,
-                path.up_bandwidth,
+                path.effective_up_bandwidth(),
                 0,
             );
             established += rtt.saturating_mul(tls.handshake_rtts as u64);
@@ -299,8 +299,8 @@ impl TcpConnection {
     ) -> SimTime {
         debug_assert!(bytes > 0);
         let bandwidth = match direction {
-            Direction::Upload => path.up_bandwidth,
-            Direction::Download => path.down_bandwidth,
+            Direction::Upload => path.effective_up_bandwidth(),
+            Direction::Download => path.effective_down_bandwidth(),
         };
         let seg_payload = MSS as u64;
         let total_segments = bytes.div_ceil(seg_payload);

@@ -11,7 +11,7 @@ use crate::planner::{FilePlan, UploadPlanner};
 use crate::profile::{ServiceProfile, TransferMode};
 use cloudsim_net::http::{HttpExchange, HttpOverhead};
 use cloudsim_net::tcp::{ConnectionOptions, TcpConnection};
-use cloudsim_net::Simulator;
+use cloudsim_net::{AccessLink, Simulator};
 use cloudsim_trace::{FlowKind, SimDuration, SimTime};
 use cloudsim_workload::GeneratedFile;
 
@@ -71,14 +71,36 @@ impl SyncClient {
         store: cloudsim_storage::ObjectStore,
         user: &str,
     ) -> SyncClient {
-        SyncClient::from_planner(
+        SyncClient::for_user_on_link(profile, pipeline, store, user, &AccessLink::campus())
+    }
+
+    /// The fleet constructor for a client behind a specific access link: the
+    /// deployment's paths are composed with the link, so an ADSL user and a
+    /// fibre user of the same service live in different network worlds.
+    pub fn for_user_on_link(
+        profile: ServiceProfile,
+        pipeline: cloudsim_storage::UploadPipeline,
+        store: cloudsim_storage::ObjectStore,
+        user: &str,
+        link: &AccessLink,
+    ) -> SyncClient {
+        SyncClient::with_deployment(
             UploadPlanner::for_user(profile.clone(), pipeline, store, user),
+            Deployment::with_link(&profile, link),
             profile,
         )
     }
 
     fn from_planner(planner: UploadPlanner, profile: ServiceProfile) -> SyncClient {
         let deployment = Deployment::new(&profile);
+        SyncClient::with_deployment(planner, deployment, profile)
+    }
+
+    fn with_deployment(
+        planner: UploadPlanner,
+        deployment: Deployment,
+        profile: ServiceProfile,
+    ) -> SyncClient {
         SyncClient {
             planner,
             profile,
@@ -446,6 +468,38 @@ impl SyncClient {
         let network = self.deployment.network.clone();
         let conn = self.ensure_control(sim, at);
         HttpExchange::new(600, 300, SimDuration::from_millis(25)).execute(conn, sim, &network, at)
+    }
+
+    /// Leaves the service for good: hard-deletes every manifest of the
+    /// account (releasing the user's chunk references server-side, unlike the
+    /// retention-friendly [`SyncClient::delete_file`]) and tears the control
+    /// channel down. Returns the time the departure completed and the number
+    /// of manifests deleted. The churn harness calls this for leaving
+    /// clients; freeing the released bytes is the store's GC policy's job.
+    pub fn leave_service(&mut self, sim: &mut Simulator, at: SimTime) -> (SimTime, usize) {
+        let deleted = self.planner.purge_account();
+        // One control exchange announces the account teardown; its size
+        // scales with the manifest count like a batched delete would.
+        let request = 500 + 120 * deleted as u64;
+        let network = self.deployment.network.clone();
+        let done = {
+            let conn = self.ensure_control(sim, at);
+            HttpExchange::new(request.min(64_000), 400, SimDuration::from_millis(40))
+                .execute(conn, sim, &network, at)
+        };
+        let closed = match self.control_conn.take() {
+            Some(mut conn) => conn.close(sim, &network, done),
+            None => done,
+        };
+        if let Some(mut conn) = self.notify_conn.take() {
+            conn.close(sim, &network, closed);
+        }
+        if let Some(mut conn) = self.storage_conn.take() {
+            conn.close(sim, &network, closed);
+        }
+        self.logged_in = false;
+        self.last_activity = closed;
+        (closed, deleted)
     }
 
     fn ensure_control(&mut self, sim: &mut Simulator, at: SimTime) -> &mut TcpConnection {

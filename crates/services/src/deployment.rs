@@ -9,7 +9,7 @@
 
 use crate::profile::ServiceProfile;
 use cloudsim_geo::{Provider, ProviderTopology, ServerRole};
-use cloudsim_net::{HostId, HostRole, Network, PathSpec};
+use cloudsim_net::{AccessLink, HostId, HostRole, Network, PathSpec};
 
 /// The instantiated servers of one service.
 #[derive(Debug, Clone)]
@@ -25,13 +25,24 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Builds the deployment for a profile.
+    /// Builds the deployment for a profile, measured from the paper's campus
+    /// testbed (the identity access link).
     pub fn new(profile: &ServiceProfile) -> Deployment {
+        Deployment::with_link(profile, &AccessLink::campus())
+    }
+
+    /// Builds the deployment for a profile as seen from a client behind the
+    /// given access link: every server path is composed with the link
+    /// (bottleneck bandwidth, added RTT, combined loss). This is how a
+    /// heterogeneous fleet gives each simulated user its own network world.
+    pub fn with_link(profile: &ServiceProfile, link: &AccessLink) -> Deployment {
         let mut network = Network::new();
         let truth = ProviderTopology::ground_truth(profile.provider);
 
-        let control_path = PathSpec::symmetric(profile.control_rtt, profile.control_bandwidth);
-        let storage_path = PathSpec::symmetric(profile.storage_rtt, profile.storage_bandwidth);
+        let control_path =
+            link.apply(PathSpec::symmetric(profile.control_rtt, profile.control_bandwidth));
+        let storage_path =
+            link.apply(PathSpec::symmetric(profile.storage_rtt, profile.storage_bandwidth));
 
         // Control servers: reuse ground-truth control/both nodes, padding with
         // synthetic siblings when the profile contacts more servers than the
@@ -162,6 +173,29 @@ mod tests {
         assert!(path.rtt <= SimDuration::from_millis(20));
         let host = deployment.network.host(deployment.storage_host).unwrap();
         assert!(host.dns_name.contains("google"));
+    }
+
+    #[test]
+    fn access_links_reshape_every_path_of_the_deployment() {
+        let profile = ServiceProfile::dropbox();
+        let campus = Deployment::new(&profile);
+        let adsl = Deployment::with_link(&profile, &AccessLink::adsl());
+        let storage = adsl.network.path(adsl.storage_host);
+        // Upstream is clamped to the 1 Mb/s ADSL uplink and the access
+        // latency is added on top of the provider RTT.
+        assert_eq!(storage.up_bandwidth, 1_000_000);
+        assert_eq!(
+            storage.rtt,
+            campus.network.path(campus.storage_host).rtt + SimDuration::from_millis(30)
+        );
+        let control = adsl.network.path(adsl.primary_control());
+        assert_eq!(control.up_bandwidth, 1_000_000);
+        // The campus link is the identity: same paths as the plain deployment.
+        let campus2 = Deployment::with_link(&profile, &AccessLink::campus());
+        assert_eq!(
+            campus2.network.path(campus2.storage_host),
+            campus.network.path(campus.storage_host)
+        );
     }
 
     #[test]

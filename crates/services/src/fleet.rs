@@ -1,42 +1,95 @@
-//! Concurrent multi-client fleet harness.
+//! Concurrent multi-client fleet harness: heterogeneous, long-lived fleets.
 //!
-//! The paper measures each service from a *single* test computer; its
-//! server-side findings (inter-user deduplication, per-service completion
-//! time and overhead, §4–§5) only matter at provider scale. This module
-//! drives K independent [`SyncClient`]s — one simulated user each, every one
-//! with its own deterministic network simulator, workload and client-side
-//! state — committing into one *shared* sharded [`ObjectStore`], so
-//! cross-user deduplication and store-lock contention are exercised under
-//! real OS-thread concurrency.
+//! The paper measures each service from a *single* test computer on one
+//! campus link; its server-side findings (inter-user deduplication,
+//! per-service completion time and overhead, §4–§5) only matter at provider
+//! scale, and its central message — the best service depends on the workload
+//! *and* the client's network — only shows when clients differ. This module
+//! drives K independent [`SyncClient`]s, each described by a [`ClientSlot`]
+//! carrying its own [`ServiceProfile`] **and** its own [`AccessLink`]
+//! (mixed Dropbox/SkyDrive/Google Drive fleets on mixed ADSL/fibre/3G
+//! links), all committing into one shared sharded [`ObjectStore`].
+//!
+//! Fleets are long-lived: the run proceeds in *rounds*. Every active client
+//! synchronises one batch per round, clients may **join** mid-run
+//! (`join_round`) and **leave** mid-run (`leave_after`), and a leaving
+//! client hard-deletes its manifests so the store's [`GcPolicy`] decides
+//! when the bytes come back.
 //!
 //! Determinism contract: a client's simulation consumes only its own seed
 //! and its own planner state, and the shared store's aggregate accounting is
-//! order-independent, so [`run_fleet`] produces bit-identical
-//! [`ClientSummary`]s and [`AggregateStats`] whether the clients run on one
-//! thread (sequential replay) or on one thread per client. The
+//! order-independent within each phase. Rounds are phase-separated — all
+//! sync commits of a round complete (barrier) before any leave releases
+//! references, and garbage collection runs between rounds — so
+//! [`run_fleet`] produces bit-identical [`ClientSummary`]s and
+//! [`AggregateStats`] whether the clients run on one thread (sequential
+//! replay) or on one thread per client, churn and GC included. The
 //! `fleet_scaling` bench and the workspace property tests assert exactly
 //! that.
 
 use crate::client::{SyncClient, SyncOutcome};
 use crate::profile::ServiceProfile;
-use cloudsim_net::Simulator;
-use cloudsim_storage::{AggregateStats, ObjectStore, UploadPipeline};
+use cloudsim_net::{AccessLink, Simulator};
+use cloudsim_storage::{AggregateStats, GcPolicy, ObjectStore, UploadPipeline};
 use cloudsim_trace::series::SampleStats;
 use cloudsim_trace::{SimDuration, SimTime};
 use cloudsim_workload::{generate, FileKind, GeneratedFile};
 use serde::Serialize;
+use std::sync::Mutex;
+
+/// Simulated seconds between round epochs: a client joining in round `r`
+/// starts its login at `r * ROUND_EPOCH_SECS` in its own timeline.
+pub const ROUND_EPOCH_SECS: u64 = 60;
+
+/// One client slot of a fleet: which service it runs, which access link it
+/// sits behind, and when it participates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClientSlot {
+    /// The service this client syncs with.
+    pub profile: ServiceProfile,
+    /// The access link between the client and the wider Internet.
+    pub link: AccessLink,
+    /// First round the client is active (0 = present from the start).
+    pub join_round: usize,
+    /// Last round the client participates in, after which it hard-deletes
+    /// its manifests and departs. `None` = stays to the end.
+    pub leave_after: Option<usize>,
+}
+
+impl ClientSlot {
+    /// A slot present for the whole run: given service, campus link.
+    pub fn resident(profile: ServiceProfile) -> ClientSlot {
+        ClientSlot { profile, link: AccessLink::campus(), join_round: 0, leave_after: None }
+    }
+
+    /// Returns a copy behind a different access link.
+    pub fn on_link(mut self, link: AccessLink) -> ClientSlot {
+        self.link = link;
+        self
+    }
+
+    /// True when the slot syncs a batch in round `round`.
+    pub fn active_in(&self, round: usize) -> bool {
+        round >= self.join_round && self.leave_after.map(|l| round <= l).unwrap_or(true)
+    }
+
+    /// Number of rounds the slot is active within a run of `rounds` rounds.
+    pub fn active_rounds(&self, rounds: usize) -> usize {
+        if rounds == 0 {
+            return 0;
+        }
+        let last = self.leave_after.map(|l| l.min(rounds - 1)).unwrap_or(rounds - 1);
+        (last + 1).saturating_sub(self.join_round)
+    }
+}
 
 /// Workload description for one fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FleetSpec {
-    /// The service every client runs (the paper benchmarks one service at a
-    /// time; mixed fleets can be built by running several fleets into one
-    /// shared store).
-    pub profile: ServiceProfile,
-    /// Number of concurrent sync clients (users).
-    pub clients: usize,
-    /// Sync batches each client performs, one after the other.
-    pub batches_per_client: usize,
+    /// One slot per client, indexed by client number.
+    pub slots: Vec<ClientSlot>,
+    /// Rounds the fleet runs; every active client syncs one batch per round.
+    pub rounds: usize,
     /// Files per batch.
     pub files_per_batch: usize,
     /// Size of each file in bytes.
@@ -47,29 +100,59 @@ pub struct FleetSpec {
     /// identical bytes across users, modelling popular content. This is what
     /// inter-user dedup (§4.3) acts on.
     pub shared_fraction: f64,
-    /// Master seed; every (client, batch, file) derives an independent seed.
+    /// Master seed; every (client, round, file) derives an independent seed,
+    /// and the churn schedule derives from it too.
     pub seed: u64,
+    /// GC policy for stores the convenience runners create.
+    pub gc: GcPolicy,
+    /// The `(joiners, leavers)` churn population installed by
+    /// [`FleetSpec::with_churn`], kept so a later [`FleetSpec::with_seed`]
+    /// re-derives the schedule instead of leaving a stale one.
+    pub churn: Option<(usize, usize)>,
 }
 
 impl FleetSpec {
-    /// A fleet of `clients` Dropbox-profile users, each syncing one batch of
-    /// ten 64 kB files, half of them from the shared pool.
+    /// A homogeneous fleet of `clients` users of one service on the campus
+    /// link, each syncing one round of ten 64 kB files, half of them from
+    /// the shared pool — the PR 2 scaling-suite workload.
     pub fn new(profile: ServiceProfile, clients: usize) -> FleetSpec {
+        let slots = (0..clients).map(|_| ClientSlot::resident(profile.clone())).collect();
         FleetSpec {
-            profile,
-            clients,
-            batches_per_client: 1,
+            slots,
+            rounds: 1,
             files_per_batch: 10,
             file_size: 64 * 1024,
             kind: FileKind::RandomBinary,
             shared_fraction: 0.5,
             seed: 0xF1EE7,
+            gc: GcPolicy::default(),
+            churn: None,
         }
     }
 
-    /// Sets batches per client.
-    pub fn with_batches(mut self, batches: usize) -> FleetSpec {
-        self.batches_per_client = batches;
+    /// A fully explicit heterogeneous fleet.
+    pub fn heterogeneous(slots: Vec<ClientSlot>) -> FleetSpec {
+        let mut spec = FleetSpec::new(ServiceProfile::dropbox(), 0);
+        spec.slots = slots;
+        spec
+    }
+
+    /// Number of client slots.
+    pub fn clients(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sets rounds (historically "batches per client": a non-churning client
+    /// syncs exactly one batch per round). If a churn schedule was already
+    /// installed it is re-derived for the new round count, so builder-call
+    /// order cannot leave join/leave rounds outside the run.
+    pub fn with_batches(mut self, rounds: usize) -> FleetSpec {
+        assert!(rounds > 0, "a fleet needs at least one round");
+        self.rounds = rounds;
+        if let Some((joiners, leavers)) = self.churn {
+            assert!(self.rounds >= 2, "churn needs at least two rounds");
+            self.apply_churn(joiners, leavers);
+        }
         self
     }
 
@@ -87,18 +170,90 @@ impl FleetSpec {
         self
     }
 
-    /// Sets the master seed.
+    /// Sets the master seed. If a churn schedule was already installed it is
+    /// re-derived from the new seed, so builder-call order cannot leave a
+    /// schedule that contradicts the seed.
     pub fn with_seed(mut self, seed: u64) -> FleetSpec {
         self.seed = seed;
+        if let Some((joiners, leavers)) = self.churn {
+            self.apply_churn(joiners, leavers);
+        }
         self
     }
 
-    /// Total plaintext bytes the whole fleet synchronises.
+    /// Sets the GC policy the convenience runners build their store with.
+    pub fn with_gc(mut self, gc: GcPolicy) -> FleetSpec {
+        self.gc = gc;
+        self
+    }
+
+    /// Distributes service profiles round-robin across the slots (a mixed
+    /// fleet: slot `i` runs `profiles[i % len]`).
+    pub fn with_profiles(mut self, profiles: &[ServiceProfile]) -> FleetSpec {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.profile = profiles[i % profiles.len()].clone();
+        }
+        self
+    }
+
+    /// Distributes access links round-robin across the slots (per-client
+    /// network diversity: slot `i` sits behind `links[i % len]`).
+    pub fn with_links(mut self, links: &[AccessLink]) -> FleetSpec {
+        assert!(!links.is_empty(), "need at least one link");
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.link = links[i % links.len()];
+        }
+        self
+    }
+
+    /// Installs a deterministic churn schedule derived from the master seed:
+    /// the first `leavers` slots leave mid-run (hard-deleting their
+    /// manifests), the last `joiners` slots join mid-run. Requires at least
+    /// two rounds and disjoint joiner/leaver populations.
+    pub fn with_churn(mut self, joiners: usize, leavers: usize) -> FleetSpec {
+        assert!(self.rounds >= 2, "churn needs at least two rounds");
+        assert!(
+            joiners + leavers <= self.slots.len(),
+            "churn population exceeds the fleet ({} + {} > {})",
+            joiners,
+            leavers,
+            self.slots.len()
+        );
+        self.churn = Some((joiners, leavers));
+        self.apply_churn(joiners, leavers);
+        self
+    }
+
+    fn apply_churn(&mut self, joiners: usize, leavers: usize) {
+        // The installed schedule owns every slot's lifecycle: reset first,
+        // so re-deriving (new seed, new round count, smaller population)
+        // never leaves stale assignments outside the current population.
+        for slot in self.slots.iter_mut() {
+            slot.join_round = 0;
+            slot.leave_after = None;
+        }
+        let span = (self.rounds - 1) as u64;
+        for l in 0..leavers {
+            // Leave after some round in [0, rounds-2]: departures always
+            // happen strictly before the run ends, so later rounds observe
+            // the released references.
+            let pick = self.derived_seed(l as u64, 0xC0FFEE, 0) % span;
+            self.slots[l].leave_after = Some(pick as usize);
+        }
+        let n = self.slots.len();
+        for j in 0..joiners {
+            // Join at some round in [1, rounds-1].
+            let pick = 1 + self.derived_seed(j as u64, 0x901E5, 0) % span;
+            self.slots[n - 1 - j].join_round = pick as usize;
+        }
+    }
+
+    /// Total plaintext bytes the whole fleet synchronises over all its
+    /// active rounds.
     pub fn total_logical_bytes(&self) -> u64 {
-        self.clients as u64
-            * self.batches_per_client as u64
-            * self.files_per_batch as u64
-            * self.file_size as u64
+        let per_batch = self.files_per_batch as u64 * self.file_size as u64;
+        self.slots.iter().map(|s| s.active_rounds(self.rounds) as u64 * per_batch).sum()
     }
 
     /// The user name of client `i`.
@@ -123,26 +278,52 @@ impl FleetSpec {
         ((self.files_per_batch as f64) * self.shared_fraction).round() as usize
     }
 
-    /// Generates batch `batch` of client `client`. The first
+    /// Generates the batch client `client` syncs in round `round`. The first
     /// [`FleetSpec::shared_files_per_batch`] files carry shared-pool content
-    /// (seeded by batch and file index only, identical across clients); the
+    /// (seeded by round and file index only, identical across clients); the
     /// rest are private to the client.
-    pub fn workload(&self, client: usize, batch: usize) -> Vec<GeneratedFile> {
+    pub fn workload(&self, client: usize, round: usize) -> Vec<GeneratedFile> {
         let shared = self.shared_files_per_batch();
         (0..self.files_per_batch)
             .map(|f| {
                 let (label, seed) = if f < shared {
                     // Shared pool: client index deliberately excluded.
-                    ("shared", self.derived_seed(u64::MAX, batch as u64, f as u64))
+                    ("shared", self.derived_seed(u64::MAX, round as u64, f as u64))
                 } else {
-                    ("private", self.derived_seed(client as u64, batch as u64, f as u64))
+                    ("private", self.derived_seed(client as u64, round as u64, f as u64))
                 };
                 GeneratedFile {
-                    path: format!("{label}/b{batch:03}_f{f:04}.{}", self.kind.extension()),
+                    path: format!("{label}/b{round:03}_f{f:04}.{}", self.kind.extension()),
                     content: generate(self.kind, self.file_size, seed),
                 }
             })
             .collect()
+    }
+
+    fn validate(&self) {
+        assert!(!self.slots.is_empty(), "a fleet needs at least one client");
+        assert!(self.rounds > 0, "a fleet needs at least one round");
+        for (i, slot) in self.slots.iter().enumerate() {
+            assert!(
+                slot.join_round < self.rounds,
+                "client {i} joins in round {} of a {}-round run",
+                slot.join_round,
+                self.rounds
+            );
+            if let Some(leave) = slot.leave_after {
+                assert!(
+                    leave >= slot.join_round,
+                    "client {i} leaves (after round {leave}) before joining (round {})",
+                    slot.join_round
+                );
+                assert!(
+                    leave < self.rounds,
+                    "client {i} leaves after round {leave} of a {}-round run — the departure \
+                     would never execute",
+                    self.rounds
+                );
+            }
+        }
     }
 }
 
@@ -151,7 +332,17 @@ impl FleetSpec {
 pub struct ClientSummary {
     /// The user account the client synced as.
     pub user: String,
-    /// One outcome per batch, in order.
+    /// Service the client ran.
+    pub service: String,
+    /// Access link the client sat behind.
+    pub link: String,
+    /// Round the client joined in.
+    pub join_round: usize,
+    /// Round after which the client left, `None` when it stayed.
+    pub left_after: Option<usize>,
+    /// Manifests the client hard-deleted on departure.
+    pub deleted_manifests: usize,
+    /// One outcome per active round, in order.
     pub outcomes: Vec<SyncOutcome>,
     /// Simulated seconds from the first batch's modification to the last
     /// batch's upload completion.
@@ -183,13 +374,7 @@ impl FleetRun {
     /// Distribution of per-client completion times (simulated seconds).
     pub fn completion_stats(&self) -> SampleStats {
         let samples: Vec<f64> = self.clients.iter().map(|c| c.completion_secs).collect();
-        SampleStats::from_samples(&samples).unwrap_or(SampleStats {
-            count: 0,
-            mean: 0.0,
-            min: 0.0,
-            max: 0.0,
-            std_dev: 0.0,
-        })
+        SampleStats::from_samples(&samples).unwrap_or(SampleStats::zero())
     }
 
     /// Plaintext bytes synchronised by the whole fleet.
@@ -205,6 +390,7 @@ impl FleetRun {
     /// Aggregate goodput in bits per simulated second: fleet plaintext volume
     /// over the slowest client's completion time (clients sync in parallel
     /// wall-clock-wise, so the fleet is done when the last client is).
+    /// 0.0 for empty or zero-byte runs — never NaN or infinite.
     pub fn aggregate_goodput_bps(&self) -> f64 {
         let slowest = self.clients.iter().map(|c| c.completion_secs).fold(0.0f64, f64::max);
         if slowest > 0.0 {
@@ -214,84 +400,228 @@ impl FleetRun {
         }
     }
 
-    /// Server-side inter-user dedup ratio after the run.
+    /// Server-side inter-user dedup ratio after the run. 0.0 when the store
+    /// holds no physical bytes (empty run, or churn + GC reclaimed
+    /// everything) — never NaN or infinite; see
+    /// [`AggregateStats::dedup_ratio`].
     pub fn dedup_ratio(&self) -> f64 {
         self.aggregate().dedup_ratio()
     }
 
+    /// Bytes garbage collection reclaimed during the run (eager frees and
+    /// mark-sweep passes combined).
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.aggregate().reclaimed_bytes
+    }
+
     /// Host-side throughput of the harness itself: plaintext bytes committed
     /// per wall-clock second. This is the number the sharded store improves.
+    /// 0.0 for empty or unmeasurably fast runs — never NaN or infinite.
     pub fn wall_throughput_bps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.total_logical_bytes() as f64 * 8.0 / secs
+        let bytes = self.total_logical_bytes();
+        if secs > 0.0 && bytes > 0 {
+            bytes as f64 * 8.0 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
+    }
+
+    /// Completion-time distribution per service, in first-appearance order —
+    /// the per-profile breakdown of the heterogeneous suite.
+    pub fn per_service_completion(&self) -> Vec<(String, SampleStats)> {
+        self.grouped(|c| c.service.clone())
+            .into_iter()
+            .map(|(name, members)| {
+                let samples: Vec<f64> = members.iter().map(|c| c.completion_secs).collect();
+                let stats = SampleStats::from_samples(&samples).expect("groups are non-empty");
+                (name, stats)
+            })
+            .collect()
+    }
+
+    /// Goodput per access link in bits per simulated second (volume of the
+    /// link's clients over the slowest of them), in first-appearance order.
+    pub fn per_link_goodput_bps(&self) -> Vec<(String, f64)> {
+        self.grouped(|c| c.link.clone())
+            .into_iter()
+            .map(|(name, members)| {
+                let bytes: u64 = members.iter().map(|c| c.logical_bytes).sum();
+                let slowest = members.iter().map(|c| c.completion_secs).fold(0.0f64, f64::max);
+                let bps = if slowest > 0.0 { bytes as f64 * 8.0 / slowest } else { 0.0 };
+                (name, bps)
+            })
+            .collect()
+    }
+
+    fn grouped<K: Fn(&ClientSummary) -> String>(
+        &self,
+        key: K,
+    ) -> Vec<(String, Vec<&ClientSummary>)> {
+        let mut groups: Vec<(String, Vec<&ClientSummary>)> = Vec::new();
+        for client in &self.clients {
+            let k = key(client);
+            match groups.iter_mut().find(|(name, _)| *name == k) {
+                Some((_, members)) => members.push(client),
+                None => groups.push((k, vec![client])),
+            }
+        }
+        groups
     }
 }
 
-fn run_client(spec: &FleetSpec, store: &ObjectStore, i: usize) -> ClientSummary {
+/// One client's live state across rounds.
+struct LiveClient {
+    client: SyncClient,
+    sim: Simulator,
+    outcomes: Vec<SyncOutcome>,
+    first_modification: Option<SimTime>,
+    next_modification: SimTime,
+    deleted_manifests: usize,
+}
+
+fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -> LiveClient {
+    let slot = &spec.slots[i];
     let user = spec.user(i);
     // Each fleet client occupies one OS thread, so its upload pipeline runs
     // sequentially — nesting per-chunk fan-outs inside the per-client fan-out
     // would oversubscribe the host (plans are byte-identical either way).
-    let mut client = SyncClient::for_user(
-        spec.profile.clone(),
+    let mut client = SyncClient::for_user_on_link(
+        slot.profile.clone(),
         UploadPipeline::sequential(),
         store.clone(),
         &user,
+        &slot.link,
     );
     let mut sim = Simulator::new(spec.derived_seed(i as u64, u64::MAX, 0));
-    let login_done = client.login(&mut sim, SimTime::ZERO);
-
-    let mut outcomes = Vec::with_capacity(spec.batches_per_client);
-    let mut modification = login_done + SimDuration::from_secs(5);
-    for batch in 0..spec.batches_per_client {
-        let files = spec.workload(i, batch);
-        let outcome = client.sync_batch(&mut sim, &files, modification);
-        modification = outcome.completed_at + SimDuration::from_secs(2);
-        outcomes.push(outcome);
+    let epoch = SimTime::from_secs(round as u64 * ROUND_EPOCH_SECS);
+    let login_done = client.login(&mut sim, epoch);
+    LiveClient {
+        client,
+        sim,
+        outcomes: Vec::new(),
+        first_modification: None,
+        next_modification: login_done + SimDuration::from_secs(5),
+        deleted_manifests: 0,
     }
+}
 
-    let first = outcomes.first().expect("at least one batch");
-    let last = outcomes.last().expect("at least one batch");
+fn sync_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, round: usize) {
+    let files = spec.workload(i, round);
+    let outcome = lc.client.sync_batch(&mut lc.sim, &files, lc.next_modification);
+    lc.next_modification = outcome.completed_at + SimDuration::from_secs(2);
+    if lc.first_modification.is_none() {
+        lc.first_modification = Some(outcome.modification_time);
+    }
+    lc.outcomes.push(outcome);
+}
+
+fn summarize(
+    spec: &FleetSpec,
+    i: usize,
+    lc: LiveClient,
+    left_after: Option<usize>,
+) -> ClientSummary {
+    let slot = &spec.slots[i];
+    let first = lc.first_modification.expect("an active client synced at least one batch");
+    let last = lc.outcomes.last().expect("at least one batch").completed_at;
     ClientSummary {
-        user,
-        completion_secs: (last.completed_at - first.modification_time).as_secs_f64(),
-        logical_bytes: outcomes.iter().map(|o| o.logical_bytes).sum(),
-        uploaded_payload: outcomes.iter().map(|o| o.uploaded_payload).sum(),
-        outcomes,
+        user: spec.user(i),
+        service: slot.profile.name().to_string(),
+        link: slot.link.name.to_string(),
+        join_round: slot.join_round,
+        left_after,
+        deleted_manifests: lc.deleted_manifests,
+        completion_secs: (last - first).as_secs_f64(),
+        logical_bytes: lc.outcomes.iter().map(|o| o.logical_bytes).sum(),
+        uploaded_payload: lc.outcomes.iter().map(|o| o.uploaded_payload).sum(),
+        outcomes: lc.outcomes,
     }
 }
 
 /// Runs the fleet on up to `workers` OS threads, committing into `store`.
 /// `workers = 1` is the sequential replay; any other count produces
-/// bit-identical [`ClientSummary`]s and aggregate store statistics.
+/// bit-identical [`ClientSummary`]s and aggregate store statistics, because
+/// every round is phase-separated: all of the round's sync commits complete
+/// before any leaving client releases references, and mark-sweep GC runs
+/// between rounds on one thread.
 pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetRun {
-    assert!(spec.clients > 0, "a fleet needs at least one client");
-    assert!(spec.batches_per_client > 0, "a fleet client needs at least one batch");
+    spec.validate();
     let started = std::time::Instant::now();
-    let clients = cloudsim_parallel::run_indexed(
-        workers,
-        spec.clients,
-        || (),
-        |(), i| run_client(spec, &store, i),
-    );
+    let mut states: Vec<Option<LiveClient>> = spec.slots.iter().map(|_| None).collect();
+    let mut summaries: Vec<Option<ClientSummary>> = spec.slots.iter().map(|_| None).collect();
+
+    for round in 0..spec.rounds {
+        let active: Vec<usize> =
+            (0..spec.slots.len()).filter(|&i| spec.slots[i].active_in(round)).collect();
+
+        // Sync phase: every active client syncs one batch, in parallel. The
+        // store only sees commits here, which commute.
+        let tasks: Vec<Mutex<Option<LiveClient>>> =
+            active.iter().map(|&i| Mutex::new(states[i].take())).collect();
+        let synced: Vec<LiveClient> = cloudsim_parallel::run_indexed(
+            workers.min(active.len().max(1)),
+            active.len(),
+            || (),
+            |(), k| {
+                let i = active[k];
+                let mut lc = tasks[k]
+                    .lock()
+                    .expect("task mutex")
+                    .take()
+                    .unwrap_or_else(|| spawn_client(spec, &store, i, round));
+                sync_round(spec, &mut lc, i, round);
+                lc
+            },
+        );
+        for (k, lc) in synced.into_iter().enumerate() {
+            states[active[k]] = Some(lc);
+        }
+
+        // Leave phase (after the sync barrier): departing clients hard-delete
+        // their manifests. The store only sees releases here, which commute —
+        // but they never race the round's commits.
+        for &i in &active {
+            if spec.slots[i].leave_after == Some(round) {
+                let mut lc = states[i].take().expect("leaving client is live");
+                let at = lc.next_modification;
+                let (_, deleted) = lc.client.leave_service(&mut lc.sim, at);
+                lc.deleted_manifests = deleted;
+                summaries[i] = Some(summarize(spec, i, lc, Some(round)));
+            }
+        }
+
+        // GC phase: under mark-sweep, a single-threaded periodic pass between
+        // rounds. (Eager frees already happened inside the releases.)
+        if store.gc_policy() == GcPolicy::MarkSweep {
+            store.collect_garbage();
+        }
+    }
+
+    for (i, state) in states.into_iter().enumerate() {
+        if let Some(lc) = state {
+            summaries[i] = Some(summarize(spec, i, lc, None));
+        }
+    }
+    let clients = summaries
+        .into_iter()
+        .map(|s| s.expect("every slot was active in at least one round"))
+        .collect();
     FleetRun { clients, store, elapsed: started.elapsed() }
 }
 
 /// Runs the fleet with one OS thread per client (capped at the host's
-/// available parallelism) against a fresh sharded store.
+/// available parallelism) against a fresh sharded store using the spec's GC
+/// policy.
 pub fn run_fleet_concurrent(spec: &FleetSpec) -> FleetRun {
-    let workers = cloudsim_parallel::available_workers().clamp(1, spec.clients);
-    run_fleet(spec, ObjectStore::new(), workers)
+    let workers = cloudsim_parallel::available_workers().clamp(1, spec.clients().max(1));
+    run_fleet(spec, ObjectStore::with_policy(spec.gc), workers)
 }
 
 /// Replays the same fleet sequentially on the calling thread against a fresh
 /// sharded store — the determinism baseline concurrent runs are compared to.
 pub fn run_fleet_sequential(spec: &FleetSpec) -> FleetRun {
-    run_fleet(spec, ObjectStore::new(), 1)
+    run_fleet(spec, ObjectStore::with_policy(spec.gc), 1)
 }
 
 #[cfg(test)]
@@ -303,6 +633,18 @@ mod tests {
             .with_files(4, 16 * 1024)
             .with_batches(2)
             .with_seed(42)
+    }
+
+    fn hetero_spec(clients: usize) -> FleetSpec {
+        small_spec(clients)
+            .with_batches(4)
+            .with_profiles(&[
+                ServiceProfile::dropbox(),
+                ServiceProfile::skydrive(),
+                ServiceProfile::google_drive(),
+            ])
+            .with_links(&[AccessLink::fiber(), AccessLink::adsl(), AccessLink::mobile3g()])
+            .with_churn(1, 2)
     }
 
     #[test]
@@ -319,7 +661,7 @@ mod tests {
         for f in shared..4 {
             assert_ne!(a[f].content, b[f].content, "private file {f} must differ");
         }
-        // Batches differ from each other even in the shared pool.
+        // Rounds differ from each other even in the shared pool.
         assert_ne!(spec.workload(0, 0)[0].content, spec.workload(0, 1)[0].content);
         // Workload generation is deterministic.
         assert_eq!(spec.workload(2, 1), spec.workload(2, 1));
@@ -344,6 +686,130 @@ mod tests {
                 sequential.store.list_files(&summary.user)
             );
         }
+    }
+
+    #[test]
+    fn churning_heterogeneous_fleet_is_deterministic_under_concurrency() {
+        // The tentpole acceptance: mixed services, mixed links, joins,
+        // leaves and GC — still bit-identical to the sequential replay,
+        // under both GC policies.
+        for gc in [GcPolicy::Eager, GcPolicy::MarkSweep] {
+            let spec = hetero_spec(7).with_gc(gc);
+            let concurrent = run_fleet_concurrent(&spec);
+            let sequential = run_fleet_sequential(&spec);
+            assert_eq!(concurrent.clients, sequential.clients, "{gc:?}");
+            assert_eq!(concurrent.aggregate(), sequential.aggregate(), "{gc:?}");
+            assert!(concurrent.reclaimed_bytes() > 0, "{gc:?}: leavers must free bytes");
+        }
+    }
+
+    #[test]
+    fn churn_schedule_is_seed_deterministic_and_respects_bounds() {
+        let spec = hetero_spec(7);
+        assert_eq!(spec.slots, hetero_spec(7).slots);
+        // Leavers at the front, joiners at the back, disjoint.
+        assert!(spec.slots[0].leave_after.is_some());
+        assert!(spec.slots[1].leave_after.is_some());
+        assert!(spec.slots[6].join_round >= 1);
+        for slot in &spec.slots {
+            assert!(slot.join_round < spec.rounds);
+            if let Some(l) = slot.leave_after {
+                assert!(l >= slot.join_round && l < spec.rounds - 1);
+            }
+            assert!(slot.active_rounds(spec.rounds) >= 1);
+        }
+        // A different seed reshuffles the schedule, regardless of whether
+        // the seed is set before or after with_churn (a later with_seed
+        // re-derives the installed schedule).
+        let reseeded = small_spec(7).with_batches(4).with_churn(3, 3).with_seed(1234);
+        let baseline = small_spec(7).with_batches(4).with_churn(3, 3);
+        assert_eq!(
+            reseeded.slots,
+            small_spec(7).with_batches(4).with_seed(1234).with_churn(3, 3).slots,
+            "builder-call order must not change the schedule"
+        );
+        // Changing the round count after installing churn re-derives the
+        // schedule for the new span instead of leaving stale rounds.
+        let regrown = small_spec(7).with_batches(2).with_churn(3, 3).with_batches(8);
+        for slot in &regrown.slots {
+            assert!(slot.join_round < 8);
+            if let Some(l) = slot.leave_after {
+                assert!(l < 7, "leave_after {l} must precede the final round");
+            }
+        }
+        assert_eq!(regrown.slots, small_spec(7).with_batches(8).with_churn(3, 3).slots);
+        assert_ne!(
+            reseeded.slots.iter().map(|s| (s.join_round, s.leave_after)).collect::<Vec<_>>(),
+            baseline.slots.iter().map(|s| (s.join_round, s.leave_after)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn leavers_release_their_bytes_and_joiners_appear_late() {
+        let spec = hetero_spec(7).with_gc(GcPolicy::Eager);
+        let run = run_fleet_concurrent(&spec);
+        assert_eq!(run.clients.len(), 7);
+
+        let leaver = &run.clients[0];
+        assert!(leaver.left_after.is_some());
+        assert!(leaver.deleted_manifests > 0);
+        // The departed user's namespace is gone from the store.
+        assert!(run.store.list_files(&leaver.user).is_empty());
+        assert_eq!(run.store.stats(&leaver.user).chunks, 0);
+
+        let joiner = &run.clients[6];
+        assert!(joiner.join_round >= 1);
+        let expected_rounds = spec.slots[6].active_rounds(spec.rounds);
+        assert_eq!(joiner.outcomes.len(), expected_rounds);
+
+        // Residents stay for every round.
+        let resident = &run.clients[3];
+        assert_eq!(resident.outcomes.len(), spec.rounds);
+        assert!(run.store.stats(&resident.user).chunks > 0);
+
+        // Reclaimed bytes show up in the aggregate, and what the leavers
+        // exclusively held really is gone.
+        let agg = run.aggregate();
+        assert!(agg.reclaimed_bytes > 0);
+        assert!(agg.freed_chunks > 0);
+        assert!(agg.manifest_deletes > 0);
+    }
+
+    #[test]
+    fn mixed_links_slow_the_constrained_clients() {
+        // Same service everywhere; only the access link differs. The ADSL
+        // client (1 Mb/s up) must finish far behind the fibre client.
+        let spec = FleetSpec::new(ServiceProfile::dropbox(), 2)
+            .with_files(4, 256 * 1024)
+            .with_seed(9)
+            .with_links(&[AccessLink::fiber(), AccessLink::adsl()]);
+        let run = run_fleet_concurrent(&spec);
+        let fiber = &run.clients[0];
+        let adsl = &run.clients[1];
+        assert!(
+            adsl.completion_secs > 3.0 * fiber.completion_secs,
+            "adsl {}s vs fiber {}s",
+            adsl.completion_secs,
+            fiber.completion_secs
+        );
+        // The per-link breakdown reports both groups.
+        let per_link = run.per_link_goodput_bps();
+        assert_eq!(per_link.len(), 2);
+        assert!(per_link.iter().all(|(_, bps)| *bps > 0.0));
+    }
+
+    #[test]
+    fn per_service_breakdown_groups_mixed_fleets() {
+        let spec =
+            small_spec(6).with_profiles(&[ServiceProfile::dropbox(), ServiceProfile::skydrive()]);
+        let run = run_fleet_concurrent(&spec);
+        let per_service = run.per_service_completion();
+        assert_eq!(per_service.len(), 2);
+        assert_eq!(per_service[0].0, "Dropbox");
+        assert_eq!(per_service[1].0, "SkyDrive");
+        assert_eq!(per_service[0].1.count + per_service[1].1.count, 6);
+        // SkyDrive's chatty protocol is slower on the same workload.
+        assert!(per_service[1].1.mean > per_service[0].1.mean);
     }
 
     #[test]
@@ -391,7 +857,7 @@ mod tests {
         let store = ObjectStore::new();
         let dropbox =
             FleetSpec::new(ServiceProfile::dropbox(), 2).with_files(3, 8 * 1024).with_seed(7);
-        let wuala = FleetSpec { profile: ServiceProfile::wuala(), ..dropbox.clone() };
+        let wuala = dropbox.clone().with_profiles(&[ServiceProfile::wuala()]);
         run_fleet(&dropbox, store.clone(), 2);
         let run = run_fleet(&wuala, store.clone(), 2);
         let agg = run.aggregate();
@@ -403,9 +869,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_runs_report_zeroes_not_nans() {
+        // The division guards of the ratio/goodput helpers: a run with no
+        // clients (or an unmeasurably fast one) reports 0.0 everywhere.
+        let run = FleetRun {
+            clients: Vec::new(),
+            store: ObjectStore::new(),
+            elapsed: std::time::Duration::ZERO,
+        };
+        assert_eq!(run.aggregate_goodput_bps(), 0.0);
+        assert_eq!(run.dedup_ratio(), 0.0);
+        assert_eq!(run.wall_throughput_bps(), 0.0);
+        assert_eq!(run.completion_stats().count, 0);
+        assert!(run.per_service_completion().is_empty());
+        assert!(run.per_link_goodput_bps().is_empty());
+        assert!(run.aggregate_goodput_bps().is_finite());
+        assert!(run.dedup_ratio().is_finite());
+        assert!(run.wall_throughput_bps().is_finite());
+    }
+
+    #[test]
     #[should_panic(expected = "a fleet needs at least one client")]
     fn empty_fleets_are_rejected() {
-        let spec = FleetSpec { clients: 0, ..small_spec(1) };
+        let spec = FleetSpec::heterogeneous(Vec::new());
         run_fleet(&spec, ObjectStore::new(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn needs at least two rounds")]
+    fn churn_requires_multiple_rounds() {
+        let _ = small_spec(4).with_batches(1).with_churn(1, 1);
     }
 }

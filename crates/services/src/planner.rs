@@ -303,6 +303,24 @@ impl UploadPlanner {
         }
         self.store.delete_file(&self.user, path);
     }
+
+    /// Hard-deletes the whole account server-side: every live manifest is
+    /// deleted (releasing its chunk references for the store's GC), retained
+    /// revisions are purged, and the client-side dedup/delta state is reset.
+    /// Returns the number of live manifests deleted. This is the departure
+    /// path of a churning fleet client — the opposite of the §4.3
+    /// retention-friendly [`UploadPlanner::plan_delete`].
+    pub fn purge_account(&mut self) -> usize {
+        let deleted = self.store.list_files(&self.user).len();
+        // One namespace purge releases every live manifest plus whatever
+        // retention kept (superseded or soft-deleted revisions) — identical
+        // accounting to deleting the manifests one by one, without taking
+        // the shard locks once per file.
+        self.store.purge_user(&self.user);
+        self.previous.clear();
+        self.dedup = DedupIndex::new();
+        deleted
+    }
 }
 
 #[cfg(test)]

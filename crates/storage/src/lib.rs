@@ -54,5 +54,6 @@ pub use pipeline::{
     UploadPipeline,
 };
 pub use store::{
-    AggregateStats, FileManifest, ObjectStore, StoreStats, StoredChunk, DEFAULT_SHARDS,
+    AggregateStats, FileManifest, GcPolicy, GcStats, ObjectStore, StoreStats, StoredChunk,
+    DEFAULT_SHARDS,
 };

@@ -29,6 +29,30 @@
 //! concurrent fleet run ends with **bit-identical** [`AggregateStats`] to a
 //! sequential replay of the same per-user operations — the property the
 //! `fleet_scaling` bench and the storage property tests assert.
+//!
+//! # Garbage collection
+//!
+//! Originally the store never freed a byte — matching the delete/restore
+//! observation of §4.3, where providers retain chunks so a restored file
+//! needs no re-upload. Long-lived churning fleets (clients leaving and
+//! hard-deleting their accounts) need reclamation, so each user namespace
+//! now keeps a per-chunk count of live-manifest references and the store
+//! supports two hard-delete entry points:
+//!
+//! * [`ObjectStore::delete_manifest`] removes one manifest and releases the
+//!   user's chunks that no remaining live manifest references;
+//! * [`ObjectStore::purge_user`] hard-deletes a whole namespace (a departing
+//!   fleet client), releasing every chunk the user still holds — including
+//!   chunks retained only for soft-deleted or superseded revisions.
+//!
+//! A released chunk decrements the physical entry's owner count. What happens
+//! at zero owners is the [`GcPolicy`]: `Eager` frees the bytes immediately
+//! inside the release; `MarkSweep` leaves the entry in place until a
+//! [`ObjectStore::collect_garbage`] pass sweeps all owner-less entries.
+//! Releases only ever *decrement*, so concurrent releases commute, and the
+//! fleet harness phase-separates commits from releases per round — which
+//! keeps a churning concurrent run bit-identical to its sequential replay.
+//! (The §4.3 soft [`ObjectStore::delete_file`] still frees nothing.)
 
 use crate::chunker::Chunk;
 use crate::hash::ContentHash;
@@ -116,14 +140,24 @@ pub struct AggregateStats {
     pub server_dedup_hits: u64,
     /// Total accepted chunk commits (new to the committing user).
     pub chunk_puts: u64,
+    /// Manifests hard-deleted via [`ObjectStore::delete_manifest`] or
+    /// [`ObjectStore::purge_user`] (the soft §4.3 delete is not counted).
+    pub manifest_deletes: u64,
+    /// Bytes reclaimed by garbage collection (eager frees and mark-sweep
+    /// passes combined).
+    pub reclaimed_bytes: u64,
+    /// Physical chunk entries freed by garbage collection.
+    pub freed_chunks: u64,
 }
 
 impl AggregateStats {
     /// Server-side deduplication ratio: logical chunk bytes over physical
     /// bytes (1.0 = no redundancy across users, higher = more savings).
+    /// 0.0 when the store holds no physical bytes — an empty store, or one
+    /// churn + GC fully reclaimed — never NaN or infinite.
     pub fn dedup_ratio(&self) -> f64 {
         if self.physical_bytes == 0 {
-            1.0
+            0.0
         } else {
             self.referenced_bytes as f64 / self.physical_bytes as f64
         }
@@ -136,11 +170,53 @@ impl AggregateStats {
     }
 }
 
+/// When (if ever) the store frees chunk entries whose owner count reaches
+/// zero after manifest hard-deletes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Free the physical entry the moment its last owner releases it.
+    Eager,
+    /// Leave owner-less entries in place until a [`ObjectStore::collect_garbage`]
+    /// pass sweeps them. Without such passes this is the original
+    /// never-collect behaviour, so it is the default.
+    #[default]
+    MarkSweep,
+}
+
+impl GcPolicy {
+    /// Stable lowercase label (used in report rows and metric keys).
+    pub fn label(&self) -> &'static str {
+        match self {
+            GcPolicy::Eager => "eager",
+            GcPolicy::MarkSweep => "mark_sweep",
+        }
+    }
+}
+
+/// What one garbage-collection pass (or eager release) freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Physical chunk entries removed.
+    pub freed_chunks: u64,
+    /// Stored bytes reclaimed.
+    pub freed_bytes: u64,
+}
+
 /// A per-user namespace: manifests and the user's logical view of chunks.
 #[derive(Debug, Default)]
 struct UserSpace {
     files: HashMap<String, FileManifest>,
     chunks: HashMap<ContentHash, StoredChunk>,
+    /// Occurrences of each chunk across the user's *live* manifests. Chunks
+    /// at zero references stay in `chunks` (retention for §4.3 restores and
+    /// client-side dedup consistency) until a hard delete releases them.
+    chunk_refs: HashMap<ContentHash, u64>,
+    /// Chunks whose reference count ever dropped to zero through a
+    /// *supersede* (a manifest replacing the same path). The retention
+    /// promise of [`ObjectStore::commit_manifest`] covers them even if a
+    /// later manifest re-references them and is then hard-deleted — only
+    /// [`ObjectStore::purge_user`] releases retained chunks.
+    retained: std::collections::HashSet<ContentHash>,
     next_version: u64,
 }
 
@@ -156,11 +232,15 @@ struct ChunkEntry {
 struct StoreInner {
     user_shards: Box<[RwLock<HashMap<String, UserSpace>>]>,
     chunk_shards: Box<[RwLock<HashMap<ContentHash, ChunkEntry>>]>,
+    policy: GcPolicy,
     unique_chunks: AtomicU64,
     physical_bytes: AtomicU64,
     referenced_bytes: AtomicU64,
     server_dedup_hits: AtomicU64,
     chunk_puts: AtomicU64,
+    manifest_deletes: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+    freed_chunks: AtomicU64,
 }
 
 /// The server-side object store, shared by control and storage servers of a
@@ -198,7 +278,8 @@ fn shard_for_chunk(hash: &ContentHash, shards: usize) -> usize {
 }
 
 impl ObjectStore {
-    /// Creates an empty store with [`DEFAULT_SHARDS`] lock shards.
+    /// Creates an empty store with [`DEFAULT_SHARDS`] lock shards and the
+    /// default (never-collecting-until-swept) [`GcPolicy::MarkSweep`].
     pub fn new() -> Self {
         ObjectStore::with_shards(DEFAULT_SHARDS)
     }
@@ -206,6 +287,16 @@ impl ObjectStore {
     /// Creates an empty store with an explicit shard count (1 = the original
     /// single-lock layout, used as the contention baseline in benches).
     pub fn with_shards(shards: usize) -> Self {
+        ObjectStore::with_shards_and_policy(shards, GcPolicy::default())
+    }
+
+    /// Creates an empty default-sharded store with an explicit GC policy.
+    pub fn with_policy(policy: GcPolicy) -> Self {
+        ObjectStore::with_shards_and_policy(DEFAULT_SHARDS, policy)
+    }
+
+    /// Creates an empty store with explicit shard count and GC policy.
+    pub fn with_shards_and_policy(shards: usize, policy: GcPolicy) -> Self {
         let shards = shards.max(1);
         let user_shards = (0..shards).map(|_| RwLock::new(HashMap::new())).collect();
         let chunk_shards = (0..shards).map(|_| RwLock::new(HashMap::new())).collect();
@@ -213,11 +304,15 @@ impl ObjectStore {
             inner: Arc::new(StoreInner {
                 user_shards,
                 chunk_shards,
+                policy,
                 unique_chunks: AtomicU64::new(0),
                 physical_bytes: AtomicU64::new(0),
                 referenced_bytes: AtomicU64::new(0),
                 server_dedup_hits: AtomicU64::new(0),
                 chunk_puts: AtomicU64::new(0),
+                manifest_deletes: AtomicU64::new(0),
+                reclaimed_bytes: AtomicU64::new(0),
+                freed_chunks: AtomicU64::new(0),
             }),
         }
     }
@@ -225,6 +320,11 @@ impl ObjectStore {
     /// Number of lock shards in each shard array.
     pub fn shard_count(&self) -> usize {
         self.inner.user_shards.len()
+    }
+
+    /// The garbage-collection policy this store was built with.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.inner.policy
     }
 
     fn user_shard(&self, user: &str) -> &RwLock<HashMap<String, UserSpace>> {
@@ -303,17 +403,149 @@ impl ObjectStore {
     /// version number assigned. Panics if any referenced chunk is missing
     /// from the user's namespace — a protocol error a real service would
     /// reject as well.
+    ///
+    /// Reference accounting: the new manifest's chunk occurrences are
+    /// counted; a replaced revision's occurrences are released *logically*
+    /// (the counts drop) but its chunks stay retained in the namespace, so
+    /// client-side dedup state never dangles and §4.3 restores stay free.
     pub fn commit_manifest(&self, user: &str, mut manifest: FileManifest) -> u64 {
         let mut guard = self.user_shard(user).write();
         let ns = guard.entry(user.to_string()).or_default();
         for hash in &manifest.chunks {
             assert!(ns.chunks.contains_key(hash), "manifest references unknown chunk {hash}");
         }
+        for hash in &manifest.chunks {
+            *ns.chunk_refs.entry(*hash).or_insert(0) += 1;
+        }
         ns.next_version += 1;
         manifest.version = ns.next_version;
         let version = manifest.version;
-        ns.files.insert(manifest.path.clone(), manifest);
+        if let Some(replaced) = ns.files.insert(manifest.path.clone(), manifest) {
+            for hash in &replaced.chunks {
+                if let Some(refs) = ns.chunk_refs.get_mut(hash) {
+                    *refs = refs.saturating_sub(1);
+                    if *refs == 0 {
+                        // The supersede retention promise above outlives any
+                        // later re-reference: mark the chunk so a subsequent
+                        // delete_manifest keeps it.
+                        ns.retained.insert(*hash);
+                    }
+                }
+            }
+        }
         version
+    }
+
+    /// Hard-deletes a file manifest and releases the chunks no remaining
+    /// live manifest of the user references — the departure path churning
+    /// fleets take, as opposed to the §4.3 soft [`ObjectStore::delete_file`].
+    /// Chunks under the supersede retention promise of
+    /// [`ObjectStore::commit_manifest`] are kept even at zero references
+    /// (only [`ObjectStore::purge_user`] releases those). Returns the
+    /// released stored bytes (the user's own representation), or `None` when
+    /// the path had no live manifest.
+    ///
+    /// Caller contract: a hard delete means the data is *gone* server-side.
+    /// A client that keeps a dedup index for this user must drop the deleted
+    /// chunks from it (or reset it, as `UploadPlanner::purge_account` does)
+    /// — otherwise its next dedup-skipped upload commits a manifest whose
+    /// chunks the store no longer holds, which is rejected.
+    pub fn delete_manifest(&self, user: &str, path: &str) -> Option<u64> {
+        let released: Vec<StoredChunk> = {
+            let mut guard = self.user_shard(user).write();
+            let ns = guard.get_mut(user)?;
+            let manifest = ns.files.remove(path)?;
+            let mut released = Vec::new();
+            for hash in &manifest.chunks {
+                // A manifest may reference a hash several times; entries can
+                // reach zero (and be released) on an earlier occurrence.
+                let Some(refs) = ns.chunk_refs.get_mut(hash) else { continue };
+                *refs = refs.saturating_sub(1);
+                if *refs == 0 {
+                    ns.chunk_refs.remove(hash);
+                    if ns.retained.contains(hash) {
+                        // An earlier supersede promised to keep this chunk
+                        // (restores and client-side dedup may rely on it).
+                        continue;
+                    }
+                    if let Some(stored) = ns.chunks.remove(hash) {
+                        released.push(stored);
+                    }
+                }
+            }
+            released
+        };
+        self.inner.manifest_deletes.fetch_add(1, Ordering::Relaxed);
+        Some(self.release_chunks(&released))
+    }
+
+    /// Hard-deletes a whole user namespace: every live manifest plus every
+    /// retained chunk (soft-deleted and superseded revisions included). This
+    /// is what a fleet client leaving the service calls. Returns the released
+    /// stored bytes.
+    pub fn purge_user(&self, user: &str) -> u64 {
+        let (released, deleted_files) = {
+            let mut guard = self.user_shard(user).write();
+            let Some(ns) = guard.remove(user) else {
+                return 0;
+            };
+            (ns.chunks.into_values().collect::<Vec<_>>(), ns.files.len() as u64)
+        };
+        self.inner.manifest_deletes.fetch_add(deleted_files, Ordering::Relaxed);
+        self.release_chunks(&released)
+    }
+
+    /// Releases a batch of chunks a user no longer holds: per-user referenced
+    /// bytes drop, and each physical entry loses one owner. Owner-less
+    /// entries are freed immediately under [`GcPolicy::Eager`] and left for
+    /// [`ObjectStore::collect_garbage`] under [`GcPolicy::MarkSweep`].
+    /// Releases only decrement, so concurrent releases commute.
+    fn release_chunks(&self, released: &[StoredChunk]) -> u64 {
+        let stats = &*self.inner;
+        let mut released_bytes = 0u64;
+        for stored in released {
+            released_bytes += stored.stored_len;
+            stats.referenced_bytes.fetch_sub(stored.stored_len, Ordering::Relaxed);
+            let mut shard = self.chunk_shard(&stored.hash).write();
+            if let Some(entry) = shard.get_mut(&stored.hash) {
+                entry.owners = entry.owners.saturating_sub(1);
+                if entry.owners == 0 && stats.policy == GcPolicy::Eager {
+                    let freed = entry.record.stored_len;
+                    shard.remove(&stored.hash);
+                    stats.unique_chunks.fetch_sub(1, Ordering::Relaxed);
+                    stats.physical_bytes.fetch_sub(freed, Ordering::Relaxed);
+                    stats.reclaimed_bytes.fetch_add(freed, Ordering::Relaxed);
+                    stats.freed_chunks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        released_bytes
+    }
+
+    /// Sweeps every chunk shard, freeing entries no user owns any more. The
+    /// periodic companion of [`GcPolicy::MarkSweep`]; a no-op (zero stats)
+    /// under [`GcPolicy::Eager`], where releases already freed everything.
+    pub fn collect_garbage(&self) -> GcStats {
+        let stats = &*self.inner;
+        let mut pass = GcStats::default();
+        for shard in self.inner.chunk_shards.iter() {
+            let mut guard = shard.write();
+            guard.retain(|_, entry| {
+                if entry.owners > 0 {
+                    return true;
+                }
+                pass.freed_chunks += 1;
+                pass.freed_bytes += entry.record.stored_len;
+                false
+            });
+        }
+        if pass.freed_chunks > 0 {
+            stats.unique_chunks.fetch_sub(pass.freed_chunks, Ordering::Relaxed);
+            stats.physical_bytes.fetch_sub(pass.freed_bytes, Ordering::Relaxed);
+            stats.reclaimed_bytes.fetch_add(pass.freed_bytes, Ordering::Relaxed);
+            stats.freed_chunks.fetch_add(pass.freed_chunks, Ordering::Relaxed);
+        }
+        pass
     }
 
     /// Fetches the current manifest of a path.
@@ -413,6 +645,9 @@ impl ObjectStore {
             referenced_bytes: stats.referenced_bytes.load(Ordering::Relaxed),
             server_dedup_hits: stats.server_dedup_hits.load(Ordering::Relaxed),
             chunk_puts: stats.chunk_puts.load(Ordering::Relaxed),
+            manifest_deletes: stats.manifest_deletes.load(Ordering::Relaxed),
+            reclaimed_bytes: stats.reclaimed_bytes.load(Ordering::Relaxed),
+            freed_chunks: stats.freed_chunks.load(Ordering::Relaxed),
         }
     }
 }
@@ -651,6 +886,222 @@ mod tests {
         }
         assert_eq!(store.stats("shared").chunks, 400);
         assert_eq!(store.aggregate().unique_chunks, 400);
+    }
+
+    fn manifest_for(path: &str, chunks: &[&StoredChunk]) -> FileManifest {
+        FileManifest {
+            path: path.into(),
+            size: chunks.iter().map(|c| c.plain_len).sum(),
+            chunks: chunks.iter().map(|c| c.hash).collect(),
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn delete_manifest_releases_unreferenced_chunks_eagerly() {
+        let store = ObjectStore::with_policy(GcPolicy::Eager);
+        let private = stored(b"alice only");
+        let shared = stored(b"in two files");
+        store.put_chunk("alice", private.clone());
+        store.put_chunk("alice", shared.clone());
+        store.commit_manifest("alice", manifest_for("a.bin", &[&private, &shared]));
+        store.commit_manifest("alice", manifest_for("b.bin", &[&shared]));
+
+        // Deleting a.bin frees the private chunk but keeps the shared one:
+        // b.bin still references it.
+        let released = store.delete_manifest("alice", "a.bin").unwrap();
+        assert_eq!(released, private.stored_len);
+        let agg = store.aggregate();
+        assert_eq!(agg.unique_chunks, 1);
+        assert_eq!(agg.reclaimed_bytes, private.stored_len);
+        assert_eq!(agg.freed_chunks, 1);
+        assert_eq!(agg.manifest_deletes, 1);
+        assert!(!store.has_chunk_globally(&private.hash));
+        assert!(store.has_chunk_globally(&shared.hash));
+
+        // Deleting b.bin empties the namespace and the physical store.
+        store.delete_manifest("alice", "b.bin").unwrap();
+        let agg = store.aggregate();
+        assert_eq!(agg.users, 0);
+        assert_eq!(agg.unique_chunks, 0);
+        assert_eq!(agg.physical_bytes, 0);
+        assert_eq!(agg.referenced_bytes, 0);
+        assert_eq!(agg.reclaimed_bytes, private.stored_len + shared.stored_len);
+        // Unknown paths and users report None.
+        assert_eq!(store.delete_manifest("alice", "b.bin"), None);
+        assert_eq!(store.delete_manifest("nobody", "x"), None);
+    }
+
+    #[test]
+    fn mark_sweep_defers_frees_to_the_collection_pass() {
+        let store = ObjectStore::new();
+        assert_eq!(store.gc_policy(), GcPolicy::MarkSweep);
+        let c = stored(b"swept later");
+        store.put_chunk("alice", c.clone());
+        store.commit_manifest("alice", manifest_for("a.bin", &[&c]));
+        store.delete_manifest("alice", "a.bin").unwrap();
+
+        // Released but not yet freed: physical bytes survive the release…
+        let agg = store.aggregate();
+        assert_eq!(agg.physical_bytes, c.stored_len);
+        assert_eq!(agg.referenced_bytes, 0);
+        assert_eq!(agg.reclaimed_bytes, 0);
+        assert!(store.has_chunk_globally(&c.hash));
+
+        // …until the sweep.
+        let pass = store.collect_garbage();
+        assert_eq!(pass, GcStats { freed_chunks: 1, freed_bytes: c.stored_len });
+        let agg = store.aggregate();
+        assert_eq!(agg.physical_bytes, 0);
+        assert_eq!(agg.unique_chunks, 0);
+        assert_eq!(agg.reclaimed_bytes, c.stored_len);
+        assert!(!store.has_chunk_globally(&c.hash));
+        // A second sweep finds nothing.
+        assert_eq!(store.collect_garbage(), GcStats::default());
+    }
+
+    #[test]
+    fn gc_never_frees_chunks_other_users_still_reference() {
+        for policy in [GcPolicy::Eager, GcPolicy::MarkSweep] {
+            let store = ObjectStore::with_policy(policy);
+            let shared = stored(b"popular payload");
+            for user in ["alice", "bob"] {
+                store.put_chunk(user, shared.clone());
+                store.commit_manifest(user, manifest_for("f.bin", &[&shared]));
+            }
+            store.delete_manifest("alice", "f.bin").unwrap();
+            store.collect_garbage();
+            assert!(store.has_chunk_globally(&shared.hash), "{policy:?}");
+            assert_eq!(store.aggregate().physical_bytes, shared.stored_len, "{policy:?}");
+            assert_eq!(store.chunk_owners(&shared.hash), 1, "{policy:?}");
+            // Bob's view is untouched.
+            assert_eq!(store.stats("bob").chunks, 1, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn soft_delete_retains_superseded_and_deleted_revisions_until_purge() {
+        let store = ObjectStore::with_policy(GcPolicy::Eager);
+        let v1 = stored(b"revision one");
+        let v2 = stored(b"revision two");
+        store.put_chunk("alice", v1.clone());
+        store.commit_manifest("alice", manifest_for("doc.bin", &[&v1]));
+        // Supersede: v1's refs drop but its bytes are retained (a restore or
+        // dedup hit must not dangle).
+        store.put_chunk("alice", v2.clone());
+        store.commit_manifest("alice", manifest_for("doc.bin", &[&v2]));
+        assert!(store.has_chunk("alice", &v1.hash));
+
+        // Soft delete (§4.3) frees nothing either.
+        assert!(store.delete_file("alice", "doc.bin"));
+        store.collect_garbage();
+        assert_eq!(store.aggregate().physical_bytes, v1.stored_len + v2.stored_len);
+
+        // purge_user hard-deletes the namespace, retained revisions included.
+        let released = store.purge_user("alice");
+        assert_eq!(released, v1.stored_len + v2.stored_len);
+        let agg = store.aggregate();
+        assert_eq!(agg.users, 0);
+        assert_eq!(agg.physical_bytes, 0);
+        assert_eq!(agg.referenced_bytes, 0);
+        assert_eq!(store.purge_user("alice"), 0, "second purge is a no-op");
+    }
+
+    #[test]
+    fn delete_manifest_honours_the_supersede_retention_promise() {
+        // doc.bin v1 holds chunk A; v2 supersedes it (A's refs drop to 0 but
+        // A is retained). other.bin then re-references A and is hard-deleted:
+        // A must survive, because the supersede retention outlives the
+        // re-reference — a later manifest that dedup-skips A's upload (the
+        // client-side index still knows it) must still commit.
+        let store = ObjectStore::with_policy(GcPolicy::Eager);
+        let a = stored(b"retained by supersede");
+        let b = stored(b"revision two");
+        store.put_chunk("alice", a.clone());
+        store.commit_manifest("alice", manifest_for("doc.bin", &[&a]));
+        store.put_chunk("alice", b.clone());
+        store.commit_manifest("alice", manifest_for("doc.bin", &[&b]));
+
+        store.commit_manifest("alice", manifest_for("other.bin", &[&a]));
+        store.delete_manifest("alice", "other.bin").unwrap();
+
+        // A is still in the namespace and physically present…
+        assert!(store.has_chunk("alice", &a.hash));
+        assert!(store.has_chunk_globally(&a.hash));
+        // …so a dedup-skipping manifest referencing it commits fine.
+        store.commit_manifest("alice", manifest_for("restored.bin", &[&a]));
+        // purge_user still reclaims everything, retention included.
+        store.purge_user("alice");
+        assert_eq!(store.aggregate().physical_bytes, 0);
+    }
+
+    #[test]
+    fn chunks_can_be_reuploaded_after_collection() {
+        let store = ObjectStore::with_policy(GcPolicy::Eager);
+        let c = stored(b"comes back");
+        store.put_chunk("alice", c.clone());
+        store.commit_manifest("alice", manifest_for("a.bin", &[&c]));
+        store.delete_manifest("alice", "a.bin");
+        assert!(!store.has_chunk_globally(&c.hash));
+
+        // A fresh upload after the free is a new physical entry, not a dedup
+        // hit — the bytes really were gone.
+        let hits_before = store.aggregate().server_dedup_hits;
+        assert!(store.put_chunk("bob", c.clone()));
+        let agg = store.aggregate();
+        assert_eq!(agg.server_dedup_hits, hits_before);
+        assert_eq!(agg.unique_chunks, 1);
+        assert_eq!(agg.physical_bytes, c.stored_len);
+    }
+
+    #[test]
+    fn concurrent_releases_match_sequential_releases() {
+        // The churn determinism contract at the store level: after a commit
+        // phase, concurrent manifest hard-deletes produce bit-identical
+        // aggregates to a sequential replay, under both GC policies.
+        for policy in [GcPolicy::Eager, GcPolicy::MarkSweep] {
+            let build = || {
+                let store = ObjectStore::with_policy(policy);
+                for t in 0..8u32 {
+                    let user = format!("user-{t}");
+                    for i in 0..40u32 {
+                        // Chunks i%10 are shared across all users.
+                        let data = vec![(i % 10) as u8; 128 + (i % 10) as usize];
+                        let c = stored(&data);
+                        store.put_chunk(&user, c.clone());
+                        store.commit_manifest(&user, manifest_for(&format!("f{i:02}.bin"), &[&c]));
+                    }
+                }
+                store
+            };
+
+            let concurrent = build();
+            std::thread::scope(|scope| {
+                for t in 0..8u32 {
+                    let store = concurrent.clone();
+                    scope.spawn(move || {
+                        let user = format!("user-{t}");
+                        for path in store.list_files(&user) {
+                            store.delete_manifest(&user, &path);
+                        }
+                    });
+                }
+            });
+            concurrent.collect_garbage();
+
+            let sequential = build();
+            for t in 0..8u32 {
+                let user = format!("user-{t}");
+                for path in sequential.list_files(&user) {
+                    sequential.delete_manifest(&user, &path);
+                }
+            }
+            sequential.collect_garbage();
+
+            assert_eq!(concurrent.aggregate(), sequential.aggregate(), "{policy:?}");
+            assert_eq!(concurrent.aggregate().physical_bytes, 0, "{policy:?}");
+            assert_eq!(concurrent.aggregate().users, 0, "{policy:?}");
+        }
     }
 
     #[test]

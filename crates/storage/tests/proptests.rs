@@ -8,8 +8,8 @@
 use cloudsim_storage::delta::{roll, weak_sum};
 use cloudsim_storage::{
     compress, decompress, sha256, Chunk, ChunkingStrategy, CompressionPolicy, ConvergentCipher,
-    DeltaScript, FileJob, FileManifest, ObjectStore, PipelineSpec, Signature, StoredChunk,
-    UploadPipeline,
+    DeltaScript, FileJob, FileManifest, GcPolicy, ObjectStore, PipelineSpec, Signature,
+    StoredChunk, UploadPipeline,
 };
 use proptest::prelude::*;
 
@@ -227,6 +227,127 @@ proptest! {
                     concurrent.manifest(&name, &path),
                     sequential.manifest(&name, &path)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn gc_after_deleting_every_manifest_returns_the_store_to_zero(
+        users in 1usize..6,
+        plan in proptest::collection::vec(any::<u16>(), 8..48),
+        eager in any::<bool>(),
+    ) {
+        // Per-user batches with heavy cross-user overlap (small payload
+        // alphabet), committed as one manifest per batch — then every
+        // manifest is hard-deleted. Whatever the GC policy and overlap
+        // pattern, a final sweep must return the physical store to zero
+        // bytes and zero chunks, and every reclaimed byte must be counted.
+        let policy = if eager { GcPolicy::Eager } else { GcPolicy::MarkSweep };
+        let store = ObjectStore::with_policy(policy);
+        for user in 0..users {
+            let name = format!("gc-user-{user}");
+            let mut batch: Vec<StoredChunk> = Vec::new();
+            let mut batch_no = 0usize;
+            for (i, &v) in plan.iter().enumerate() {
+                let payload_id = (v % 17, user as u8 * (v % 3) as u8);
+                batch.push(StoredChunk {
+                    hash: sha256(&[payload_id.0 as u8, payload_id.1]),
+                    stored_len: 64 + u64::from(v % 5) * 32,
+                    plain_len: 256,
+                });
+                if v % 4 == 0 || i + 1 == plan.len() {
+                    let manifest = FileManifest {
+                        path: format!("batch-{batch_no}.bin"),
+                        size: batch.iter().map(|c| c.plain_len).sum(),
+                        chunks: batch.iter().map(|c| c.hash).collect(),
+                        version: 0,
+                    };
+                    for chunk in batch.drain(..) {
+                        store.put_chunk(&name, chunk);
+                    }
+                    store.commit_manifest(&name, manifest);
+                    batch_no += 1;
+                }
+            }
+        }
+        let before = store.aggregate();
+        prop_assert!(before.physical_bytes > 0);
+
+        for user in 0..users {
+            let name = format!("gc-user-{user}");
+            for path in store.list_files(&name) {
+                prop_assert!(store.delete_manifest(&name, &path).is_some());
+            }
+        }
+        store.collect_garbage();
+
+        let agg = store.aggregate();
+        prop_assert_eq!(agg.users, 0);
+        prop_assert_eq!(agg.files, 0);
+        prop_assert_eq!(agg.unique_chunks, 0);
+        prop_assert_eq!(agg.physical_bytes, 0);
+        prop_assert_eq!(agg.referenced_bytes, 0);
+        prop_assert_eq!(agg.reclaimed_bytes, before.physical_bytes);
+        prop_assert_eq!(agg.freed_chunks, before.unique_chunks);
+    }
+
+    #[test]
+    fn gc_never_frees_a_still_referenced_chunk(
+        keep_refs in proptest::collection::vec(any::<u8>(), 4..24),
+        drop_paths in proptest::collection::vec(any::<u8>(), 1..16),
+        eager in any::<bool>(),
+    ) {
+        // Two users share an overlapping chunk population; one user deletes
+        // an arbitrary subset of its manifests. However the subsets land,
+        // every chunk the *surviving* manifests reference must still be
+        // resolvable afterwards, under both policies.
+        let policy = if eager { GcPolicy::Eager } else { GcPolicy::MarkSweep };
+        let store = ObjectStore::with_policy(policy);
+        let commit = |user: &str, path: &str, ids: &[u8]| {
+            let chunks: Vec<StoredChunk> = ids
+                .iter()
+                .map(|&id| StoredChunk {
+                    hash: sha256(&[id % 13]),
+                    stored_len: 128,
+                    plain_len: 128,
+                })
+                .collect();
+            for c in &chunks {
+                store.put_chunk(user, c.clone());
+            }
+            let manifest = FileManifest {
+                path: path.to_string(),
+                size: chunks.iter().map(|c| c.plain_len).sum(),
+                chunks: chunks.iter().map(|c| c.hash).collect(),
+                version: 0,
+            };
+            store.commit_manifest(user, manifest);
+        };
+        commit("keeper", "kept.bin", &keep_refs);
+        for (i, &id) in drop_paths.iter().enumerate() {
+            commit("dropper", &format!("drop-{i}.bin"), &[id, id.wrapping_add(1)]);
+        }
+
+        // Dropper hard-deletes every other manifest, then GC runs.
+        for (i, path) in store.list_files("dropper").into_iter().enumerate() {
+            if i % 2 == 0 {
+                store.delete_manifest("dropper", &path);
+            }
+        }
+        store.collect_garbage();
+
+        // Every chunk of the keeper's manifest and of the dropper's
+        // surviving manifests must still exist physically.
+        for user in ["keeper", "dropper"] {
+            for path in store.list_files(user) {
+                let manifest = store.manifest(user, &path).unwrap();
+                for hash in &manifest.chunks {
+                    prop_assert!(
+                        store.has_chunk_globally(hash),
+                        "{policy:?}: freed chunk still referenced by {user}/{path}"
+                    );
+                    prop_assert!(store.chunk(user, hash).is_some());
+                }
             }
         }
     }

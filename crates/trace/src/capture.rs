@@ -7,8 +7,8 @@
 use crate::flow::{FlowId, FlowKind, FlowTable};
 use crate::packet::PacketRecord;
 use crate::time::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// A captured packet trace for one experiment run.
 #[derive(Debug, Default, Clone)]
@@ -85,69 +85,72 @@ impl Trace {
 
 /// Shared handle to a [`Trace`].
 ///
-/// The simulator is single-threaded (a deterministic discrete-event loop), so
-/// an `Rc<RefCell<..>>` is sufficient and keeps the endpoints free of locking.
+/// Each simulation run is single-threaded, but a long-lived fleet client (and
+/// the trace of everything it did) migrates between round workers of the
+/// fleet harness, so the handle must be `Send`. The mutex is never contended
+/// — exactly one thread drives a simulator at any time — so the lock is a
+/// few uncontended atomic operations per packet.
 #[derive(Debug, Clone, Default)]
 pub struct TraceHandle {
-    inner: Rc<RefCell<Trace>>,
+    inner: Arc<Mutex<Trace>>,
 }
 
 impl TraceHandle {
     /// Creates a handle to a fresh, empty trace.
     pub fn new() -> Self {
-        TraceHandle { inner: Rc::new(RefCell::new(Trace::new())) }
+        TraceHandle { inner: Arc::new(Mutex::new(Trace::new())) }
     }
 
     /// Allocates a fresh flow id.
     pub fn allocate_flow(&self) -> FlowId {
-        self.inner.borrow_mut().allocate_flow()
+        self.inner.lock().allocate_flow()
     }
 
     /// Appends a packet record.
     pub fn record(&self, packet: PacketRecord) {
-        self.inner.borrow_mut().record(packet);
+        self.inner.lock().record(packet);
     }
 
     /// Number of packets captured so far.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.lock().len()
     }
 
     /// True when nothing has been captured yet.
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.inner.lock().is_empty()
     }
 
     /// Clones the captured packets out of the handle (sorted by timestamp).
     pub fn snapshot(&self) -> Vec<PacketRecord> {
-        let mut packets = self.inner.borrow().packets.clone();
+        let mut packets = self.inner.lock().packets.clone();
         packets.sort_by_key(|p| p.timestamp);
         packets
     }
 
     /// Builds a flow table from the current capture.
     pub fn flow_table(&self) -> FlowTable {
-        self.inner.borrow().flow_table()
+        self.inner.lock().flow_table()
     }
 
     /// Total wire bytes captured so far.
     pub fn wire_bytes_total(&self) -> u64 {
-        self.inner.borrow().wire_bytes_total()
+        self.inner.lock().wire_bytes_total()
     }
 
     /// Total wire bytes captured so far for one traffic class.
     pub fn wire_bytes(&self, kind: FlowKind) -> u64 {
-        self.inner.borrow().wire_bytes(kind)
+        self.inner.lock().wire_bytes(kind)
     }
 
     /// Timestamp of the last captured packet, if any.
     pub fn last_timestamp(&self) -> Option<SimTime> {
-        self.inner.borrow().last_timestamp()
+        self.inner.lock().last_timestamp()
     }
 
     /// Runs a closure with read access to the underlying trace.
     pub fn with<R>(&self, f: impl FnOnce(&Trace) -> R) -> R {
-        f(&self.inner.borrow())
+        f(&self.inner.lock())
     }
 }
 

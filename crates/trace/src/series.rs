@@ -112,6 +112,13 @@ pub struct SampleStats {
 }
 
 impl SampleStats {
+    /// The all-zero statistics of an empty sample set — the conventional
+    /// fallback where an absent distribution should render as zeroes rather
+    /// than NaNs.
+    pub const fn zero() -> SampleStats {
+        SampleStats { count: 0, mean: 0.0, min: 0.0, max: 0.0, std_dev: 0.0 }
+    }
+
     /// Computes statistics over a slice of samples. Returns `None` for an
     /// empty slice.
     pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
