@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance 0.15]
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--markdown PATH]
 //! ```
 //!
 //! Both files are flat `{"metric": number, …}` objects as produced by
@@ -11,6 +11,12 @@
 //! run and within the relative tolerance; new metrics in the current run are
 //! reported but do not fail the gate (they become binding once the baseline
 //! is refreshed). Exits 0 on pass, 1 on regression, 2 on usage errors.
+//!
+//! `--markdown PATH` additionally *appends* the comparison as a markdown
+//! table to PATH — pass `$GITHUB_STEP_SUMMARY` in CI so regressions are
+//! readable on the run page without downloading the metrics artifact. The
+//! summary is written before the pass/fail exit, so failing runs get one
+//! too.
 //!
 //! Refresh the committed baseline after an intentional simulator change:
 //!
@@ -33,19 +39,36 @@ fn load(path: &str) -> Vec<(String, f64)> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let tolerance = args
-        .iter()
-        .position(|a| a == "--tolerance")
-        .map(|i| {
-            args.get(i + 1).and_then(|v| v.parse::<f64>().ok()).unwrap_or_else(|| {
-                eprintln!("--tolerance needs a numeric argument");
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(0.15);
-    let files: Vec<&String> = args.iter().take_while(|a| a.as_str() != "--tolerance").collect();
+    let mut tolerance = 0.15f64;
+    let mut markdown_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                tolerance = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a numeric argument");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--markdown" => {
+                markdown_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--markdown needs a file path");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            _ => {
+                files.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
     let [baseline_path, current_path] = files.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15]");
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--markdown PATH]"
+        );
         std::process::exit(2);
     };
 
@@ -53,6 +76,20 @@ fn main() {
     let current = load(current_path);
     let report = compare(&baseline, &current, tolerance);
     print!("{}", report.render());
+    if let Some(path) = markdown_path {
+        // Append (the CI step summary may already hold earlier sections);
+        // written before the exit below so failing runs get a summary too.
+        use std::io::Write as _;
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(report.render_markdown().as_bytes()));
+        if let Err(e) = result {
+            eprintln!("cannot append markdown summary to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
     if report.passed() {
         println!("bench gate: PASS ({} metrics within ±{:.0}%)", baseline.len(), tolerance * 100.0);
     } else {

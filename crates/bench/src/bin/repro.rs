@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero] [--reps N]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore] [--reps N]
 //! repro bench-json [PATH]
 //! ```
 //!
@@ -15,8 +15,10 @@
 //! Beyond the paper, `fleet` prints the multi-tenant fleet scaling suite,
 //! `hetero` runs the heterogeneous scenario matrix (mixed service profiles ×
 //! mixed access links × churn, against eager- and mark-sweep-collected
-//! stores), and `bench-json` dumps the deterministic gate metrics as flat
-//! JSON (to PATH, default stdout) for the CI bench-regression gate.
+//! stores), `restore` runs the download/restore suite (downloader slots
+//! pulling other users' content back through asymmetric links), and
+//! `bench-json` dumps the deterministic gate metrics as flat JSON (to PATH,
+//! default stdout) for the CI bench-regression gate.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -104,6 +106,12 @@ fn hetero() {
     print_report(&Report::heterogeneous(&suite));
 }
 
+fn restore() {
+    let suite =
+        cloudbench::restore::run_restore(cloudbench_bench::metrics::RESTORE_CLIENTS, REPRO_SEED);
+    print_report(&Report::restore(&suite));
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -154,6 +162,7 @@ fn main() {
         "fig6" => fig6(&testbed, reps, None),
         "fleet" => fleet(),
         "hetero" => hetero(),
+        "restore" => restore(),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -165,10 +174,11 @@ fn main() {
             fig6(&testbed, reps, None);
             fleet();
             hetero();
+            restore();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero] [--reps N]");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore] [--reps N]");
             eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }

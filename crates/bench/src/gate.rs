@@ -167,6 +167,43 @@ impl GateReport {
         }
         out
     }
+
+    /// Renders the comparison as a GitHub-flavoured markdown table — what
+    /// the CI job appends to `$GITHUB_STEP_SUMMARY`, so a regression is
+    /// readable on the run page without downloading the metrics artifact.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let verdict_cell = |v: &Verdict| match v {
+            Verdict::Ok => "ok".to_string(),
+            Verdict::Regressed(d) => format!("**REGRESSED** ({:+.1}%)", d * 100.0),
+            Verdict::Missing => "**MISSING**".to_string(),
+            Verdict::New => "new".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "### Bench regression gate ({}, tolerance ±{:.0}%)\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(out, "| metric | baseline | observed | delta | verdict |");
+        let _ = writeln!(out, "|:---|---:|---:|---:|:---|");
+        for (key, baseline, current, verdict) in &self.rows {
+            let fmt =
+                |v: &Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "—".to_string());
+            let delta = match (baseline, current) {
+                (Some(b), Some(c)) if *b != 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+                _ => "—".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "| `{key}` | {} | {} | {delta} | {} |",
+                fmt(baseline),
+                fmt(current),
+                verdict_cell(verdict)
+            );
+        }
+        out
+    }
 }
 
 /// Compares `current` against `baseline` with a relative tolerance: a metric
@@ -257,6 +294,17 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("REGRESSED"));
         assert!(rendered.contains("MISSING"));
+
+        // The markdown summary carries the same verdicts as table rows.
+        let markdown = report.render_markdown();
+        assert!(markdown.starts_with("### Bench regression gate (FAIL"));
+        assert!(markdown.contains("| metric | baseline | observed | delta | verdict |"));
+        assert!(markdown
+            .contains("| `drifted` | 10.0000 | 12.0000 | +20.0% | **REGRESSED** (+20.0%) |"));
+        assert!(markdown.contains("| `gone` | 5.0000 | — | — | **MISSING** |"));
+        assert!(markdown.contains("| `fresh` | — | 1.0000 | — | new |"));
+        let passing = compare(&baseline[..1], &current[..1], 0.15).render_markdown();
+        assert!(passing.starts_with("### Bench regression gate (PASS"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
 use cloudbench::hetero::run_hetero;
+use cloudbench::restore::run_restore;
 use cloudbench::testbed::Testbed;
 use cloudbench::ServiceProfile;
 use cloudsim_services::fleet::run_fleet;
@@ -32,6 +33,12 @@ pub const GATE_FLEET_CLIENTS: usize = 8;
 /// carries at least two profiles (the full matrix would need lcm(3,4)=12
 /// slots; 9 keeps the CI gate fast).
 pub const HETERO_CLIENTS: usize = 9;
+
+/// The fleet size of the restore scenario: eight slots cycle through all
+/// four link presets, so the four pullers (the last half) land one behind
+/// each preset — every link class gets a `restore.*` goodput and TTFB
+/// metric.
+pub const RESTORE_CLIENTS: usize = 8;
 
 /// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
 /// rerunning produces bit-identical values, so the gate's ±tolerance only
@@ -87,6 +94,18 @@ pub fn collect() -> Vec<(String, f64)> {
     }
     let eager = suite.gc_row(GcPolicy::Eager).expect("eager row");
     metrics.push(("hetero.dedup_ratio".to_string(), eager.dedup_ratio));
+
+    // The restore suite: down-path goodput and time-to-first-byte per link
+    // class, the cross-user dedup savings of the pull direction, and the
+    // clean failures of the restore-after-departure path.
+    let suite = run_restore(RESTORE_CLIENTS, REPRO_SEED);
+    for row in &suite.per_link {
+        metrics.push((format!("restore.goodput_mbps.{}", row.link), row.restore_goodput_bps / 1e6));
+        metrics.push((format!("restore.ttfb_s.{}", row.link), row.ttfb_secs));
+    }
+    metrics.push(("restore.downloaded_mb".to_string(), suite.downloaded_payload as f64 / 1e6));
+    metrics.push(("restore.dedup_saved_mb".to_string(), suite.dedup_saved_bytes as f64 / 1e6));
+    metrics.push(("restore.failures".to_string(), suite.failures as f64));
 
     metrics
 }

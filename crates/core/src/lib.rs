@@ -29,7 +29,10 @@
 //! function of fleet size. [`hetero`] runs the scenario *matrix* on top:
 //! mixed service profiles on mixed access links with seeded churn (joins and
 //! leaves mid-run) against a garbage-collected store, comparing eager and
-//! mark-sweep reclamation.
+//! mark-sweep reclamation. [`restore`] opens the read path: downloader slots
+//! pull other users' namespaces back through asymmetric links, measuring
+//! restore goodput, time-to-first-byte and cross-user dedup savings on the
+//! down direction.
 //!
 //! ## Quick start
 //!
@@ -54,6 +57,7 @@ pub mod fleet;
 pub mod hetero;
 pub mod idle;
 pub mod report;
+pub mod restore;
 pub mod testbed;
 
 pub use architecture::{discover_architecture, ArchitectureReport};
@@ -63,6 +67,7 @@ pub use fleet::{run_fleet_scaling, FleetScalingRow, FleetScalingSuite, FLEET_SIZ
 pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};
 pub use report::Report;
+pub use restore::{run_restore, RestoreLinkRow, RestoreSuite};
 pub use testbed::{ExperimentRun, Testbed};
 
 // Re-exports that make the public API self-contained for downstream users.

@@ -12,6 +12,7 @@ use crate::capability::{CapabilityMatrix, CompressionPoint, DeltaPoint};
 use crate::fleet::FleetScalingSuite;
 use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
+use crate::restore::RestoreSuite;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -290,6 +291,46 @@ impl Report {
             title: "Heterogeneous fleet: profiles x links x churn with a GC'd store".to_string(),
             body,
         }
+    }
+
+    /// Renders the restore suite: per-link download goodput against the
+    /// same link's upload goodput (the asymmetry table), time-to-first-byte,
+    /// and the cross-user dedup savings of the down path.
+    pub fn restore(suite: &RestoreSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} clients ({} pullers), {} rounds of {}, one source departs after round 0",
+            suite.clients, suite.pullers, suite.rounds, suite.workload
+        );
+        let _ = writeln!(body, "\nrestore vs upload goodput by access link (Mb/s, simulated):");
+        let _ = writeln!(
+            body,
+            "{:<10} {:>8} {:>14} {:>14} {:>10}",
+            "link", "pullers", "restore Mb/s", "upload Mb/s", "ttfb s"
+        );
+        for row in &suite.per_link {
+            let _ = writeln!(
+                body,
+                "{:<10} {:>8} {:>14.3} {:>14.3} {:>10.3}",
+                row.link,
+                row.pullers,
+                row.restore_goodput_bps / 1e6,
+                row.upload_goodput_bps / 1e6,
+                row.ttfb_secs,
+            );
+        }
+        let _ = writeln!(body, "\ndown-path volume:");
+        let _ = writeln!(
+            body,
+            "  restored {:.2} MB, downloaded {:.2} MB, dedup saved {:.2} MB ({:.0}%), {} clean failures",
+            suite.restored_logical_bytes as f64 / 1e6,
+            suite.downloaded_payload as f64 / 1e6,
+            suite.dedup_saved_bytes as f64 / 1e6,
+            suite.dedup_saved_fraction() * 100.0,
+            suite.failures,
+        );
+        Report { title: "Restore: fleets pulling other users' content back down".to_string(), body }
     }
 
     /// Serialises any serialisable payload as pretty JSON (used by the repro

@@ -33,51 +33,53 @@ pub struct AccessLink {
 }
 
 impl AccessLink {
+    /// A symmetric link: the same bandwidth in both directions. The
+    /// constructor every symmetric preset (and any custom symmetric
+    /// scenario) goes through, so call sites never have to spell the same
+    /// figure twice.
+    pub const fn symmetric(
+        name: &'static str,
+        bandwidth: u64,
+        access_rtt: SimDuration,
+        loss: f64,
+    ) -> AccessLink {
+        AccessLink { name, up_bandwidth: bandwidth, down_bandwidth: bandwidth, access_rtt, loss }
+    }
+
+    /// An asymmetric link with an explicit up/down split (residential and
+    /// mobile profiles). The restore suite is where the `down` side finally
+    /// earns its keep.
+    pub const fn asymmetric(
+        name: &'static str,
+        up_bandwidth: u64,
+        down_bandwidth: u64,
+        access_rtt: SimDuration,
+        loss: f64,
+    ) -> AccessLink {
+        AccessLink { name, up_bandwidth, down_bandwidth, access_rtt, loss }
+    }
+
     /// The paper's testbed: campus Fast Ethernet behind a 1 Gb/s uplink.
     /// Composing it is the identity for every realistic server path.
     pub const fn campus() -> AccessLink {
-        AccessLink {
-            name: "campus",
-            up_bandwidth: 1_000_000_000,
-            down_bandwidth: 1_000_000_000,
-            access_rtt: SimDuration::ZERO,
-            loss: 0.0,
-        }
+        AccessLink::symmetric("campus", 1_000_000_000, SimDuration::ZERO, 0.0)
     }
 
     /// Fibre to the home: fast, symmetric, a couple of milliseconds away.
     pub const fn fiber() -> AccessLink {
-        AccessLink {
-            name: "fiber",
-            up_bandwidth: 100_000_000,
-            down_bandwidth: 100_000_000,
-            access_rtt: SimDuration::from_millis(2),
-            loss: 0.0,
-        }
+        AccessLink::symmetric("fiber", 100_000_000, SimDuration::from_millis(2), 0.0)
     }
 
     /// Residential ADSL2+: the 1 Mb/s up / 8 Mb/s down split typical of the
     /// paper's era, with interleaving latency.
     pub const fn adsl() -> AccessLink {
-        AccessLink {
-            name: "adsl",
-            up_bandwidth: 1_000_000,
-            down_bandwidth: 8_000_000,
-            access_rtt: SimDuration::from_millis(30),
-            loss: 0.0,
-        }
+        AccessLink::asymmetric("adsl", 1_000_000, 8_000_000, SimDuration::from_millis(30), 0.0)
     }
 
     /// 3G/HSPA mobile: asymmetric, high-latency and lossy — the profile the
     /// Mathis throughput ceiling actually bites on.
     pub const fn mobile3g() -> AccessLink {
-        AccessLink {
-            name: "3g",
-            up_bandwidth: 1_500_000,
-            down_bandwidth: 4_000_000,
-            access_rtt: SimDuration::from_millis(90),
-            loss: 0.005,
-        }
+        AccessLink::asymmetric("3g", 1_500_000, 4_000_000, SimDuration::from_millis(90), 0.005)
     }
 
     /// Every preset, in a stable order.
@@ -138,6 +140,26 @@ mod tests {
         // The composed path is slower than either constraint alone suggests:
         // loss caps it below the 1.5 Mb/s radio bearer.
         assert!(path.effective_up_bandwidth() < 1_500_000);
+    }
+
+    #[test]
+    fn constructors_pin_the_preset_values() {
+        // The presets route through symmetric()/asymmetric(); their values
+        // are baseline-bearing (hetero.* metrics) and must not drift.
+        let campus = AccessLink::campus();
+        assert_eq!(campus.up_bandwidth, 1_000_000_000);
+        assert_eq!(campus.up_bandwidth, campus.down_bandwidth);
+        let fiber = AccessLink::fiber();
+        assert_eq!(fiber.up_bandwidth, fiber.down_bandwidth);
+        let adsl = AccessLink::adsl();
+        assert_eq!((adsl.up_bandwidth, adsl.down_bandwidth), (1_000_000, 8_000_000));
+        let mobile = AccessLink::mobile3g();
+        assert_eq!((mobile.up_bandwidth, mobile.down_bandwidth), (1_500_000, 4_000_000));
+        // Custom links compose like presets.
+        let custom = AccessLink::symmetric("lab", 10_000_000, SimDuration::from_millis(1), 0.0);
+        assert_eq!(custom.up_bandwidth, custom.down_bandwidth);
+        let split = AccessLink::asymmetric("vdsl", 5_000_000, 50_000_000, SimDuration::ZERO, 0.0);
+        assert_eq!(split.down_bandwidth / split.up_bandwidth, 10);
     }
 
     #[test]

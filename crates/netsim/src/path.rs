@@ -111,6 +111,15 @@ impl PathSpec {
     pub fn bdp_bytes_up(&self) -> u64 {
         (self.effective_up_bandwidth() as f64 / 8.0 * self.rtt.as_secs_f64()).ceil() as u64
     }
+
+    /// The bandwidth-delay product in bytes for the download direction — the
+    /// in-flight bound a server filling the client's *downstream* pipe works
+    /// against. On asymmetric links (ADSL's 1 up / 8 down split) this is
+    /// several times [`PathSpec::bdp_bytes_up`], which is what lets restores
+    /// run far faster than uploads on the same link.
+    pub fn bdp_bytes_down(&self) -> u64 {
+        (self.effective_down_bandwidth() as f64 / 8.0 * self.rtt.as_secs_f64()).ceil() as u64
+    }
 }
 
 impl Default for PathSpec {
@@ -175,6 +184,11 @@ mod tests {
         // 100 Mb/s * 0.1 s = 10 Mb = 1.25 MB in flight.
         let p = PathSpec::symmetric(SimDuration::from_millis(100), 100_000_000);
         assert_eq!(p.bdp_bytes_up(), 1_250_000);
+        assert_eq!(p.bdp_bytes_down(), 1_250_000);
+        // An ADSL-style split: the downstream pipe holds 8x the bytes.
+        let a = PathSpec::asymmetric(SimDuration::from_millis(100), 1_000_000, 8_000_000);
+        assert_eq!(a.bdp_bytes_up(), 12_500);
+        assert_eq!(a.bdp_bytes_down(), 100_000);
     }
 
     #[test]

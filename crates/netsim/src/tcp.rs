@@ -35,6 +35,20 @@ pub const INITIAL_CWND_SEGMENTS: u32 = 10;
 /// default 4 MB maximum socket buffers of the era).
 pub const MAX_CWND_SEGMENTS: u32 = 2800;
 
+/// Timing of one downstream-heavy exchange performed by
+/// [`TcpConnection::fetch`]: when the request went out, when the first
+/// response byte arrived (the restore suite's time-to-first-byte) and when
+/// the download completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DownloadOutcome {
+    /// When the request started (no earlier than the connection was free).
+    pub requested_at: SimTime,
+    /// When the first response payload byte reached the client.
+    pub first_byte_at: SimTime,
+    /// When the last response byte reached the client.
+    pub completed_at: SimTime,
+}
+
 /// Options for opening a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConnectionOptions {
@@ -240,6 +254,65 @@ impl TcpConnection {
         completed
     }
 
+    /// Performs a downstream-heavy exchange — the storage GET of the restore
+    /// path: uploads `request_bytes` of request payload, waits
+    /// `server_think`, then downloads `download_bytes` with the window bound
+    /// by the *download*-direction bandwidth-delay product. On an asymmetric
+    /// link this is what lets the server actually fill the fat downstream
+    /// pipe (an ADSL client restores ~8× faster than it uploads); on
+    /// symmetric paths it behaves exactly like [`TcpConnection::request`].
+    /// Returns the request/first-byte/completion timing.
+    pub fn fetch(
+        &mut self,
+        sim: &mut Simulator,
+        net: &Network,
+        start: SimTime,
+        request_bytes: u64,
+        download_bytes: u64,
+        server_think: SimDuration,
+    ) -> DownloadOutcome {
+        assert!(!self.closed, "fetch on a closed connection");
+        let path = net.path(self.host);
+        let start = start.max(self.free_at);
+        let rtt = path.sample_rtt(sim.rng());
+
+        let request_done_at_server = if request_bytes > 0 {
+            let last_sent = self.transfer_with_bdp(
+                sim,
+                &path,
+                start,
+                request_bytes,
+                Direction::Upload,
+                rtt,
+                path.bdp_bytes_up(),
+            );
+            last_sent + rtt / 2
+        } else {
+            start + rtt / 2
+        };
+
+        let response_start = request_done_at_server + server_think;
+        let first_byte_at = response_start + rtt / 2;
+        let completed_at = if download_bytes > 0 {
+            let last_sent = self.transfer_with_bdp(
+                sim,
+                &path,
+                response_start,
+                download_bytes,
+                Direction::Download,
+                rtt,
+                path.bdp_bytes_down(),
+            );
+            last_sent + rtt / 2
+        } else {
+            first_byte_at
+        };
+
+        self.free_at = completed_at;
+        sim.advance_to(completed_at);
+        DownloadOutcome { requested_at: start, first_byte_at, completed_at }
+    }
+
     /// Uploads `bytes` of payload and waits for the final acknowledgement.
     /// Returns the time the acknowledgement of the last byte reaches the
     /// client.
@@ -297,6 +370,26 @@ impl TcpConnection {
         direction: Direction,
         rtt: SimDuration,
     ) -> SimTime {
+        // Historical behaviour of `request`/`send`: the in-flight bound is
+        // the upload-direction BDP regardless of transfer direction (a
+        // conservative receive-window assumption). `fetch` passes the
+        // download-direction BDP explicitly to serve downstream transfers.
+        self.transfer_with_bdp(sim, path, start, bytes, direction, rtt, path.bdp_bytes_up())
+    }
+
+    /// [`TcpConnection::transfer`] with an explicit bandwidth-delay product
+    /// bound (in bytes) for the congestion-window growth.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_with_bdp(
+        &mut self,
+        sim: &mut Simulator,
+        path: &PathSpec,
+        start: SimTime,
+        bytes: u64,
+        direction: Direction,
+        rtt: SimDuration,
+        bdp_bytes: u64,
+    ) -> SimTime {
         debug_assert!(bytes > 0);
         let bandwidth = match direction {
             Direction::Upload => path.effective_up_bandwidth(),
@@ -305,7 +398,7 @@ impl TcpConnection {
         let seg_payload = MSS as u64;
         let total_segments = bytes.div_ceil(seg_payload);
         let seg_tx = SimDuration::for_transmission(seg_payload, bandwidth);
-        let bdp_segments = path.bdp_bytes_up().max(1).div_ceil(seg_payload).max(1) as u32;
+        let bdp_segments = bdp_bytes.max(1).div_ceil(seg_payload).max(1) as u32;
 
         let mut remaining = total_segments;
         let mut sent_bytes = 0u64;
@@ -659,6 +752,98 @@ mod tests {
             pauses.iter().all(|p| p.bytes_before < 50_000),
             "unexpected data pauses: {pauses:?}"
         );
+    }
+
+    #[test]
+    fn fetch_matches_request_on_symmetric_paths() {
+        // On a symmetric path the up- and down-direction BDPs agree, so the
+        // new download primitive is bit-identical to the historical request
+        // path — the compatibility contract that keeps old baselines valid.
+        let run = |fetch: bool| -> (SimTime, Vec<cloudsim_trace::PacketRecord>) {
+            let (net, host) = test_net(80, 50_000_000);
+            let mut sim = Simulator::new(3);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            let start = conn.established_at();
+            let think = SimDuration::from_millis(10);
+            let done = if fetch {
+                conn.fetch(&mut sim, &net, start, 500, 3_000_000, think).completed_at
+            } else {
+                conn.request(&mut sim, &net, start, 500, 3_000_000, think)
+            };
+            (done, sim.packets())
+        };
+        let (req_done, req_packets) = run(false);
+        let (fetch_done, fetch_packets) = run(true);
+        assert_eq!(req_done, fetch_done);
+        assert_eq!(req_packets, fetch_packets);
+    }
+
+    #[test]
+    fn fetch_fills_the_asymmetric_downstream_pipe() {
+        // ADSL-style split: 1 Mb/s up, 8 Mb/s down, 130 ms RTT. A 4 MB
+        // download must approach the 8 Mb/s line rate (~4 s serialization),
+        // nowhere near the 32 s the uplink would need.
+        let mut net = Network::new();
+        let host = net.add_server("server.example", [10, 0, 0, 1], 443);
+        net.set_path(
+            host,
+            PathSpec::asymmetric(SimDuration::from_millis(130), 1_000_000, 8_000_000)
+                .with_jitter(0.0),
+        );
+        let mut sim = Simulator::new(1);
+        // Plain HTTP so the flow's payload accounting below is the fetch
+        // alone (TLS would add certificate bytes to payload_down).
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::http(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let outcome = conn.fetch(&mut sim, &net, start, 300, 4_000_000, SimDuration::ZERO);
+        let secs = (outcome.completed_at - outcome.requested_at).as_secs_f64();
+        assert!(secs > 4.0 && secs < 8.0, "4 MB over 8 Mb/s took {secs}s");
+        // First byte arrives after the request round-trip, long before the
+        // download completes.
+        assert!(outcome.first_byte_at > outcome.requested_at);
+        let ttfb = (outcome.first_byte_at - outcome.requested_at).as_secs_f64();
+        assert!(ttfb < 1.0, "time to first byte {ttfb}s");
+        assert!(outcome.completed_at > outcome.first_byte_at);
+
+        // Payload accounting: the trace carries the downloaded bytes.
+        let table = FlowTable::from_packets(&sim.packets());
+        let stats = table.get(conn.flow()).unwrap();
+        assert_eq!(stats.payload_down, 4_000_000);
+        assert_eq!(stats.payload_up, 300);
+
+        // The same volume *uploaded* on this link is bandwidth-starved.
+        let up_done = conn.send(&mut sim, &net, outcome.completed_at, 4_000_000);
+        let up_secs = (up_done - outcome.completed_at).as_secs_f64();
+        assert!(up_secs > 4.0 * secs, "upload {up_secs}s vs download {secs}s");
+    }
+
+    #[test]
+    fn zero_byte_fetch_costs_a_round_trip() {
+        let (net, host) = test_net(100, 100_000_000);
+        let mut sim = Simulator::new(1);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Control),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let outcome = conn.fetch(&mut sim, &net, start, 0, 0, SimDuration::ZERO);
+        assert_eq!(outcome.first_byte_at, outcome.completed_at);
+        assert_eq!(outcome.completed_at, start + SimDuration::from_millis(100));
     }
 
     #[test]

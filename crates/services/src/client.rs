@@ -15,6 +15,44 @@ use cloudsim_net::{AccessLink, Simulator};
 use cloudsim_trace::{FlowKind, SimDuration, SimTime};
 use cloudsim_workload::GeneratedFile;
 
+/// The outcome of one restore operation (a batch of paths pulled from one
+/// owner's namespace — the download mirror of [`SyncOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestoreOutcome {
+    /// When the client asked the control plane for the manifests.
+    pub requested_at: SimTime,
+    /// When the first storage payload byte arrived, if anything travelled
+    /// (`None` when every chunk was already local, or nothing restored).
+    pub first_byte_at: Option<SimTime>,
+    /// When the restore finished (manifest fetch included).
+    pub completed_at: SimTime,
+    /// Files reconstructed byte-identically.
+    pub files_restored: usize,
+    /// Files that failed with a typed restore error (e.g. the owner
+    /// hard-deleted the manifest mid-run) — failures are outcomes, never
+    /// panics. Pulling a user with no live files counts as one failure.
+    pub files_failed: usize,
+    /// Plaintext bytes of the restored files.
+    pub logical_bytes: u64,
+    /// Payload bytes that actually travelled downstream.
+    pub downloaded_payload: u64,
+    /// Plaintext bytes the local-copy dedup check kept off the wire.
+    pub dedup_skipped_bytes: u64,
+}
+
+impl RestoreOutcome {
+    /// Simulated seconds the restore took end to end.
+    pub fn duration_secs(&self) -> f64 {
+        (self.completed_at - self.requested_at).as_secs_f64()
+    }
+
+    /// Simulated seconds from the request to the first payload byte, if any
+    /// payload travelled.
+    pub fn ttfb_secs(&self) -> Option<f64> {
+        self.first_byte_at.map(|t| (t - self.requested_at).as_secs_f64())
+    }
+}
+
 /// The outcome of one batch synchronisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncOutcome {
@@ -461,6 +499,114 @@ impl SyncClient {
         t
     }
 
+    /// Restores every live file of `owner`'s namespace — the fleet's
+    /// "pull another user's content" operation (and, with `owner` = own
+    /// account, the §4.3 delete/restore test at full fidelity). An owner
+    /// with no live files (departed, purged) yields a clean one-failure
+    /// outcome. See [`SyncClient::restore_batch`].
+    pub fn restore_user(
+        &mut self,
+        sim: &mut Simulator,
+        owner: &str,
+        at: SimTime,
+    ) -> RestoreOutcome {
+        let paths = self.planner.store().list_files(owner);
+        self.restore_batch(sim, owner, &paths, at)
+    }
+
+    /// Restores `owner`'s files at the given paths, driving the manifest
+    /// fetch over the control channel and the chunk downloads over the
+    /// storage connection's *downstream* side (time-to-first-byte and
+    /// completion are measured like the upload path measures sync time).
+    /// Chunks the client already holds locally are not re-downloaded and
+    /// delta downloads apply against locally held bases — the planner's
+    /// [`UploadPlanner::plan_restore_paths`] decides, this method only moves
+    /// the bytes. Failed files (typed restore errors) cost a control
+    /// round-trip but no storage traffic.
+    pub fn restore_batch(
+        &mut self,
+        sim: &mut Simulator,
+        owner: &str,
+        paths: &[String],
+        at: SimTime,
+    ) -> RestoreOutcome {
+        if !self.logged_in {
+            let done = self.login(sim, at - SimDuration::from_secs(60));
+            debug_assert!(done <= at || self.logged_in);
+        }
+        let plans = self.planner.plan_restore_paths(owner, paths);
+
+        let mut files_restored = 0usize;
+        let mut files_failed = 0usize;
+        let mut logical_bytes = 0u64;
+        let mut downloaded_payload = 0u64;
+        let mut dedup_skipped_bytes = 0u64;
+        let mut metadata_down = 0u64;
+        let mut downloads: Vec<u64> = Vec::new();
+        for plan in &plans {
+            match plan {
+                Ok(file) => {
+                    files_restored += 1;
+                    logical_bytes += file.logical_bytes();
+                    dedup_skipped_bytes += file.dedup_skipped_bytes();
+                    metadata_down += file.metadata_bytes;
+                    let bytes = file.download_bytes();
+                    downloaded_payload += bytes;
+                    if bytes > 0 {
+                        downloads.push(bytes);
+                    }
+                }
+                Err(_) => {
+                    files_failed += 1;
+                    metadata_down += 200; // the error reply
+                }
+            }
+        }
+        // An empty pull (the owner left and took the namespace with it) is
+        // still an answered question: one failure, one control round-trip.
+        if plans.is_empty() {
+            files_failed = 1;
+            metadata_down = 200;
+        }
+
+        // Control plane: request the manifest set, download the chunk lists.
+        let control_done = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, at);
+            HttpExchange::new(600, metadata_down.clamp(300, 64_000), SimDuration::from_millis(30))
+                .execute(conn, sim, &network, at)
+        };
+
+        // Storage plane: one GET per file that has bytes to move, on the
+        // reused storage connection, filling the downstream pipe.
+        let network = self.deployment.network.clone();
+        let think = self.profile.server_think;
+        let mut first_byte_at: Option<SimTime> = None;
+        let mut t = control_done;
+        if !downloads.is_empty() {
+            let conn = self.ensure_storage(sim, control_done);
+            for bytes in downloads {
+                let outcome = conn.fetch(sim, &network, t, 250, bytes, think);
+                if first_byte_at.is_none() {
+                    first_byte_at = Some(outcome.first_byte_at);
+                }
+                t = outcome.completed_at;
+            }
+        }
+        self.last_activity = t;
+
+        RestoreOutcome {
+            requested_at: at,
+            first_byte_at,
+            completed_at: t,
+            files_restored,
+            files_failed,
+            logical_bytes,
+            downloaded_payload,
+            dedup_skipped_bytes,
+        }
+    }
+
     /// Deletes a file from the synced folder and propagates the deletion as a
     /// metadata-only operation.
     pub fn delete_file(&mut self, sim: &mut Simulator, path: &str, at: SimTime) -> SimTime {
@@ -684,6 +830,84 @@ mod tests {
         // (headers add more).
         let uploaded = analysis::uploaded_payload(&packets);
         assert!(uploaded >= outcome.uploaded_payload);
+    }
+
+    #[test]
+    fn cross_user_restore_moves_download_traffic() {
+        use cloudsim_storage::{ObjectStore, UploadPipeline};
+        let store = ObjectStore::new();
+        let pipeline = UploadPipeline::sequential();
+        let mut sim = Simulator::new(11);
+        let mut owner =
+            SyncClient::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "owner");
+        let files = batch(4, 100_000);
+        let t0 = owner.login(&mut sim, SimTime::ZERO);
+        let synced = owner.sync_batch(&mut sim, &files, t0 + SimDuration::from_secs(2));
+
+        // A second client behind ADSL pulls the owner's namespace down.
+        let mut puller = SyncClient::for_user_on_link(
+            ServiceProfile::dropbox(),
+            pipeline,
+            store.clone(),
+            "puller",
+            &AccessLink::adsl(),
+        );
+        let mut psim = Simulator::new(12);
+        let login = puller.login(&mut psim, SimTime::ZERO);
+        let before = psim.trace().wire_bytes(FlowKind::Storage);
+        let outcome = puller.restore_user(&mut psim, "owner", login + SimDuration::from_secs(1));
+
+        assert_eq!(outcome.files_restored, 4);
+        assert_eq!(outcome.files_failed, 0);
+        assert_eq!(outcome.logical_bytes, synced.logical_bytes);
+        assert!(outcome.downloaded_payload > 0);
+        assert!(outcome.completed_at > outcome.requested_at);
+        let ttfb = outcome.ttfb_secs().expect("bytes travelled");
+        assert!(ttfb > 0.0 && ttfb < outcome.duration_secs());
+        // The storage flow actually carried the download.
+        let after = psim.trace().wire_bytes(FlowKind::Storage);
+        assert!(after - before >= outcome.downloaded_payload);
+        // ADSL's fat downstream: pulling 400 kB is far faster than the
+        // owner-side ADSL upload of the same batch would be (1 Mb/s up).
+        assert!(
+            outcome.duration_secs() < 4.0,
+            "restore took {}s over the 8 Mb/s downstream",
+            outcome.duration_secs()
+        );
+    }
+
+    #[test]
+    fn restoring_a_departed_user_fails_cleanly() {
+        use cloudsim_storage::{ObjectStore, UploadPipeline};
+        let store = ObjectStore::new();
+        let pipeline = UploadPipeline::sequential();
+        let mut sim = Simulator::new(13);
+        let mut owner =
+            SyncClient::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "owner");
+        let t0 = owner.login(&mut sim, SimTime::ZERO);
+        let synced = owner.sync_batch(&mut sim, &batch(2, 50_000), t0 + SimDuration::from_secs(1));
+        let paths = store.list_files("owner");
+        owner.leave_service(&mut sim, synced.completed_at + SimDuration::from_secs(1));
+
+        let mut puller =
+            SyncClient::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "puller");
+        let mut psim = Simulator::new(14);
+        let login = puller.login(&mut psim, SimTime::ZERO);
+        let storage_before = psim.trace().wire_bytes(FlowKind::Storage);
+
+        // Whole-user pull: the namespace is gone — one clean failure.
+        let outcome = puller.restore_user(&mut psim, "owner", login + SimDuration::from_secs(1));
+        assert_eq!(outcome.files_restored, 0);
+        assert_eq!(outcome.files_failed, 1);
+        assert_eq!(outcome.downloaded_payload, 0);
+        assert_eq!(outcome.first_byte_at, None);
+
+        // Path-level pull of the hard-deleted manifests: typed per-file
+        // failures, still no storage traffic, never a panic.
+        let outcome = puller.restore_batch(&mut psim, "owner", &paths, outcome.completed_at);
+        assert_eq!(outcome.files_failed, paths.len());
+        assert_eq!(psim.trace().wire_bytes(FlowKind::Storage), storage_before);
+        assert!(outcome.completed_at > outcome.requested_at, "the control plane still answered");
     }
 
     #[test]

@@ -27,16 +27,17 @@ pub mod fleet;
 pub mod planner;
 pub mod profile;
 
-pub use client::{SyncClient, SyncOutcome};
+pub use client::{RestoreOutcome, SyncClient, SyncOutcome};
 pub use deployment::Deployment;
 pub use fleet::{
     run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetRun,
     FleetSpec,
 };
 
-// Re-export the per-client network and GC vocabulary the fleet speaks.
+// Re-export the per-client network, GC and restore vocabulary the fleet
+// speaks.
 pub use cloudsim_net::AccessLink;
-pub use cloudsim_storage::{GcPolicy, GcStats};
+pub use cloudsim_storage::{GcPolicy, GcStats, RestoreError, RestoredFile};
 pub use planner::{FilePlan, UploadPlanner};
 pub use profile::ServiceProfile;
 

@@ -10,10 +10,12 @@
 
 use crate::profile::ServiceProfile;
 use cloudsim_storage::{
-    ConvergentCipher, DedupIndex, FileArtifacts, FileJob, FileManifest, ObjectStore, PipelineSpec,
-    StoredChunk, UploadPipeline,
+    ContentHash, ConvergentCipher, DedupIndex, FileArtifacts, FileJob, FileManifest, ObjectStore,
+    PipelineSpec, RestoreError, RestorePipeline, RestoreRequest, RestoredFile, StoredChunk,
+    UploadPipeline,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The plan for one chunk of one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +67,20 @@ pub struct UploadPlanner {
     cipher: ConvergentCipher,
     /// Last revision of each path as the server knows it (basis for delta).
     previous: HashMap<String, Vec<u8>>,
+    /// Content pulled down by restores, keyed `owner/path`. Feeds the local
+    /// chunk view (pulled chunks are never re-downloaded) and serves as the
+    /// delta base when a path is pulled again after the owner modified it.
+    restored: HashMap<String, Vec<u8>>,
+    /// The client's local chunk view: every chunk of every file it
+    /// currently holds (own uploads + pulled content), with a count of the
+    /// holding files. Maintained incrementally as files are committed,
+    /// deleted, pulled and re-pulled — the restore pipeline's dedup check
+    /// reads it directly instead of re-chunking the whole local state on
+    /// every pull.
+    local_chunks: HashMap<ContentHash, (Arc<[u8]>, usize)>,
+    /// Chunk hashes per locally held file (`own:` / `pull:` key prefixes),
+    /// so superseding or deleting a file releases exactly its references.
+    local_files: HashMap<String, Vec<ContentHash>>,
     user: String,
     /// Executes the pure per-chunk work (hash, compress, delta estimate).
     pipeline: UploadPipeline,
@@ -100,6 +116,9 @@ impl UploadPlanner {
             dedup: DedupIndex::new(),
             cipher: ConvergentCipher::new(),
             previous: HashMap::new(),
+            restored: HashMap::new(),
+            local_chunks: HashMap::new(),
+            local_files: HashMap::new(),
             user: user.to_string(),
             pipeline,
         }
@@ -261,15 +280,17 @@ impl UploadPlanner {
             };
 
             // Commit the chunk server-side (the stored size is what we upload,
-            // or the existing copy for dedup hits).
+            // or the existing copy for dedup hits). The plaintext payload
+            // rides along so the restore pipeline can serve the bytes back.
             if !already_stored {
-                self.store.put_chunk(
+                self.store.put_chunk_with_payload(
                     &self.user,
                     StoredChunk {
                         hash: chunk.hash,
                         stored_len: plan.upload_bytes.max(1),
                         plain_len: chunk.len,
                     },
+                    &content[chunk.offset as usize..chunk.end() as usize],
                 );
             }
             // Reference tracking happens for every service; the difference is
@@ -282,6 +303,15 @@ impl UploadPlanner {
             let manifest = FileManifest::from_chunks(path, &artifacts.chunk_list(), 0);
             self.store.commit_manifest(&self.user, manifest);
         }
+        // The committed revision enters the local chunk view (hashes come
+        // from the pipeline artifacts — nothing is re-hashed here); the
+        // superseded revision's chunks leave it.
+        let spans: Vec<(ContentHash, std::ops::Range<usize>)> = artifacts
+            .chunks
+            .iter()
+            .map(|a| (a.chunk.hash, a.chunk.offset as usize..a.chunk.end() as usize))
+            .collect();
+        self.index_local_file(format!("own:{path}"), &spans, content);
         self.previous.insert(path.to_string(), content.to_vec());
 
         FilePlan {
@@ -300,8 +330,121 @@ impl UploadPlanner {
             for chunk in self.profile.chunking.chunk(&old) {
                 self.dedup.remove_reference(&chunk.hash);
             }
+            self.unindex_local_file(&format!("own:{path}"));
         }
         self.store.delete_file(&self.user, path);
+    }
+
+    /// Plans the restore of every live file of `owner` — the download
+    /// mirror of [`UploadPlanner::plan_batch`]. Convenience wrapper over
+    /// [`UploadPlanner::plan_restore_paths`] for the whole namespace.
+    pub fn plan_restore_user(&mut self, owner: &str) -> Vec<Result<RestoredFile, RestoreError>> {
+        let paths = self.store.list_files(owner);
+        self.plan_restore_paths(owner, &paths)
+    }
+
+    /// Plans (and locally applies) the restore of `owner`'s files at the
+    /// given paths. The restore pipeline runs in the same execution mode as
+    /// the planner's upload pipeline; results are byte-identical either way.
+    ///
+    /// Capabilities mirror the upload direction:
+    /// * chunks already in the client's local view (its own uploads or
+    ///   earlier pulls) are not re-downloaded,
+    /// * when the service delta-encodes and the client holds a base revision
+    ///   of the path (its own previous upload for self-restores, the last
+    ///   pulled revision for cross-user pulls), differing chunks travel as
+    ///   delta scripts,
+    /// * full downloads travel in the service's compression encoding.
+    ///
+    /// Successes are recorded in the planner's local view, so a repeat pull
+    /// of unchanged content costs nothing on the wire. Failures (e.g. a
+    /// manifest a churning owner hard-deleted) are typed values, never
+    /// panics, and leave no local state behind.
+    pub fn plan_restore_paths(
+        &mut self,
+        owner: &str,
+        paths: &[String],
+    ) -> Vec<Result<RestoredFile, RestoreError>> {
+        let spec = PipelineSpec {
+            chunking: self.profile.chunking,
+            compression: self.profile.compression,
+            delta_encoding: self.profile.delta_encoding,
+        };
+        let local = &self.local_chunks;
+        let own = owner == self.user;
+        let requests: Vec<RestoreRequest<'_>> = paths
+            .iter()
+            .map(|path| RestoreRequest {
+                owner,
+                path,
+                base: if own {
+                    self.previous.get(path).map(Vec::as_slice)
+                } else {
+                    self.restored.get(&format!("{owner}/{path}")).map(Vec::as_slice)
+                },
+            })
+            .collect();
+        let store = self.store.clone();
+        let results = RestorePipeline::with_mode(self.pipeline.mode()).restore_batch(
+            &store,
+            &spec,
+            &requests,
+            &|hash| local.get(hash).map(|(bytes, _)| bytes.clone()),
+        );
+        for restored in results.iter().flatten() {
+            let mut offset = 0usize;
+            let spans: Vec<(ContentHash, std::ops::Range<usize>)> = restored
+                .chunks
+                .iter()
+                .map(|c| {
+                    let range = offset..offset + c.plain_len as usize;
+                    offset = range.end;
+                    (c.hash, range)
+                })
+                .collect();
+            self.index_local_file(
+                format!("pull:{owner}/{}", restored.path),
+                &spans,
+                &restored.content,
+            );
+            self.restored.insert(format!("{owner}/{}", restored.path), restored.content.clone());
+        }
+        results
+    }
+
+    /// Releases one locally held file's chunk references; chunks no other
+    /// held file shares leave the local view.
+    fn unindex_local_file(&mut self, key: &str) {
+        let Some(hashes) = self.local_files.remove(key) else { return };
+        for hash in hashes {
+            if let Some((_, refs)) = self.local_chunks.get_mut(&hash) {
+                *refs -= 1;
+                if *refs == 0 {
+                    self.local_chunks.remove(&hash);
+                }
+            }
+        }
+    }
+
+    /// Registers (or replaces) one locally held file in the chunk view:
+    /// `spans` are its chunk hashes with their byte ranges in `content`.
+    fn index_local_file(
+        &mut self,
+        key: String,
+        spans: &[(ContentHash, std::ops::Range<usize>)],
+        content: &[u8],
+    ) {
+        self.unindex_local_file(&key);
+        let mut hashes = Vec::with_capacity(spans.len());
+        for (hash, range) in spans {
+            hashes.push(*hash);
+            let entry = self
+                .local_chunks
+                .entry(*hash)
+                .or_insert_with(|| (Arc::from(&content[range.clone()]), 0));
+            entry.1 += 1;
+        }
+        self.local_files.insert(key, hashes);
     }
 
     /// Hard-deletes the whole account server-side: every live manifest is
@@ -318,6 +461,9 @@ impl UploadPlanner {
         // the shard locks once per file.
         self.store.purge_user(&self.user);
         self.previous.clear();
+        self.restored.clear();
+        self.local_chunks.clear();
+        self.local_files.clear();
         self.dedup = DedupIndex::new();
         deleted
     }
@@ -524,6 +670,96 @@ mod tests {
                 batch.iter().map(|(p, c)| one_by_one.plan_file(p, c)).collect();
             assert_eq!(batch_plans, file_plans, "{}", profile.name());
         }
+    }
+
+    #[test]
+    fn cross_user_restores_round_trip_and_dedup_shared_content() {
+        // Two Dropbox users share a store; bob uploads one shared file (the
+        // same bytes alice also has) and one private file. Alice pulls bob's
+        // namespace: the shared file costs nothing on the wire, the private
+        // one downloads, and both come back byte-identical.
+        let store = ObjectStore::new();
+        let pipeline = UploadPipeline::sequential();
+        let mut alice =
+            UploadPlanner::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "alice");
+        let mut bob =
+            UploadPlanner::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "bob");
+
+        let shared = generate(FileKind::RandomBinary, 400_000, 21);
+        let private = generate(FileKind::RandomBinary, 300_000, 22);
+        alice.plan_file("pool/shared.bin", &shared);
+        bob.plan_file("pool/shared.bin", &shared);
+        bob.plan_file("own/private.bin", &private);
+
+        let results = alice.plan_restore_user("bob");
+        assert_eq!(results.len(), 2);
+        let by_path = |p: &str| {
+            results.iter().flatten().find(|r| r.path == p).unwrap_or_else(|| panic!("{p} restored"))
+        };
+        let pulled_private = by_path("own/private.bin");
+        assert_eq!(pulled_private.content, private);
+        assert!(pulled_private.download_bytes() >= 300_000, "random data travels in full");
+        let pulled_shared = by_path("pool/shared.bin");
+        assert_eq!(pulled_shared.content, shared);
+        assert_eq!(pulled_shared.download_bytes(), 0, "alice already holds these chunks");
+        assert_eq!(pulled_shared.dedup_skipped_bytes(), 400_000);
+
+        // A repeat pull of unchanged content is free: the first pull entered
+        // alice's local view.
+        let again = alice.plan_restore_user("bob");
+        assert!(again.iter().flatten().all(|r| r.download_bytes() == 0));
+
+        // Bob appends; the re-pull travels roughly the appended bytes as a
+        // delta against the previously pulled revision.
+        let appended = Mutation::Append { len: 50_000 }.apply(&private, 23);
+        bob.plan_file("own/private.bin", &appended);
+        let repull = alice.plan_restore_paths("bob", &["own/private.bin".to_string()]);
+        let repull = repull[0].as_ref().unwrap();
+        assert_eq!(repull.content, appended);
+        let down = repull.download_bytes();
+        assert!((1..200_000).contains(&down), "delta re-pull should be small, got {down}");
+    }
+
+    #[test]
+    fn restore_of_a_purged_account_fails_cleanly() {
+        let store = ObjectStore::new();
+        let pipeline = UploadPipeline::sequential();
+        let mut owner =
+            UploadPlanner::for_user(ServiceProfile::wuala(), pipeline, store.clone(), "owner");
+        let mut puller =
+            UploadPlanner::for_user(ServiceProfile::wuala(), pipeline, store.clone(), "puller");
+        owner.plan_file("f.bin", &generate(FileKind::RandomBinary, 100_000, 31));
+        let paths = store.list_files("owner");
+        owner.purge_account();
+
+        let results = puller.plan_restore_paths("owner", &paths);
+        assert_eq!(results.len(), 1);
+        assert!(matches!(
+            results[0].as_ref().unwrap_err(),
+            cloudsim_storage::RestoreError::ManifestMissing { .. }
+        ));
+        // A purged namespace lists no files, so the whole-user restore is
+        // empty rather than an error.
+        assert!(puller.plan_restore_user("owner").is_empty());
+        // Counters never went negative: the purge released every reference,
+        // and a mark-sweep pass reclaims the physical bytes it left behind.
+        assert_eq!(store.aggregate().referenced_bytes, 0);
+        store.collect_garbage();
+        assert_eq!(store.aggregate().physical_bytes, 0);
+    }
+
+    #[test]
+    fn self_restore_after_soft_delete_downloads_nothing() {
+        // §4.3: delete then restore — dedup keeps the wire silent in both
+        // directions. The planner holds the old revision locally, so even
+        // the restore pipeline's download step is skipped entirely.
+        let mut planner = UploadPlanner::new(ServiceProfile::dropbox());
+        let content = generate(FileKind::RandomBinary, 200_000, 41);
+        planner.plan_file("docs/keep.bin", &content);
+        let restored = planner.plan_restore_paths("benchmark-user", &["docs/keep.bin".into()]);
+        let restored = restored[0].as_ref().unwrap();
+        assert_eq!(restored.content, content);
+        assert_eq!(restored.download_bytes(), 0);
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //! * [`pipeline`] — the parallel, zero-copy upload pipeline that runs
 //!   chunking, hashing, delta estimation and compression over borrowed
 //!   slices with preallocated per-worker scratch, fanned out across chunks
-//!   and files with `std::thread::scope`.
+//!   and files with `std::thread::scope`,
+//! * [`restore`] — the download direction: a parallel restore pipeline that
+//!   reads manifests back out of the store, skips chunks the client already
+//!   holds, downloads deltas against locally held bases, decodes the wire
+//!   encoding with reusable scratch and reassembles byte-identical content
+//!   (failing with typed errors, not panics, on hard-deleted manifests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +46,7 @@ pub mod delta;
 pub mod encrypt;
 pub mod hash;
 pub mod pipeline;
+pub mod restore;
 pub mod store;
 
 pub use chunker::{Chunk, ChunkSpan, ChunkingStrategy};
@@ -52,6 +58,9 @@ pub use hash::{sha256, ContentHash};
 pub use pipeline::{
     ChunkArtifacts, DeltaEstimate, FileArtifacts, FileJob, PipelineMode, PipelineSpec,
     UploadPipeline,
+};
+pub use restore::{
+    RestoreError, RestorePipeline, RestoreRequest, RestoreSource, RestoredChunk, RestoredFile,
 };
 pub use store::{
     AggregateStats, FileManifest, GcPolicy, GcStats, ObjectStore, StoreStats, StoredChunk,

@@ -226,6 +226,12 @@ struct ChunkEntry {
     record: StoredChunk,
     /// Number of distinct users referencing the chunk.
     owners: u64,
+    /// The plaintext chunk payload, when the committer provided it (see
+    /// [`ObjectStore::put_chunk_with_payload`]). Restores are served from
+    /// here; metadata-only commits leave it `None` and a restore of such a
+    /// chunk reports [`crate::restore::RestoreError::PayloadUnavailable`].
+    /// `Arc` because concurrent restores share the bytes without copying.
+    payload: Option<Arc<[u8]>>,
 }
 
 #[derive(Debug)]
@@ -361,6 +367,26 @@ impl ObjectStore {
     /// server keeps the most compact representation it has seen — `min` is
     /// commutative, which keeps aggregate stats independent of commit order).
     pub fn put_chunk(&self, user: &str, chunk: StoredChunk) -> bool {
+        self.put_chunk_inner(user, chunk, None)
+    }
+
+    /// [`ObjectStore::put_chunk`] carrying the plaintext chunk payload, so
+    /// restores can reassemble byte-identical file content. The payload is
+    /// kept at most once per physical entry regardless of how many users
+    /// commit it (hash-equal plaintexts are identical bytes, so which
+    /// committer's copy survives is unobservable), and it is freed together
+    /// with the entry when garbage collection reclaims it.
+    pub fn put_chunk_with_payload(&self, user: &str, chunk: StoredChunk, payload: &[u8]) -> bool {
+        debug_assert_eq!(
+            crate::hash::sha256(payload),
+            chunk.hash,
+            "payload does not match the chunk hash"
+        );
+        debug_assert_eq!(payload.len() as u64, chunk.plain_len);
+        self.put_chunk_inner(user, chunk, Some(payload))
+    }
+
+    fn put_chunk_inner(&self, user: &str, chunk: StoredChunk, payload: Option<&[u8]>) -> bool {
         // Lock discipline: user shard first, released before the chunk shard
         // is taken — the two arrays are never held simultaneously.
         {
@@ -388,12 +414,21 @@ impl ObjectStore {
                     entry.record = chunk;
                     stats.physical_bytes.fetch_sub(saved, Ordering::Relaxed);
                 }
+                if entry.payload.is_none() {
+                    if let Some(payload) = payload {
+                        entry.payload = Some(Arc::from(payload));
+                    }
+                }
                 stats.server_dedup_hits.fetch_add(1, Ordering::Relaxed);
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
                 stats.unique_chunks.fetch_add(1, Ordering::Relaxed);
                 stats.physical_bytes.fetch_add(chunk.stored_len, Ordering::Relaxed);
-                slot.insert(ChunkEntry { record: chunk, owners: 1 });
+                slot.insert(ChunkEntry {
+                    record: chunk,
+                    owners: 1,
+                    payload: payload.map(Arc::from),
+                });
             }
         }
         true
@@ -585,6 +620,14 @@ impl ObjectStore {
     /// Number of distinct users that committed a given chunk.
     pub fn chunk_owners(&self, hash: &ContentHash) -> u64 {
         self.chunk_shard(hash).read().get(hash).map(|e| e.owners).unwrap_or(0)
+    }
+
+    /// The plaintext payload of a physical chunk, when a committer provided
+    /// one via [`ObjectStore::put_chunk_with_payload`]. `None` for unknown
+    /// (or garbage-collected) hashes and for metadata-only commits. The
+    /// restore pipeline serves file reconstructions from here.
+    pub fn chunk_payload(&self, hash: &ContentHash) -> Option<Arc<[u8]>> {
+        self.chunk_shard(hash).read().get(hash).and_then(|e| e.payload.clone())
     }
 
     /// Aggregate statistics of a user's namespace.
@@ -1102,6 +1145,30 @@ mod tests {
             assert_eq!(concurrent.aggregate().physical_bytes, 0, "{policy:?}");
             assert_eq!(concurrent.aggregate().users, 0, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn payloads_are_stored_once_and_freed_with_the_entry() {
+        let store = ObjectStore::with_policy(GcPolicy::Eager);
+        let data = b"payload bytes served to restores".to_vec();
+        let c = stored(&data);
+        // Metadata-only commit leaves no payload…
+        assert!(store.put_chunk("alice", c.clone()));
+        assert_eq!(store.chunk_payload(&c.hash), None);
+        // …a later payload-carrying commit (another user) fills it in.
+        assert!(store.put_chunk_with_payload("bob", c.clone(), &data));
+        assert_eq!(store.chunk_payload(&c.hash).as_deref(), Some(&data[..]));
+        // Aggregate accounting is identical to the payload-less path.
+        assert_eq!(store.aggregate().unique_chunks, 1);
+        assert_eq!(store.aggregate().server_dedup_hits, 1);
+
+        // Releasing both owners frees the entry and its payload.
+        store.commit_manifest("alice", manifest_for("a.bin", &[&c]));
+        store.commit_manifest("bob", manifest_for("b.bin", &[&c]));
+        store.delete_manifest("alice", "a.bin");
+        store.delete_manifest("bob", "b.bin");
+        assert_eq!(store.chunk_payload(&c.hash), None);
+        assert!(!store.has_chunk_globally(&c.hash));
     }
 
     #[test]
