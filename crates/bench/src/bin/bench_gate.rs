@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--markdown PATH]
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--markdown PATH]
 //! ```
 //!
 //! Both files are flat `{"metric": number, …}` objects as produced by
@@ -11,6 +11,12 @@
 //! run and within the relative tolerance; new metrics in the current run are
 //! reported but do not fail the gate (they become binding once the baseline
 //! is refreshed). Exits 0 on pass, 1 on regression, 2 on usage errors.
+//!
+//! `--strict` additionally enforces baseline *hygiene*: a metric present in
+//! the current run with no baseline entry fails the gate instead of being
+//! reported informationally. Without this, an unregistered metric passes
+//! the ±tolerance comparison forever by never being compared — CI runs the
+//! gate strict so every new metric lands together with its baseline entry.
 //!
 //! `--markdown PATH` additionally *appends* the comparison as a markdown
 //! table to PATH — pass `$GITHUB_STEP_SUMMARY` in CI so regressions are
@@ -40,11 +46,16 @@ fn load(path: &str) -> Vec<(String, f64)> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.15f64;
+    let mut strict = false;
     let mut markdown_path: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0usize;
     while i < args.len() {
         match args[i].as_str() {
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
             "--tolerance" => {
                 tolerance = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--tolerance needs a numeric argument");
@@ -67,14 +78,16 @@ fn main() {
     }
     let [baseline_path, current_path] = files.as_slice() else {
         eprintln!(
-            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--markdown PATH]"
+            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--markdown PATH]"
         );
         std::process::exit(2);
     };
 
     let baseline = load(baseline_path);
     let current = load(current_path);
-    let report = compare(&baseline, &current, tolerance);
+    // Strictness is applied before any render, so the step summary of a
+    // failing strict run says FAIL and flags the unregistered metrics.
+    let report = compare(&baseline, &current, tolerance).with_strict(strict);
     print!("{}", report.render());
     if let Some(path) = markdown_path {
         // Append (the CI step summary may already hold earlier sections);
@@ -90,10 +103,27 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if report.passed() {
-        println!("bench gate: PASS ({} metrics within ±{:.0}%)", baseline.len(), tolerance * 100.0);
-    } else {
+    if !report.passed() {
         println!("bench gate: FAIL — refresh bench_baseline.json only for intentional changes");
         std::process::exit(1);
     }
+    if strict {
+        let unregistered = report.unregistered();
+        if !unregistered.is_empty() {
+            println!(
+                "bench gate: FAIL (strict) — {} metric(s) have no baseline entry and would \
+                 never be compared: {}",
+                unregistered.len(),
+                unregistered.join(", ")
+            );
+            println!("register them by refreshing bench_baseline.json in the same change");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "bench gate: PASS ({} metrics within ±{:.0}%{})",
+        baseline.len(),
+        tolerance * 100.0,
+        if strict { ", baseline hygienic" } else { "" }
+    );
 }

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore] [--reps N]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule] [--reps N]
 //! repro bench-json [PATH]
 //! ```
 //!
@@ -16,9 +16,12 @@
 //! `hetero` runs the heterogeneous scenario matrix (mixed service profiles ×
 //! mixed access links × churn, against eager- and mark-sweep-collected
 //! stores), `restore` runs the download/restore suite (downloader slots
-//! pulling other users' content back through asymmetric links), and
-//! `bench-json` dumps the deterministic gate metrics as flat JSON (to PATH,
-//! default stdout) for the CI bench-regression gate.
+//! pulling other users' content back through asymmetric links), `schedule`
+//! runs the temporal suite (think-time distributions, idle rounds and
+//! arrival jitter on a virtual clock, with start-up delay distributions,
+//! the concurrency high-water mark and the background-vs-payload split),
+//! and `bench-json` dumps the deterministic gate metrics as flat JSON (to
+//! PATH, default stdout) for the CI bench-regression gate.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -112,6 +115,12 @@ fn restore() {
     print_report(&Report::restore(&suite));
 }
 
+fn schedule() {
+    let suite =
+        cloudbench::schedule::run_schedule(cloudbench_bench::metrics::SCHEDULE_CLIENTS, REPRO_SEED);
+    print_report(&Report::schedule(&suite));
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -163,6 +172,7 @@ fn main() {
         "fleet" => fleet(),
         "hetero" => hetero(),
         "restore" => restore(),
+        "schedule" => schedule(),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -175,10 +185,11 @@ fn main() {
             fleet();
             hetero();
             restore();
+            schedule();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore] [--reps N]");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule] [--reps N]");
             eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }

@@ -122,12 +122,72 @@ pub struct GateReport {
     pub rows: Vec<(String, Option<f64>, Option<f64>, Verdict)>,
     /// The tolerance the comparison used.
     pub tolerance: f64,
+    /// Whether baseline hygiene is enforced: when true, the renders and the
+    /// effective verdict treat unregistered (`New`) metrics as failures, so
+    /// the step summary a failing strict run writes never reads PASS.
+    pub strict: bool,
 }
 
 impl GateReport {
+    /// Returns the report with strict baseline hygiene enabled: `New`
+    /// verdicts count as failures in [`GateReport::effective_pass`] and are
+    /// flagged by the renders.
+    pub fn with_strict(mut self, strict: bool) -> GateReport {
+        self.strict = strict;
+        self
+    }
+
     /// True when no metric regressed or went missing.
     pub fn passed(&self) -> bool {
         !self.rows.iter().any(|(_, _, _, v)| matches!(v, Verdict::Regressed(_) | Verdict::Missing))
+    }
+
+    /// The verdict the renders report: [`GateReport::passed_strict`] when
+    /// hygiene is enforced, [`GateReport::passed`] otherwise.
+    pub fn effective_pass(&self) -> bool {
+        if self.strict {
+            self.passed_strict()
+        } else {
+            self.passed()
+        }
+    }
+
+    /// True when the given verdict fails this report (strictness applied).
+    fn fails(&self, verdict: &Verdict) -> bool {
+        match verdict {
+            Verdict::Regressed(_) | Verdict::Missing => true,
+            Verdict::New => self.strict,
+            Verdict::Ok => false,
+        }
+    }
+
+    /// Metrics present in the current run but absent from the baseline —
+    /// the baseline-hygiene violations strict mode turns into failures: an
+    /// unregistered metric would otherwise pass the tolerance gate forever
+    /// by never being compared.
+    pub fn unregistered(&self) -> Vec<&str> {
+        self.rows
+            .iter()
+            .filter(|(_, _, _, v)| matches!(v, Verdict::New))
+            .map(|(k, _, _, _)| k.as_str())
+            .collect()
+    }
+
+    /// True when the comparison passes *and* the baseline is hygienic: every
+    /// current metric has a baseline entry and vice versa (`Missing` already
+    /// fails [`GateReport::passed`]; this additionally rejects `New`).
+    pub fn passed_strict(&self) -> bool {
+        self.passed() && self.unregistered().is_empty()
+    }
+
+    /// The suite prefix a metric belongs to (text before the first `.`), or
+    /// `"other"` for unprefixed names — the grouping key of the markdown
+    /// summary, which keeps the growing metric table readable per suite.
+    fn suite_of(key: &str) -> &str {
+        match key.split_once('.') {
+            Some((prefix, _)) if !prefix.is_empty() => prefix,
+            _ => "other",
+        }
     }
 
     /// Renders the comparison as a fixed-width table.
@@ -168,39 +228,67 @@ impl GateReport {
         out
     }
 
-    /// Renders the comparison as a GitHub-flavoured markdown table — what
-    /// the CI job appends to `$GITHUB_STEP_SUMMARY`, so a regression is
-    /// readable on the run page without downloading the metrics artifact.
+    /// Renders the comparison as GitHub-flavoured markdown — what the CI
+    /// job appends to `$GITHUB_STEP_SUMMARY`, so a regression is readable
+    /// on the run page without downloading the metrics artifact. Metrics
+    /// are grouped by suite prefix (`fig6`, `fleet8`, `hetero`, `gc`,
+    /// `restore`, `schedule`, …), one table per suite, so the growing
+    /// metric set stays scannable.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         let verdict_cell = |v: &Verdict| match v {
             Verdict::Ok => "ok".to_string(),
             Verdict::Regressed(d) => format!("**REGRESSED** ({:+.1}%)", d * 100.0),
             Verdict::Missing => "**MISSING**".to_string(),
+            // Under strict hygiene an unregistered metric is a failure and
+            // must read like one on the run page.
+            Verdict::New if self.strict => "**UNREGISTERED** (no baseline entry)".to_string(),
             Verdict::New => "new".to_string(),
         };
         let _ = writeln!(
             out,
-            "### Bench regression gate ({}, tolerance ±{:.0}%)\n",
-            if self.passed() { "PASS" } else { "FAIL" },
-            self.tolerance * 100.0
+            "### Bench regression gate ({}, tolerance ±{:.0}%{})\n",
+            if self.effective_pass() { "PASS" } else { "FAIL" },
+            self.tolerance * 100.0,
+            if self.strict { ", strict baseline hygiene" } else { "" }
         );
-        let _ = writeln!(out, "| metric | baseline | observed | delta | verdict |");
-        let _ = writeln!(out, "|:---|---:|---:|---:|:---|");
-        for (key, baseline, current, verdict) in &self.rows {
-            let fmt =
-                |v: &Option<f64>| v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "—".to_string());
-            let delta = match (baseline, current) {
-                (Some(b), Some(c)) if *b != 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
-                _ => "—".to_string(),
-            };
-            let _ = writeln!(
-                out,
-                "| `{key}` | {} | {} | {delta} | {} |",
-                fmt(baseline),
-                fmt(current),
-                verdict_cell(verdict)
-            );
+        // Suites in first-appearance order.
+        let mut suites: Vec<&str> = Vec::new();
+        for (key, _, _, _) in &self.rows {
+            let suite = GateReport::suite_of(key);
+            if !suites.contains(&suite) {
+                suites.push(suite);
+            }
+        }
+        for suite in suites {
+            let members: Vec<_> = self
+                .rows
+                .iter()
+                .filter(|(key, _, _, _)| GateReport::suite_of(key) == suite)
+                .collect();
+            let flagged = members.iter().filter(|(_, _, _, v)| self.fails(v)).count();
+            let status =
+                if flagged > 0 { format!(" — {flagged} flagged") } else { String::new() };
+            let _ = writeln!(out, "#### `{suite}` ({} metrics{status})\n", members.len());
+            let _ = writeln!(out, "| metric | baseline | observed | delta | verdict |");
+            let _ = writeln!(out, "|:---|---:|---:|---:|:---|");
+            for (key, baseline, current, verdict) in members {
+                let fmt = |v: &Option<f64>| {
+                    v.map(|v| format!("{v:.4}")).unwrap_or_else(|| "—".to_string())
+                };
+                let delta = match (baseline, current) {
+                    (Some(b), Some(c)) if *b != 0.0 => format!("{:+.1}%", (c - b) / b * 100.0),
+                    _ => "—".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "| `{key}` | {} | {} | {delta} | {} |",
+                    fmt(baseline),
+                    fmt(current),
+                    verdict_cell(verdict)
+                );
+            }
+            let _ = writeln!(out);
         }
         out
     }
@@ -236,7 +324,7 @@ pub fn compare(
             rows.push((key.clone(), None, Some(*cur), Verdict::New));
         }
     }
-    GateReport { rows, tolerance }
+    GateReport { rows, tolerance, strict: false }
 }
 
 #[cfg(test)]
@@ -303,8 +391,79 @@ mod tests {
             .contains("| `drifted` | 10.0000 | 12.0000 | +20.0% | **REGRESSED** (+20.0%) |"));
         assert!(markdown.contains("| `gone` | 5.0000 | — | — | **MISSING** |"));
         assert!(markdown.contains("| `fresh` | — | 1.0000 | — | new |"));
+        // Unprefixed metrics fall into one "other" group, with the flagged
+        // count in the header.
+        assert!(markdown.contains("#### `other` (4 metrics — 2 flagged)"));
         let passing = compare(&baseline[..1], &current[..1], 0.15).render_markdown();
         assert!(passing.starts_with("### Bench regression gate (PASS"));
+        assert!(passing.contains("#### `other` (1 metrics)"));
+    }
+
+    #[test]
+    fn markdown_groups_metrics_by_suite_prefix() {
+        let baseline = vec![
+            ("fig6.completion_s.dropbox".to_string(), 1.0),
+            ("fig6.overhead.dropbox".to_string(), 2.0),
+            ("fleet8.goodput_mbps".to_string(), 3.0),
+            ("schedule.idle_rounds".to_string(), 4.0),
+        ];
+        let markdown = compare(&baseline, &baseline.clone(), 0.15).render_markdown();
+        assert!(markdown.contains("#### `fig6` (2 metrics)"));
+        assert!(markdown.contains("#### `fleet8` (1 metrics)"));
+        assert!(markdown.contains("#### `schedule` (1 metrics)"));
+        // Suites appear in first-appearance order.
+        let fig6 = markdown.find("#### `fig6`").unwrap();
+        let fleet8 = markdown.find("#### `fleet8`").unwrap();
+        let schedule = markdown.find("#### `schedule`").unwrap();
+        assert!(fig6 < fleet8 && fleet8 < schedule);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unregistered_metrics() {
+        let baseline = vec![("a.x".to_string(), 1.0)];
+        let current = vec![("a.x".to_string(), 1.0), ("a.y".to_string(), 2.0)];
+        let report = compare(&baseline, &current, 0.15);
+        // The lenient verdict tolerates the new metric; strict hygiene
+        // does not — an unregistered metric would never be compared.
+        assert!(report.passed());
+        assert!(!report.passed_strict());
+        assert_eq!(report.unregistered(), vec!["a.y"]);
+        // The reverse direction (baseline entry with no current metric)
+        // already fails the lenient gate as MISSING.
+        let report = compare(&current, &baseline, 0.15);
+        assert!(!report.passed());
+        assert!(!report.passed_strict());
+        assert!(report.unregistered().is_empty());
+        // Identical sets are hygienic.
+        let report = compare(&baseline, &baseline.clone(), 0.15);
+        assert!(report.passed_strict());
+    }
+
+    #[test]
+    fn strict_renders_report_the_failure_they_exit_with() {
+        // The step summary of a failing strict run must not read PASS: the
+        // banner follows the effective (strict) verdict and the
+        // unregistered metric is flagged in its suite header and cell.
+        let baseline = vec![("a.x".to_string(), 1.0)];
+        let current = vec![("a.x".to_string(), 1.0), ("a.y".to_string(), 2.0)];
+        let lenient = compare(&baseline, &current, 0.15);
+        assert!(lenient.effective_pass());
+        assert!(lenient.render_markdown().starts_with("### Bench regression gate (PASS"));
+
+        let strict = compare(&baseline, &current, 0.15).with_strict(true);
+        assert!(!strict.effective_pass());
+        let markdown = strict.render_markdown();
+        assert!(
+            markdown.starts_with("### Bench regression gate (FAIL"),
+            "strict failure must render FAIL, got: {}",
+            markdown.lines().next().unwrap_or_default()
+        );
+        assert!(markdown.contains("strict baseline hygiene"));
+        assert!(markdown.contains("#### `a` (2 metrics — 1 flagged)"));
+        assert!(markdown.contains("**UNREGISTERED** (no baseline entry)"));
+        // A hygienic strict run still renders PASS.
+        let clean = compare(&baseline, &baseline.clone(), 0.15).with_strict(true);
+        assert!(clean.render_markdown().starts_with("### Bench regression gate (PASS"));
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! Every metric is a pure function of the simulation (no wall-clock, no
 //! host parallelism dependence): per-service completion times and overheads
 //! on the paper's key workloads, the fleet suite's multi-tenant metrics at
-//! 8 clients, and the heterogeneous scenario matrix (`hetero.*` per-profile
-//! completions and per-link goodputs, `gc.*` reclamation under churn).
+//! 8 clients, the heterogeneous scenario matrix (`hetero.*` per-profile
+//! completions and per-link goodputs, `gc.*` reclamation under churn), the
+//! restore suite's down-path metrics (`restore.*`) and the temporal
+//! schedule suite (`schedule.*` start-up delays, idle-round accounting,
+//! concurrency peaks and the background-vs-payload split).
 //! `repro bench-json` dumps them; the `bench_gate` binary compares a fresh
 //! dump against the committed `bench_baseline.json`.
 
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
 use cloudbench::hetero::run_hetero;
 use cloudbench::restore::run_restore;
+use cloudbench::schedule::run_schedule;
 use cloudbench::testbed::Testbed;
 use cloudbench::ServiceProfile;
 use cloudsim_services::fleet::run_fleet;
@@ -39,6 +43,12 @@ pub const HETERO_CLIENTS: usize = 9;
 /// each preset — every link class gets a `restore.*` goodput and TTFB
 /// metric.
 pub const RESTORE_CLIENTS: usize = 8;
+
+/// The fleet size of the temporal schedule scenario: ten slots cycling
+/// through three profiles and four links give ~60 connected rounds, enough
+/// activation draws that a 0.7 probability reliably yields both synced and
+/// idle rounds for the pinned seed.
+pub const SCHEDULE_CLIENTS: usize = 10;
 
 /// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
 /// rerunning produces bit-identical values, so the gate's ±tolerance only
@@ -107,24 +117,100 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("restore.dedup_saved_mb".to_string(), suite.dedup_saved_bytes as f64 / 1e6));
     metrics.push(("restore.failures".to_string(), suite.failures as f64));
 
+    // The temporal schedule suite: start-up delays, idle-round accounting,
+    // the arrival spread, concurrency peaks (jittered vs lock-step) and the
+    // §3.1-style background-vs-payload byte split.
+    let suite = run_schedule(SCHEDULE_CLIENTS, REPRO_SEED);
+    metrics.push(("schedule.sync_rounds".to_string(), suite.sync_rounds as f64));
+    metrics.push(("schedule.idle_rounds".to_string(), suite.idle_rounds as f64));
+    metrics.push(("schedule.startup_delay_mean_s".to_string(), suite.startup_delay.mean));
+    metrics.push(("schedule.completion_mean_s".to_string(), suite.completion.mean));
+    metrics.push(("schedule.first_sync_spread_s".to_string(), suite.first_sync_spread_s));
+    metrics.push(("schedule.concurrency_peak".to_string(), suite.concurrency_peak as f64));
+    metrics.push((
+        "schedule.lockstep_concurrency_peak".to_string(),
+        suite.lockstep_concurrency_peak as f64,
+    ));
+    metrics.push(("schedule.background_kb".to_string(), suite.background_wire_bytes as f64 / 1e3));
+    metrics.push(("schedule.payload_mb".to_string(), suite.payload_wire_bytes as f64 / 1e6));
+
     metrics
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared collection run: `collect` simulates every suite, so the
+    /// assertions below share a single pass (plus one more for the
+    /// determinism check) instead of re-simulating per test.
+    fn collected() -> &'static Vec<(String, f64)> {
+        static METRICS: OnceLock<Vec<(String, f64)>> = OnceLock::new();
+        METRICS.get_or_init(collect)
+    }
 
     #[test]
     fn metrics_are_deterministic_and_named_uniquely() {
-        let a = collect();
+        let a = collected();
         let b = collect();
-        assert_eq!(a, b, "gate metrics must be bit-identical across runs");
+        assert_eq!(*a, b, "gate metrics must be bit-identical across runs");
         let names: std::collections::HashSet<&String> = a.iter().map(|(k, _)| k).collect();
         assert_eq!(names.len(), a.len(), "metric names must be unique");
         assert!(a.len() >= 10);
-        for (key, value) in &a {
+        for (key, value) in a.iter() {
             assert!(value.is_finite(), "{key} must be finite");
             assert!(*value > 0.0, "{key} must be positive, got {value}");
         }
+    }
+
+    #[test]
+    fn schedule_suite_is_represented_in_the_gate() {
+        let metrics = collected();
+        let schedule: Vec<&String> =
+            metrics.iter().map(|(k, _)| k).filter(|k| k.starts_with("schedule.")).collect();
+        assert!(schedule.len() >= 9, "schedule.* must be gated, got {schedule:?}");
+        for key in [
+            "schedule.sync_rounds",
+            "schedule.idle_rounds",
+            "schedule.startup_delay_mean_s",
+            "schedule.first_sync_spread_s",
+            "schedule.concurrency_peak",
+            "schedule.background_kb",
+        ] {
+            assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+    }
+
+    /// The acceptance proof of the scheduler refactor: a legacy-configured
+    /// fleet (zero think time, zero jitter, activation 1.0 — what every
+    /// pre-existing suite runs) must reproduce the *committed* baseline
+    /// values byte-identically, not merely within the gate's ±15%. The
+    /// baseline file is the one the CI gate compares against, so any
+    /// timeline drift the tolerance would absorb still fails here.
+    #[test]
+    fn legacy_config_reproduces_the_committed_baseline_byte_identically() {
+        let baseline = crate::gate::parse_flat(include_str!("../../../bench_baseline.json"))
+            .expect("committed baseline parses");
+        let current = collected();
+        let legacy_prefixes = ["fig6.", "fleet8.", "hetero.", "gc.", "restore."];
+        let mut compared = 0usize;
+        for (key, base) in &baseline {
+            if !legacy_prefixes.iter().any(|p| key.starts_with(p)) {
+                continue;
+            }
+            let (_, cur) = current
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{key} dropped from the collector"));
+            assert_eq!(
+                cur.to_bits(),
+                base.to_bits(),
+                "{key}: collected {cur} != committed baseline {base} — the legacy \
+                 (lock-step) timeline drifted"
+            );
+            compared += 1;
+        }
+        assert!(compared >= 40, "only {compared} legacy metrics compared — baseline truncated?");
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::testbed::Testbed;
 use cloudsim_services::ServiceProfile;
-use cloudsim_trace::{FlowKind, SimDuration, SimTime};
+use cloudsim_trace::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The Fig. 1 series for one service.
@@ -39,11 +39,10 @@ pub fn idle_traffic_for(
     });
 
     // Fig. 1 counts traffic towards control servers; keep-alive/notification
-    // channels are control-plane traffic in this accounting.
-    let control_packets: Vec<_> = packets
-        .iter()
-        .filter(|p| matches!(p.kind, FlowKind::Control | FlowKind::Notification))
-        .collect();
+    // channels are control-plane traffic in this accounting. The same
+    // predicate feeds the fleet scheduler's background-vs-payload split, so
+    // idle rounds inside fleet runs are counted exactly like this capture.
+    let control_packets: Vec<_> = packets.iter().filter(|p| p.kind.is_control_plane()).collect();
 
     let mut points = Vec::new();
     let mut t = SimTime::ZERO;

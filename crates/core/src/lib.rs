@@ -32,7 +32,11 @@
 //! mark-sweep reclamation. [`restore`] opens the read path: downloader slots
 //! pull other users' namespaces back through asymmetric links, measuring
 //! restore goodput, time-to-first-byte and cross-user dedup savings on the
-//! down direction.
+//! down direction. [`schedule`] gives the fleet its temporal shape: seeded
+//! think-time distributions, idle rounds that pay §3.1 keep-alive
+//! signalling, and intra-round arrival jitter on a virtual clock, measuring
+//! start-up delay distributions, the concurrency high-water mark and the
+//! background-vs-payload byte split.
 //!
 //! ## Quick start
 //!
@@ -58,6 +62,7 @@ pub mod hetero;
 pub mod idle;
 pub mod report;
 pub mod restore;
+pub mod schedule;
 pub mod testbed;
 
 pub use architecture::{discover_architecture, ArchitectureReport};
@@ -68,6 +73,7 @@ pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};
 pub use report::Report;
 pub use restore::{run_restore, RestoreLinkRow, RestoreSuite};
+pub use schedule::{run_schedule, ScheduleSuite};
 pub use testbed::{ExperimentRun, Testbed};
 
 // Re-exports that make the public API self-contained for downstream users.

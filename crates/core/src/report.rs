@@ -13,6 +13,7 @@ use crate::fleet::FleetScalingSuite;
 use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
 use crate::restore::RestoreSuite;
+use crate::schedule::ScheduleSuite;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -331,6 +332,68 @@ impl Report {
             suite.failures,
         );
         Report { title: "Restore: fleets pulling other users' content back down".to_string(), body }
+    }
+
+    /// Renders the temporal schedule suite: sync/idle round accounting, the
+    /// start-up delay and completion distributions, the concurrency
+    /// high-water mark against its lock-step control, and the
+    /// background-vs-payload byte split.
+    pub fn schedule(suite: &ScheduleSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} clients, {} rounds of {}, think {}, jitter <= {:.0}s, activation {:.2}",
+            suite.clients,
+            suite.rounds,
+            suite.workload,
+            suite.think,
+            suite.arrival_jitter_s,
+            suite.activation,
+        );
+        let _ = writeln!(
+            body,
+            "\nrounds: {} synced, {} idle ({:.0}% idle, keep-alive signalling only)",
+            suite.sync_rounds,
+            suite.idle_rounds,
+            suite.idle_fraction() * 100.0
+        );
+        let _ = writeln!(body, "\ntemporal distributions (simulated seconds):");
+        let _ = writeln!(
+            body,
+            "{:<22} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "quantity", "samples", "mean", "min", "max", "stddev"
+        );
+        for (name, stats) in
+            [("startup delay", &suite.startup_delay), ("completion", &suite.completion)]
+        {
+            let _ = writeln!(
+                body,
+                "{:<22} {:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                name, stats.count, stats.mean, stats.min, stats.max, stats.std_dev
+            );
+        }
+        let _ = writeln!(
+            body,
+            "\narrival spread {:.2}s; concurrency peak {} (lock-step control: {})",
+            suite.first_sync_spread_s, suite.concurrency_peak, suite.lockstep_concurrency_peak,
+        );
+        let _ = writeln!(
+            body,
+            "background vs payload: {:.1} kB signalling vs {:.2} MB storage ({:.1}% background)",
+            suite.background_wire_bytes as f64 / 1e3,
+            suite.payload_wire_bytes as f64 / 1e6,
+            suite.background_fraction() * 100.0,
+        );
+        let _ = writeln!(body, "\nper-client rounds (synced/idle):");
+        let _ = writeln!(body, "{:<12} {:>7} {:>6}", "user", "synced", "idle");
+        for (user, synced, idle) in &suite.per_client_rounds {
+            let _ = writeln!(body, "{:<12} {:>7} {:>6}", user, synced, idle);
+        }
+        Report {
+            title: "Schedule: think times, idle rounds and arrival jitter on a virtual clock"
+                .to_string(),
+            body,
+        }
     }
 
     /// Serialises any serialisable payload as pretty JSON (used by the repro

@@ -166,6 +166,14 @@ impl SyncClient {
         &self.planner
     }
 
+    /// The virtual instant of the client's most recent protocol activity
+    /// (login, poll, sync, restore or departure) — the point an idle window
+    /// resumes polling from. The fleet scheduler reads this to stitch
+    /// activated and idle rounds onto one continuous per-client timeline.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
     /// Performs the application start-up: authenticates against every control
     /// server and checks whether any content needs updating (§3.1, Fig. 1).
     /// Returns the time login completed.
@@ -908,6 +916,31 @@ mod tests {
         assert_eq!(outcome.files_failed, paths.len());
         assert_eq!(psim.trace().wire_bytes(FlowKind::Storage), storage_before);
         assert!(outcome.completed_at > outcome.requested_at, "the control plane still answered");
+    }
+
+    #[test]
+    fn idling_touches_the_clock_but_never_the_planner() {
+        // The temporal scheduler's invariant: idle rounds pay signalling
+        // only. Batches planned advance exactly with syncs, and
+        // last_activity tracks every protocol step.
+        let mut sim = Simulator::new(5);
+        let mut client = SyncClient::new(ServiceProfile::dropbox());
+        let t0 = client.login(&mut sim, SimTime::ZERO);
+        assert_eq!(client.last_activity(), t0);
+        assert_eq!(client.planner().batches_planned(), 0);
+
+        let out = client.sync_batch(&mut sim, &batch(2, 10_000), t0 + SimDuration::from_secs(5));
+        assert_eq!(client.planner().batches_planned(), 1);
+        assert_eq!(client.last_activity(), out.completed_at.max(client.last_activity()));
+
+        let before = client.last_activity();
+        let last_poll = client.idle_until(&mut sim, before + SimDuration::from_secs(300));
+        assert_eq!(client.planner().batches_planned(), 1, "idling must not plan batches");
+        assert!(last_poll > before, "five minutes of idling must poll at least once");
+        assert_eq!(client.last_activity(), last_poll);
+
+        client.sync_batch(&mut sim, &batch(1, 5_000), last_poll + SimDuration::from_secs(5));
+        assert_eq!(client.planner().batches_planned(), 2);
     }
 
     #[test]

@@ -10,40 +10,56 @@
 //! (mixed Dropbox/SkyDrive/Google Drive fleets on mixed ADSL/fibre/3G
 //! links), all committing into one shared sharded [`ObjectStore`].
 //!
-//! Fleets are long-lived: the run proceeds in *rounds*. Every active client
-//! synchronises one batch per round, clients may **join** mid-run
-//! (`join_round`) and **leave** mid-run (`leave_after`), and a leaving
-//! client hard-deletes its manifests so the store's [`GcPolicy`] decides
-//! when the bytes come back. Slots with a **restore fan** (`pull_from`,
-//! seeded by [`FleetSpec::with_restore_fan`]) additionally pull other
-//! users' namespaces back down through their own links after each sync
-//! round — round-major fleets mix uploaders and downloaders.
+//! Fleets are long-lived: the run proceeds in *rounds* on a **virtual
+//! clock**. Each run first derives a [`FleetSchedule`] — a pure function of
+//! `(FleetSpec, seed)` — that decides, per client and round, whether the
+//! client *activates* (syncs one batch, offset by its seeded arrival jitter
+//! and [`ThinkTime`] pause) or sits **idle**: connected, syncing nothing,
+//! but paying the §3.1 keep-alive signalling for the round's span of
+//! virtual time. Clients may **join** mid-run (`join_round`) and **leave**
+//! mid-run (`leave_after`), and a leaving client hard-deletes its manifests
+//! so the store's [`GcPolicy`] decides when the bytes come back. Slots with
+//! a **restore fan** (`pull_from`, seeded by
+//! [`FleetSpec::with_restore_fan`]) additionally pull other users'
+//! namespaces back down through their own links after each round they
+//! sync in — round-major fleets mix uploaders and downloaders.
 //!
-//! Determinism contract: a client's simulation consumes only its own seed
-//! and its own planner state, and the shared store's aggregate accounting is
+//! Determinism contract: the schedule is *data*, not thread timing — every
+//! temporal draw is fixed before the first client spawns. A client's
+//! simulation consumes only its own seed, its schedule entries and its own
+//! planner state, and the shared store's aggregate accounting is
 //! order-independent within each phase. Rounds are phase-separated — all
-//! sync commits of a round complete (barrier), then the restore fans run
-//! (store *reads* only, so they commute), then leaves release references,
-//! and garbage collection runs between rounds — so [`run_fleet`] produces
-//! bit-identical [`ClientSummary`]s and [`AggregateStats`] whether the
-//! clients run on one thread (sequential replay) or on one thread per
-//! client, churn, GC and restores included. A puller whose source departed
-//! in an *earlier* round records a clean failure; same-round departures are
-//! still visible because restores precede leaves. The `fleet_scaling` bench
-//! and the workspace property tests assert exactly that.
+//! sync commits of a round complete (barrier), idle clients poll (their own
+//! universes only), then the restore fans run (store *reads* only, so they
+//! commute), then leaves release references, and garbage collection runs
+//! between rounds — so [`run_fleet`] produces bit-identical
+//! [`ClientSummary`]s and [`AggregateStats`] whether the clients run on one
+//! thread (sequential replay) or on one thread per client, jitter, churn,
+//! GC and restores included. A puller whose source departed in an *earlier*
+//! round records a clean failure; same-round departures are still visible
+//! because restores precede leaves. The `fleet_scaling` bench and the
+//! workspace property tests assert exactly that.
+//!
+//! The legacy configuration — zero think time, zero jitter, activation
+//! 1.0 — degenerates to the old lock-step timeline byte-identically, so the
+//! committed `fleet.*`/`hetero.*`/`restore.*` bench baselines prove the
+//! scheduler refactor safe.
 
 use crate::client::{RestoreOutcome, SyncClient, SyncOutcome};
 use crate::profile::ServiceProfile;
+use crate::schedule::{FleetSchedule, SyncActivation, ThinkTime};
 use cloudsim_net::{AccessLink, Simulator};
 use cloudsim_storage::{AggregateStats, GcPolicy, ObjectStore, UploadPipeline};
 use cloudsim_trace::series::SampleStats;
-use cloudsim_trace::{SimDuration, SimTime};
+use cloudsim_trace::{FlowKind, SimDuration, SimTime};
 use cloudsim_workload::{generate, FileKind, GeneratedFile};
 use serde::Serialize;
 use std::sync::Mutex;
 
 /// Simulated seconds between round epochs: a client joining in round `r`
-/// starts its login at `r * ROUND_EPOCH_SECS` in its own timeline.
+/// starts its login at `r * ROUND_EPOCH_SECS` in its own timeline, and an
+/// idle round advances a connected client's virtual clock by exactly one
+/// epoch of keep-alive polling.
 pub const ROUND_EPOCH_SECS: u64 = 60;
 
 /// One client slot of a fleet: which service it runs, which access link it
@@ -91,14 +107,23 @@ impl ClientSlot {
         self
     }
 
-    /// True when the slot syncs a batch in round `round`.
+    /// True when the slot is *connected* in round `round` (its membership
+    /// window covers the round). Whether it actually syncs that round is
+    /// the schedule's call: an activation draw below the fleet's activation
+    /// probability syncs a batch, anything else is an idle round.
     pub fn active_in(&self, round: usize) -> bool {
         round >= self.join_round && self.leave_after.map(|l| round <= l).unwrap_or(true)
     }
 
-    /// Number of rounds the slot is active within a run of `rounds` rounds.
+    /// Number of rounds the slot is connected within a run of `rounds`
+    /// rounds — the slot's membership window, *not* its sync count. With an
+    /// activation probability below 1.0 some of these rounds are idle, so
+    /// completion-distribution denominators and expected-volume accounting
+    /// must use [`FleetSpec::sync_rounds_of`] (which consults the schedule)
+    /// instead of this window. Returns 0 for a zero-round run or a window
+    /// that lies entirely outside it.
     pub fn active_rounds(&self, rounds: usize) -> usize {
-        if rounds == 0 {
+        if rounds == 0 || self.join_round >= rounds {
             return 0;
         }
         let last = self.leave_after.map(|l| l.min(rounds - 1)).unwrap_or(rounds - 1);
@@ -136,6 +161,20 @@ pub struct FleetSpec {
     /// [`FleetSpec::with_restore_fan`], kept for the same re-derivation
     /// reason as `churn`.
     pub restore_fan: Option<(usize, usize)>,
+    /// The think-time distribution: the seeded pause a client inserts
+    /// before each activity burst. [`ThinkTime::NONE`] (the default) is the
+    /// legacy lock-step behaviour.
+    pub think: ThinkTime,
+    /// Upper bound of the intra-round arrival jitter: each activation is
+    /// offset by a seeded draw from `[0, arrival_jitter]` so clients start
+    /// their syncs at distinct virtual instants instead of a shared
+    /// barrier. Zero (the default) is the legacy behaviour.
+    pub arrival_jitter: SimDuration,
+    /// Per-round activation probability in `[0, 1]`: each connected round
+    /// activates (syncs a batch) with this probability and otherwise idles,
+    /// paying only background signalling. 1.0 (the default) is the legacy
+    /// every-round-syncs behaviour.
+    pub activation: f64,
 }
 
 impl FleetSpec {
@@ -155,6 +194,9 @@ impl FleetSpec {
             gc: GcPolicy::default(),
             churn: None,
             restore_fan: None,
+            think: ThinkTime::NONE,
+            arrival_jitter: SimDuration::ZERO,
+            activation: 1.0,
         }
     }
 
@@ -216,6 +258,56 @@ impl FleetSpec {
     pub fn with_gc(mut self, gc: GcPolicy) -> FleetSpec {
         self.gc = gc;
         self
+    }
+
+    /// Sets the think-time distribution sampled before each activity burst.
+    pub fn with_think_time(mut self, think: ThinkTime) -> FleetSpec {
+        if let ThinkTime::Uniform { min, max } = think {
+            assert!(max >= min, "uniform think time needs min <= max");
+        }
+        self.think = think;
+        self
+    }
+
+    /// Sets the intra-round arrival jitter bound.
+    pub fn with_arrival_jitter(mut self, jitter: SimDuration) -> FleetSpec {
+        self.arrival_jitter = jitter;
+        self
+    }
+
+    /// Sets the per-round activation probability (1.0 = sync every
+    /// connected round, the legacy behaviour; below that, the remaining
+    /// rounds are idle).
+    pub fn with_activation(mut self, activation: f64) -> FleetSpec {
+        assert!(
+            (0.0..=1.0).contains(&activation),
+            "activation probability must be within [0, 1], got {activation}"
+        );
+        self.activation = activation;
+        self
+    }
+
+    /// Derives the fleet's temporal schedule — a pure function of the spec
+    /// (see [`FleetSchedule::generate`]): calling this twice, or from any
+    /// number of threads, yields identical event lists.
+    pub fn schedule(&self) -> FleetSchedule {
+        FleetSchedule::generate(self)
+    }
+
+    /// True when the temporal configuration degenerates to the legacy
+    /// lock-step (no think time, no jitter, full activation).
+    pub fn is_lockstep(&self) -> bool {
+        self.think.is_zero() && self.arrival_jitter.is_zero() && self.activation >= 1.0
+    }
+
+    /// Rounds slot `i` actually syncs in (activated rounds of the derived
+    /// schedule) — the denominator completion distributions and expected
+    /// volumes must use once idle rounds exist. Each call derives the whole
+    /// fleet schedule; when querying many slots, call
+    /// [`FleetSpec::schedule`] once and index `clients[i].sync_rounds()`
+    /// instead (as [`FleetSpec::total_logical_bytes`] does internally).
+    pub fn sync_rounds_of(&self, i: usize) -> usize {
+        self.schedule().clients[i].sync_rounds()
     }
 
     /// Distributes service profiles round-robin across the slots (a mixed
@@ -317,10 +409,12 @@ impl FleetSpec {
     }
 
     /// Total plaintext bytes the whole fleet synchronises over all its
-    /// active rounds.
+    /// *activated* rounds. Idle rounds contribute nothing: the schedule,
+    /// not the membership window, is the denominator.
     pub fn total_logical_bytes(&self) -> u64 {
         let per_batch = self.files_per_batch as u64 * self.file_size as u64;
-        self.slots.iter().map(|s| s.active_rounds(self.rounds) as u64 * per_batch).sum()
+        let schedule = self.schedule();
+        schedule.clients.iter().map(|c| c.sync_rounds() as u64 * per_batch).sum()
     }
 
     /// The user name of client `i`.
@@ -329,14 +423,7 @@ impl FleetSpec {
     }
 
     fn derived_seed(&self, client: u64, batch: u64, file: u64) -> u64 {
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(client.wrapping_add(1)))
-            .wrapping_add(0xD1B54A32D192ED03u64.wrapping_mul(batch.wrapping_add(1)))
-            .wrapping_add(0x94D049BB133111EBu64.wrapping_mul(file.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        cloudsim_workload::seed::derive_seed(self.seed, client, batch, file)
     }
 
     /// Number of files of each batch that come from the fleet-wide shared
@@ -365,6 +452,16 @@ impl FleetSpec {
                 }
             })
             .collect()
+    }
+
+    /// Generates the batch one schedule activation syncs — batch generation
+    /// is keyed to the activation event, not a bare round counter. Content
+    /// stays seeded by the activation's *round* so the fleet-wide shared
+    /// pool keeps aligning across clients whatever their idle patterns (and
+    /// the legacy lock-step configuration, where ordinal == round offset,
+    /// replays the old content byte-identically).
+    pub fn workload_for(&self, client: usize, activation: &SyncActivation) -> Vec<GeneratedFile> {
+        self.workload(client, activation.round)
     }
 
     fn validate(&self) {
@@ -409,18 +506,29 @@ pub struct ClientSummary {
     pub left_after: Option<usize>,
     /// Manifests the client hard-deleted on departure.
     pub deleted_manifests: usize,
-    /// One outcome per active round, in order.
+    /// Connected rounds the client spent idle: no sync, keep-alive
+    /// signalling only.
+    pub idle_rounds: usize,
+    /// One outcome per *activated* round, in order. Empty for a client the
+    /// schedule never activated (always idle).
     pub outcomes: Vec<SyncOutcome>,
     /// One outcome per restore operation (pull of one source user in one
     /// round), in execution order. Empty for pure uploaders.
     pub restores: Vec<RestoreOutcome>,
     /// Simulated seconds from the first batch's modification to the last
-    /// batch's upload completion.
+    /// batch's upload completion. 0.0 for a client that never synced.
     pub completion_secs: f64,
     /// Plaintext bytes of all batches.
     pub logical_bytes: u64,
     /// Payload bytes the client actually uploaded (after its capabilities).
     pub uploaded_payload: u64,
+    /// Wire bytes of the client's control-plane flows (login, metadata
+    /// commits, keep-alive polls) — the §3.1 background-signalling side of
+    /// the background-vs-payload split.
+    pub background_wire_bytes: u64,
+    /// Wire bytes of the client's storage flows (chunk uploads and
+    /// downloads, headers included) — the payload side of the split.
+    pub payload_wire_bytes: u64,
 }
 
 impl ClientSummary {
@@ -455,6 +563,25 @@ impl ClientSummary {
     pub fn first_restore_ttfb_secs(&self) -> Option<f64> {
         self.restores.iter().find_map(|r| r.ttfb_secs())
     }
+
+    /// Rounds this client actually synced a batch in.
+    pub fn synced_rounds(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Virtual start time of this client's first sync, if it ever synced.
+    pub fn first_sync_started_at(&self) -> Option<SimTime> {
+        self.outcomes.first().map(|o| o.sync_started_at)
+    }
+
+    /// Paper-style sync start-up delays (modification to sync start), one
+    /// sample per activated round.
+    pub fn startup_delays_secs(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .map(|o| (o.sync_started_at - o.modification_time).as_secs_f64())
+            .collect()
+    }
 }
 
 /// The result of one fleet run.
@@ -475,9 +602,17 @@ impl FleetRun {
         self.store.aggregate()
     }
 
-    /// Distribution of per-client completion times (simulated seconds).
+    /// Distribution of per-client completion times (simulated seconds) over
+    /// the clients that actually synced — always-idle clients are excluded
+    /// so idle rounds never drag the denominator (a fleet where nobody
+    /// synced reports the zero distribution, not NaNs).
     pub fn completion_stats(&self) -> SampleStats {
-        let samples: Vec<f64> = self.clients.iter().map(|c| c.completion_secs).collect();
+        let samples: Vec<f64> = self
+            .clients
+            .iter()
+            .filter(|c| !c.outcomes.is_empty())
+            .map(|c| c.completion_secs)
+            .collect();
         SampleStats::from_samples(&samples).unwrap_or(SampleStats::zero())
     }
 
@@ -532,14 +667,20 @@ impl FleetRun {
     }
 
     /// Completion-time distribution per service, in first-appearance order —
-    /// the per-profile breakdown of the heterogeneous suite.
+    /// the per-profile breakdown of the heterogeneous suite. Clients the
+    /// schedule never activated are excluded from their group's samples
+    /// (and a group of only-idle clients is omitted), keeping the
+    /// denominators honest under idle rounds.
     pub fn per_service_completion(&self) -> Vec<(String, SampleStats)> {
         self.grouped(|c| c.service.clone())
             .into_iter()
-            .map(|(name, members)| {
-                let samples: Vec<f64> = members.iter().map(|c| c.completion_secs).collect();
-                let stats = SampleStats::from_samples(&samples).expect("groups are non-empty");
-                (name, stats)
+            .filter_map(|(name, members)| {
+                let samples: Vec<f64> = members
+                    .iter()
+                    .filter(|c| !c.outcomes.is_empty())
+                    .map(|c| c.completion_secs)
+                    .collect();
+                SampleStats::from_samples(&samples).map(|stats| (name, stats))
             })
             .collect()
     }
@@ -610,6 +751,78 @@ impl FleetRun {
             .collect()
     }
 
+    /// Every sync's `[start, completion)` interval on the shared virtual
+    /// axis, across all clients — the raw material of the concurrency
+    /// analysis.
+    pub fn sync_intervals(&self) -> Vec<(SimTime, SimTime)> {
+        self.clients
+            .iter()
+            .flat_map(|c| c.outcomes.iter())
+            .map(|o| (o.sync_started_at, o.completed_at))
+            .collect()
+    }
+
+    /// Per-round concurrency high-water mark: the most syncs in flight at
+    /// any virtual instant. Lock-step fleets peak near the fleet size;
+    /// arrival jitter and idle rounds spread the load and lower the peak.
+    pub fn sync_concurrency_peak(&self) -> usize {
+        cloudsim_trace::series::concurrency_peak(&self.sync_intervals())
+    }
+
+    /// Distribution of paper-style sync start-up delays (modification to
+    /// sync start), one sample per activated round across the fleet.
+    pub fn startup_delay_stats(&self) -> SampleStats {
+        let samples: Vec<f64> = self.clients.iter().flat_map(|c| c.startup_delays_secs()).collect();
+        SampleStats::from_samples(&samples).unwrap_or(SampleStats::zero())
+    }
+
+    /// Spread of first-sync start times across the fleet in simulated
+    /// seconds (latest minus earliest). Zero for a lock-step fleet of
+    /// identical clients; arrival jitter pulls it apart.
+    pub fn first_sync_spread_secs(&self) -> f64 {
+        let starts: Vec<SimTime> =
+            self.clients.iter().filter_map(|c| c.first_sync_started_at()).collect();
+        match (starts.iter().min(), starts.iter().max()) {
+            (Some(min), Some(max)) => (*max - *min).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Connected-but-idle rounds across the whole fleet.
+    pub fn total_idle_rounds(&self) -> usize {
+        self.clients.iter().map(|c| c.idle_rounds).sum()
+    }
+
+    /// Activated sync rounds across the whole fleet.
+    pub fn total_synced_rounds(&self) -> usize {
+        self.clients.iter().map(|c| c.synced_rounds()).sum()
+    }
+
+    /// Control-plane wire bytes (login, metadata, keep-alive polling)
+    /// summed over every client — the background half of the
+    /// background-vs-payload split.
+    pub fn total_background_wire_bytes(&self) -> u64 {
+        self.clients.iter().map(|c| c.background_wire_bytes).sum()
+    }
+
+    /// Storage-flow wire bytes summed over every client — the payload half
+    /// of the split.
+    pub fn total_payload_wire_bytes(&self) -> u64 {
+        self.clients.iter().map(|c| c.payload_wire_bytes).sum()
+    }
+
+    /// Fraction of all wire bytes that were background signalling, in
+    /// `[0, 1]`. 0.0 for a run that moved no bytes at all — never NaN.
+    pub fn background_fraction(&self) -> f64 {
+        let background = self.total_background_wire_bytes() as f64;
+        let total = background + self.total_payload_wire_bytes() as f64;
+        if total > 0.0 {
+            background / total
+        } else {
+            0.0
+        }
+    }
+
     fn grouped<K: Fn(&ClientSummary) -> String>(
         &self,
         key: K,
@@ -635,6 +848,7 @@ struct LiveClient {
     first_modification: Option<SimTime>,
     next_modification: SimTime,
     deleted_manifests: usize,
+    idle_rounds: usize,
 }
 
 fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -> LiveClient {
@@ -661,6 +875,7 @@ fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -
         first_modification: None,
         next_modification: login_done + SimDuration::from_secs(5),
         deleted_manifests: 0,
+        idle_rounds: 0,
     }
 }
 
@@ -677,14 +892,30 @@ fn restore_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize) {
     }
 }
 
-fn sync_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, round: usize) {
-    let files = spec.workload(i, round);
-    let outcome = lc.client.sync_batch(&mut lc.sim, &files, lc.next_modification);
+/// One activated sync: the client's clock advances by its seeded think-time
+/// pause and arrival jitter before the batch lands in the synced folder, so
+/// arrivals spread across the round instead of hitting a shared barrier.
+/// With the legacy all-zero temporal config this is exactly the old
+/// chained `next_modification` timeline.
+fn sync_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, activation: &SyncActivation) {
+    let files = spec.workload_for(i, activation);
+    let at = lc.next_modification + activation.think + activation.arrival_jitter;
+    let outcome = lc.client.sync_batch(&mut lc.sim, &files, at);
     lc.next_modification = outcome.completed_at + SimDuration::from_secs(2);
     if lc.first_modification.is_none() {
         lc.first_modification = Some(outcome.modification_time);
     }
     lc.outcomes.push(outcome);
+}
+
+/// One idle round: the client stays connected for the round's span of
+/// virtual time and pays only the §3.1 keep-alive signalling its profile
+/// prescribes. The store is untouched.
+fn idle_round(lc: &mut LiveClient) {
+    let until = lc.next_modification + SimDuration::from_secs(ROUND_EPOCH_SECS);
+    lc.client.idle_until(&mut lc.sim, until);
+    lc.next_modification = until;
+    lc.idle_rounds += 1;
 }
 
 fn summarize(
@@ -694,8 +925,16 @@ fn summarize(
     left_after: Option<usize>,
 ) -> ClientSummary {
     let slot = &spec.slots[i];
-    let first = lc.first_modification.expect("an active client synced at least one batch");
-    let last = lc.outcomes.last().expect("at least one batch").completed_at;
+    // A client the schedule never activated (always idle) has no syncs: it
+    // reports a zero completion span, not a panic — the distributions
+    // upstream exclude it from their denominators.
+    let completion_secs = match (lc.first_modification, lc.outcomes.last()) {
+        (Some(first), Some(last)) => (last.completed_at - first).as_secs_f64(),
+        _ => 0.0,
+    };
+    let trace = lc.sim.trace();
+    let background_wire_bytes: u64 =
+        FlowKind::ALL.iter().filter(|k| k.is_control_plane()).map(|k| trace.wire_bytes(*k)).sum();
     ClientSummary {
         user: spec.user(i),
         service: slot.profile.name().to_string(),
@@ -703,9 +942,12 @@ fn summarize(
         join_round: slot.join_round,
         left_after,
         deleted_manifests: lc.deleted_manifests,
-        completion_secs: (last - first).as_secs_f64(),
+        idle_rounds: lc.idle_rounds,
+        completion_secs,
         logical_bytes: lc.outcomes.iter().map(|o| o.logical_bytes).sum(),
         uploaded_payload: lc.outcomes.iter().map(|o| o.uploaded_payload).sum(),
+        background_wire_bytes,
+        payload_wire_bytes: trace.wire_bytes(FlowKind::Storage),
         outcomes: lc.outcomes,
         restores: lc.restores,
     }
@@ -736,38 +978,63 @@ where
     }
 }
 
-/// Runs the fleet on up to `workers` OS threads, committing into `store`.
-/// `workers = 1` is the sequential replay; any other count produces
-/// bit-identical [`ClientSummary`]s and aggregate store statistics, because
-/// every round is phase-separated: all of the round's sync commits complete
-/// before any leaving client releases references, and mark-sweep GC runs
-/// between rounds on one thread.
+/// Runs the fleet on up to `workers` OS threads, committing into `store`,
+/// replaying the spec's precomputed [`FleetSchedule`]. `workers = 1` is the
+/// sequential replay; any other count produces bit-identical
+/// [`ClientSummary`]s and aggregate store statistics, because the schedule
+/// is derived before the first client spawns (the temporal draws are data,
+/// not thread timing) and every round is phase-separated: all of the
+/// round's sync commits complete before idle clients poll their own
+/// universes, before any restore fan reads, before any leaving client
+/// releases references, and mark-sweep GC runs between rounds on one
+/// thread.
 pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetRun {
     spec.validate();
+    let schedule = spec.schedule();
     let started = std::time::Instant::now();
     let mut states: Vec<Option<LiveClient>> = spec.slots.iter().map(|_| None).collect();
     let mut summaries: Vec<Option<ClientSummary>> = spec.slots.iter().map(|_| None).collect();
 
     for round in 0..spec.rounds {
-        let active: Vec<usize> =
+        let connected: Vec<usize> =
             (0..spec.slots.len()).filter(|&i| spec.slots[i].active_in(round)).collect();
+        let (syncing, idling): (Vec<usize>, Vec<usize>) = connected
+            .iter()
+            .copied()
+            .partition(|&i| schedule.clients[i].activation_in(round).is_some());
 
-        // Sync phase: every active client syncs one batch, in parallel. The
-        // store only sees commits here, which commute.
-        run_phase(&mut states, &active, workers, |lc, i| {
+        // Sync phase: every activated client syncs one batch at its
+        // scheduled virtual offset, in parallel. The store only sees
+        // commits here, which commute.
+        run_phase(&mut states, &syncing, workers, |lc, i| {
             let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, i, round));
-            sync_round(spec, &mut lc, i, round);
+            let activation =
+                *schedule.clients[i].activation_in(round).expect("partitioned as syncing");
+            sync_round(spec, &mut lc, i, &activation);
+            lc
+        });
+
+        // Idle phase: connected clients the schedule did not activate stay
+        // online and pay one round of keep-alive signalling. Each client
+        // polls only its own simulated universe — no store access — so the
+        // phase commutes trivially. A client whose *first* connected round
+        // is idle still spawns (and logs in) here.
+        run_phase(&mut states, &idling, workers, |lc, i| {
+            let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, i, round));
+            idle_round(&mut lc);
             lc
         });
 
         // Restore phase (after the sync barrier, before any leave): pullers
-        // fan their sources' namespaces back down through their own links.
-        // The store is only *read* here, and every puller observes the
-        // complete round — reads commute, so concurrency stays bit-exact.
-        // Sources that departed in an earlier round fail cleanly and are
-        // counted in the puller's summary.
+        // that synced this round fan their sources' namespaces back down
+        // through their own links (the fan rides the sync activation — an
+        // idle client defers its pulls along with its upload). The store is
+        // only *read* here, and every puller observes the complete round —
+        // reads commute, so concurrency stays bit-exact. Sources that
+        // departed in an earlier round fail cleanly and are counted in the
+        // puller's summary.
         let pullers: Vec<usize> =
-            active.iter().copied().filter(|&i| !spec.slots[i].pull_from.is_empty()).collect();
+            syncing.iter().copied().filter(|&i| !spec.slots[i].pull_from.is_empty()).collect();
         run_phase(&mut states, &pullers, workers, |lc, i| {
             let mut lc = lc.expect("puller synced this round");
             restore_round(spec, &mut lc, i);
@@ -775,9 +1042,10 @@ pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetR
         });
 
         // Leave phase (after the sync barrier): departing clients hard-delete
-        // their manifests. The store only sees releases here, which commute —
-        // but they never race the round's commits.
-        for &i in &active {
+        // their manifests — even when their final round was idle. The store
+        // only sees releases here, which commute — but they never race the
+        // round's commits.
+        for &i in &connected {
             if spec.slots[i].leave_after == Some(round) {
                 let mut lc = states[i].take().expect("leaving client is live");
                 let at = lc.next_modification;
@@ -801,7 +1069,7 @@ pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetR
     }
     let clients = summaries
         .into_iter()
-        .map(|s| s.expect("every slot was active in at least one round"))
+        .map(|s| s.expect("every slot was connected in at least one round"))
         .collect();
     FleetRun { clients, store, elapsed: started.elapsed() }
 }
@@ -1197,6 +1465,142 @@ mod tests {
         // downloads only round 1's fresh files.
         assert!(second.dedup_skipped_bytes >= first.logical_bytes);
         assert!(second.downloaded_payload <= first.downloaded_payload + second.logical_bytes);
+    }
+
+    #[test]
+    fn always_idle_fleets_report_zero_distributions_not_nans() {
+        // The 0-active-round edge case: activation 0.0 means every
+        // connected round idles. The run completes, pays signalling, and
+        // every ratio helper degrades to 0.0 instead of NaN.
+        let spec = small_spec(3).with_activation(0.0);
+        assert_eq!(spec.total_logical_bytes(), 0);
+        for i in 0..3 {
+            assert_eq!(spec.sync_rounds_of(i), 0);
+            assert_eq!(spec.slots[i].active_rounds(spec.rounds), 2, "still connected");
+        }
+        let concurrent = run_fleet_concurrent(&spec);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        for client in &concurrent.clients {
+            assert!(client.outcomes.is_empty());
+            assert_eq!(client.idle_rounds, 2);
+            assert_eq!(client.completion_secs, 0.0);
+            assert_eq!(client.logical_bytes, 0);
+            assert!(client.background_wire_bytes > 0, "login + polls must signal");
+            assert_eq!(client.payload_wire_bytes, 0);
+        }
+        assert_eq!(concurrent.completion_stats().count, 0);
+        assert_eq!(concurrent.aggregate_goodput_bps(), 0.0);
+        assert!(concurrent.aggregate_goodput_bps().is_finite());
+        assert_eq!(concurrent.dedup_ratio(), 0.0);
+        assert_eq!(concurrent.total_logical_bytes(), 0);
+        assert_eq!(concurrent.total_idle_rounds(), 6);
+        assert_eq!(concurrent.total_synced_rounds(), 0);
+        assert!(concurrent.per_service_completion().is_empty());
+        assert_eq!(concurrent.sync_concurrency_peak(), 0);
+        assert_eq!(concurrent.first_sync_spread_secs(), 0.0);
+        assert_eq!(concurrent.background_fraction(), 1.0);
+        assert_eq!(concurrent.aggregate().physical_bytes, 0, "nothing was committed");
+    }
+
+    #[test]
+    fn active_rounds_and_sync_denominators_handle_edges() {
+        let slot = ClientSlot::resident(ServiceProfile::dropbox());
+        assert_eq!(slot.active_rounds(0), 0, "zero-round runs have no active rounds");
+        let mut late = slot.clone();
+        late.join_round = 5;
+        assert_eq!(late.active_rounds(3), 0, "a window beyond the run is empty");
+        assert_eq!(late.active_rounds(6), 1);
+
+        // Partial activation: the completion denominator is the schedule's
+        // sync count, not the membership window.
+        let spec = small_spec(4).with_batches(4).with_activation(0.5).with_seed(0xDECAF);
+        let schedule = spec.schedule();
+        let expected: u64 = (0..4).map(|i| spec.sync_rounds_of(i) as u64).sum();
+        assert!(expected > 0, "p=0.5 over 16 draws should activate somewhere");
+        assert!(expected < 16, "p=0.5 over 16 draws should idle somewhere (got {expected} syncs)");
+        assert_eq!(schedule.total_sync_rounds() as u64, expected);
+        let per_batch = spec.files_per_batch as u64 * spec.file_size as u64;
+        assert_eq!(spec.total_logical_bytes(), expected * per_batch);
+        let run = run_fleet_sequential(&spec);
+        assert_eq!(run.total_logical_bytes(), spec.total_logical_bytes());
+        assert_eq!(
+            run.completion_stats().count,
+            run.clients.iter().filter(|c| !c.outcomes.is_empty()).count()
+        );
+    }
+
+    #[test]
+    fn jittered_thinking_fleets_stay_bit_exact_under_concurrency() {
+        // The tentpole's determinism acceptance: jitter, think time and
+        // idle rounds enabled, concurrent still equals sequential exactly —
+        // the schedule is data, not thread timing.
+        let spec = small_spec(6)
+            .with_batches(3)
+            .with_think_time(ThinkTime::Exponential { mean: SimDuration::from_secs(7) })
+            .with_arrival_jitter(SimDuration::from_secs(25))
+            .with_activation(0.75);
+        let concurrent = run_fleet(&spec, ObjectStore::new(), 6);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        assert_eq!(concurrent.sync_concurrency_peak(), sequential.sync_concurrency_peak());
+        assert!(concurrent.total_synced_rounds() > 0);
+    }
+
+    #[test]
+    fn think_time_and_jitter_stretch_the_timeline() {
+        let base = small_spec(2);
+        let slow = small_spec(2)
+            .with_think_time(ThinkTime::Fixed(SimDuration::from_secs(30)))
+            .with_arrival_jitter(SimDuration::from_secs(10));
+        let fast = run_fleet_sequential(&base);
+        let delayed = run_fleet_sequential(&slow);
+        // Same content, same services: the pauses push sync starts out.
+        for (f, d) in fast.clients.iter().zip(&delayed.clients) {
+            assert_eq!(f.logical_bytes, d.logical_bytes);
+            assert!(
+                d.outcomes[0].modification_time > f.outcomes[0].modification_time,
+                "think time must delay the first modification"
+            );
+        }
+        // And the spread helper sees jitter pull first syncs apart: the
+        // lock-step spread (sub-second seeded network noise only) is dwarfed
+        // by a 40-second jitter bound.
+        let jittered =
+            run_fleet_sequential(&small_spec(4).with_arrival_jitter(SimDuration::from_secs(40)));
+        let lockstep = run_fleet_sequential(&small_spec(4));
+        assert!(lockstep.first_sync_spread_secs() < 1.0);
+        assert!(
+            jittered.first_sync_spread_secs() > lockstep.first_sync_spread_secs() + 1.0,
+            "jittered spread {} vs lock-step {}",
+            jittered.first_sync_spread_secs(),
+            lockstep.first_sync_spread_secs()
+        );
+    }
+
+    #[test]
+    fn idle_rounds_defer_restore_fans_deterministically() {
+        // A puller that idles a round defers its pulls along with its sync;
+        // everything stays deterministic under churn + idling.
+        let mut spec = small_spec(4).with_batches(3).with_activation(0.6).with_seed(0xBEEF);
+        spec.slots[3].pull_from = vec![0];
+        let concurrent = run_fleet_concurrent(&spec);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        let puller = &concurrent.clients[3];
+        assert_eq!(
+            puller.restores.len(),
+            puller.outcomes.len(),
+            "one pull per *synced* round, none while idle"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "activation probability must be within [0, 1]")]
+    fn out_of_range_activation_is_rejected() {
+        let _ = small_spec(2).with_activation(1.5);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! logins, idle polling and batch synchronisation while every byte it moves is
 //! captured in the experiment trace.
 //!
+//! [`fleet`] drives many such clients as one multi-tenant population, and
+//! [`schedule`] gives that population its temporal shape: seeded think-time
+//! distributions, idle rounds and intra-round arrival jitter derived up
+//! front on a virtual clock, so even jittered concurrent runs replay
+//! bit-identically.
+//!
 //! The crate deliberately separates *what a service does* (the profile) from
 //! *how the sync engine executes it* (the client), so the ablation benchmarks
 //! can flip individual capabilities — bundling on/off, compression policies,
@@ -26,6 +32,7 @@ pub mod deployment;
 pub mod fleet;
 pub mod planner;
 pub mod profile;
+pub mod schedule;
 
 pub use client::{RestoreOutcome, SyncClient, SyncOutcome};
 pub use deployment::Deployment;
@@ -33,6 +40,7 @@ pub use fleet::{
     run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetRun,
     FleetSpec,
 };
+pub use schedule::{ClientSchedule, FleetSchedule, RoundEvent, SyncActivation, ThinkTime};
 
 // Re-export the per-client network, GC and restore vocabulary the fleet
 // speaks.

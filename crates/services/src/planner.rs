@@ -84,6 +84,9 @@ pub struct UploadPlanner {
     user: String,
     /// Executes the pure per-chunk work (hash, compress, delta estimate).
     pipeline: UploadPipeline,
+    /// Batches planned so far. The temporal fleet scheduler's invariant —
+    /// idle rounds never touch the planner — is checked against this.
+    batches_planned: usize,
 }
 
 impl UploadPlanner {
@@ -121,6 +124,7 @@ impl UploadPlanner {
             local_files: HashMap::new(),
             user: user.to_string(),
             pipeline,
+            batches_planned: 0,
         }
     }
 
@@ -149,6 +153,13 @@ impl UploadPlanner {
         (self.dedup.hits(), self.dedup.misses())
     }
 
+    /// Number of batches planned since the account was created. One sync
+    /// activation plans exactly one batch; idle rounds plan none — the
+    /// fleet's schedule accounting cross-checks against this counter.
+    pub fn batches_planned(&self) -> usize {
+        self.batches_planned
+    }
+
     /// Plans (and commits) the upload of one file revision. Equivalent to a
     /// one-file [`UploadPlanner::plan_batch`].
     pub fn plan_file(&mut self, path: &str, content: &[u8]) -> FilePlan {
@@ -166,6 +177,7 @@ impl UploadPlanner {
     /// execution mode, and identical to calling
     /// [`UploadPlanner::plan_file`] once per file.
     pub fn plan_batch(&mut self, files: &[(&str, &[u8])]) -> Vec<FilePlan> {
+        self.batches_planned += 1;
         let spec = PipelineSpec {
             chunking: self.profile.chunking,
             compression: self.profile.compression,

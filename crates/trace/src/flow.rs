@@ -41,6 +41,21 @@ pub enum FlowKind {
     Dns,
 }
 
+impl FlowKind {
+    /// Every flow kind, for exhaustive per-kind accounting.
+    pub const ALL: [FlowKind; 4] =
+        [FlowKind::Control, FlowKind::Storage, FlowKind::Notification, FlowKind::Dns];
+
+    /// True for the kinds the paper's §3.1 idle capture counts as
+    /// control-plane ("background") traffic: login/metadata exchanges and
+    /// the keep-alive/notification channels. The Fig. 1 accounting and the
+    /// fleet's background-vs-payload split both use this predicate so they
+    /// can never drift apart.
+    pub fn is_control_plane(self) -> bool {
+        matches!(self, FlowKind::Control | FlowKind::Notification)
+    }
+}
+
 impl fmt::Display for FlowKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

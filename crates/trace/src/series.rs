@@ -95,6 +95,34 @@ impl CumulativeSeries {
     }
 }
 
+/// The concurrency high-water mark of a set of half-open virtual-time
+/// intervals `[start, end)`: the most intervals overlapping at any instant.
+///
+/// The temporal fleet scheduler uses this over per-sync
+/// `[sync_started_at, completed_at)` intervals to report how far arrival
+/// jitter and idle rounds spread a round's load compared to the lock-step
+/// barrier (where the peak equals the fleet size). Zero-length and inverted
+/// intervals contribute nothing; an empty set peaks at 0.
+pub fn concurrency_peak(intervals: &[(SimTime, SimTime)]) -> usize {
+    let mut events: Vec<(SimTime, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for &(start, end) in intervals {
+        if end > start {
+            events.push((start, 1));
+            events.push((end, -1));
+        }
+    }
+    // Ends sort before starts at the same instant: [a, t) and [t, b) never
+    // overlap.
+    events.sort_by_key(|&(t, delta)| (t, delta));
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        live += delta as i64;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
 /// Simple descriptive statistics over repeated measurements (the paper repeats
 /// each experiment 24 times and reports averages).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -212,6 +240,26 @@ mod tests {
         assert_eq!(s.total(), 0.0);
         assert_eq!(s.value_at(SimTime::from_secs(10)), 0.0);
         assert_eq!(s.time_to_reach(1.0), None);
+    }
+
+    #[test]
+    fn concurrency_peak_counts_maximal_overlap() {
+        let s = SimTime::from_secs;
+        // Three intervals, two of which overlap.
+        assert_eq!(concurrency_peak(&[(s(0), s(10)), (s(5), s(15)), (s(20), s(30))]), 2);
+        // Lock-step: identical intervals all overlap.
+        assert_eq!(concurrency_peak(&[(s(0), s(5)); 4]), 4);
+        // Touching endpoints do not overlap (half-open intervals).
+        assert_eq!(concurrency_peak(&[(s(0), s(5)), (s(5), s(10))]), 1);
+        // Degenerate inputs.
+        assert_eq!(concurrency_peak(&[]), 0);
+        assert_eq!(concurrency_peak(&[(s(3), s(3))]), 0, "zero-length intervals are empty");
+        assert_eq!(concurrency_peak(&[(s(5), s(3))]), 0, "inverted intervals are ignored");
+        // Nested intervals stack.
+        assert_eq!(
+            concurrency_peak(&[(s(0), s(100)), (s(10), s(20)), (s(12), s(18)), (s(50), s(60))]),
+            3
+        );
     }
 
     #[test]

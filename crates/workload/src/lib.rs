@@ -18,7 +18,10 @@
 //!   workloads,
 //! * [`mutate`] — file mutation operators used by the delta-encoding test,
 //! * [`folder`] — the simulated synced folder (files plus a change journal)
-//!   the sync clients of `cloudsim-services` watch.
+//!   the sync clients of `cloudsim-services` watch,
+//! * [`seed`] — the deterministic seed-derivation family every
+//!   workload-shaped draw (batch content, churn, restore fans, temporal
+//!   schedules) shares.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +31,10 @@ pub mod dictionary;
 pub mod folder;
 pub mod generator;
 pub mod mutate;
+pub mod seed;
 
 pub use batch::{BatchSpec, GeneratedFile};
 pub use folder::{ChangeEvent, LocalFolder};
 pub use generator::{generate, FileKind};
 pub use mutate::Mutation;
+pub use seed::{derive_seed, unit_f64};
