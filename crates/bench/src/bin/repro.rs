@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule] [--reps N]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]
 //! repro bench-json [PATH]
 //! ```
 //!
@@ -20,8 +20,12 @@
 //! runs the temporal suite (think-time distributions, idle rounds and
 //! arrival jitter on a virtual clock, with start-up delay distributions,
 //! the concurrency high-water mark and the background-vs-payload split),
-//! and `bench-json` dumps the deterministic gate metrics as flat JSON (to
-//! PATH, default stdout) for the CI bench-regression gate.
+//! `faults` runs the fault-injection suite (identical seeded link-outage
+//! schedules per access-link preset, replayed under every retry policy plus
+//! a fault-free control, with resumable upload sessions and SHA-256
+//! validated ranged restores), and `bench-json` dumps the deterministic
+//! gate metrics as flat JSON (to PATH, default stdout) for the CI
+//! bench-regression gate.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -121,6 +125,11 @@ fn schedule() {
     print_report(&Report::schedule(&suite));
 }
 
+fn faults() {
+    let suite = cloudbench::faults::run_faults(REPRO_SEED);
+    print_report(&Report::faults(&suite));
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -173,6 +182,7 @@ fn main() {
         "hetero" => hetero(),
         "restore" => restore(),
         "schedule" => schedule(),
+        "faults" => faults(),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -186,10 +196,11 @@ fn main() {
             hetero();
             restore();
             schedule();
+            faults();
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule] [--reps N]");
+            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]");
             eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }

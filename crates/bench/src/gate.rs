@@ -64,18 +64,25 @@ pub fn parse_flat(json: &str) -> Result<Vec<(String, f64)>, String> {
             None => return Err("unterminated object".to_string()),
         }
         skip_ws(&mut chars);
-        // Number.
+        // Number. The charset also lexes non-finite spellings (`NaN`,
+        // `inf`, `-Infinity`) so a poisoned metric fails the finiteness
+        // check below with its key named, not an opaque lexer error.
         let mut number = String::new();
         while matches!(
             chars.peek(),
-            Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+            Some((_, c)) if c.is_ascii_digit()
+                || c.is_ascii_alphabetic()
+                || matches!(c, '-' | '+' | '.')
         ) {
             number.push(chars.next().expect("peeked").1);
         }
         let value: f64 =
             number.parse().map_err(|_| format!("key {key:?}: invalid number {number:?}"))?;
         if !value.is_finite() {
-            return Err(format!("key {key:?}: non-finite value"));
+            return Err(format!(
+                "key {key:?}: non-finite value {number} — every gate metric must be a finite \
+                 number; a NaN/inf here means the producing suite divided by zero or overflowed"
+            ));
         }
         entries.push((key, value));
         skip_ws(&mut chars);
@@ -358,6 +365,27 @@ mod tests {
         assert!(parse_flat("{\"a\" 1.0}").is_err());
         assert_eq!(parse_flat("{}").unwrap(), vec![]);
         assert_eq!(parse_flat("  {  }  ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_values_naming_the_metric() {
+        for (json, spelling) in [
+            ("{\"faults.bad_ratio\": NaN}", "NaN"),
+            ("{\"faults.bad_ratio\": nan}", "nan"),
+            ("{\"faults.bad_ratio\": inf}", "inf"),
+            ("{\"faults.bad_ratio\": -Infinity}", "-Infinity"),
+            ("{\"faults.bad_ratio\": 1e999}", "1e999"),
+        ] {
+            let err = parse_flat(json).expect_err(spelling);
+            assert!(
+                err.contains("faults.bad_ratio") && err.contains("non-finite"),
+                "{spelling}: the error must name the poisoned metric, got: {err}"
+            );
+        }
+        // A finite metric after a rejected one never masks the failure —
+        // the first poisoned key aborts the whole file.
+        let err = parse_flat("{\"a\": NaN, \"b\": 1.0}").unwrap_err();
+        assert!(err.contains("\"a\""));
     }
 
     #[test]

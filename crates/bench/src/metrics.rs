@@ -5,12 +5,15 @@
 //! on the paper's key workloads, the fleet suite's multi-tenant metrics at
 //! 8 clients, the heterogeneous scenario matrix (`hetero.*` per-profile
 //! completions and per-link goodputs, `gc.*` reclamation under churn), the
-//! restore suite's down-path metrics (`restore.*`) and the temporal
+//! restore suite's down-path metrics (`restore.*`), the temporal
 //! schedule suite (`schedule.*` start-up delays, idle-round accounting,
-//! concurrency peaks and the background-vs-payload split).
-//! `repro bench-json` dumps them; the `bench_gate` binary compares a fresh
-//! dump against the committed `bench_baseline.json`.
+//! concurrency peaks and the background-vs-payload split) and the
+//! fault-injection suite (`faults.*` retry counts, wasted-bytes ratios,
+//! completion-time inflation against the fault-free control and resume
+//! efficiency). `repro bench-json` dumps them; the `bench_gate` binary
+//! compares a fresh dump against the committed `bench_baseline.json`.
 
+use cloudbench::faults::run_faults;
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
 use cloudbench::hetero::run_hetero;
 use cloudbench::restore::run_restore;
@@ -134,6 +137,28 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("schedule.background_kb".to_string(), suite.background_wire_bytes as f64 / 1e3));
     metrics.push(("schedule.payload_mb".to_string(), suite.payload_wire_bytes as f64 / 1e6));
 
+    // The fault-injection suite: per link preset the retry spend and the
+    // completion-time inflation of the exponential policy against the
+    // fault-free control (both directions), plus the aggregate recovery
+    // accounting — resume efficiency, the no-retry policy's wasted-bytes
+    // ratio, backoff time and the SHA-256 verdicts of the resumed restores.
+    let suite = run_faults(REPRO_SEED);
+    for row in &suite.per_link {
+        let exp = row.cell("exponential").expect("exponential cell");
+        metrics
+            .push((format!("faults.interruptions.{}", row.link), exp.stats.interruptions as f64));
+        metrics.push((format!("faults.retries.{}", row.link), exp.stats.retries as f64));
+        metrics.push((format!("faults.sync_inflation.{}", row.link), exp.sync_inflation));
+        metrics.push((format!("faults.restore_inflation.{}", row.link), exp.restore_inflation));
+    }
+    let exp = suite.stats_for("exponential");
+    metrics
+        .push(("faults.completed_fraction".to_string(), suite.completed_fraction("exponential")));
+    metrics.push(("faults.resume_efficiency".to_string(), exp.resume_efficiency()));
+    metrics.push(("faults.backoff_wait_s".to_string(), exp.backoff_wait.as_secs_f64()));
+    metrics.push(("faults.checksums_verified".to_string(), exp.checksums_verified as f64));
+    metrics.push(("faults.wasted_ratio_none".to_string(), suite.wasted_ratio("none")));
+
     metrics
 }
 
@@ -182,6 +207,25 @@ mod tests {
         }
     }
 
+    #[test]
+    fn faults_suite_is_represented_in_the_gate() {
+        let metrics = collected();
+        let faults: Vec<&String> =
+            metrics.iter().map(|(k, _)| k).filter(|k| k.starts_with("faults.")).collect();
+        assert!(faults.len() >= 16, "faults.* must be gated, got {faults:?}");
+        for key in [
+            "faults.retries.adsl",
+            "faults.sync_inflation.campus",
+            "faults.restore_inflation.3g",
+            "faults.completed_fraction",
+            "faults.resume_efficiency",
+            "faults.wasted_ratio_none",
+            "faults.checksums_verified",
+        ] {
+            assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+    }
+
     /// The acceptance proof of the scheduler refactor: a legacy-configured
     /// fleet (zero think time, zero jitter, activation 1.0 — what every
     /// pre-existing suite runs) must reproduce the *committed* baseline
@@ -193,7 +237,7 @@ mod tests {
         let baseline = crate::gate::parse_flat(include_str!("../../../bench_baseline.json"))
             .expect("committed baseline parses");
         let current = collected();
-        let legacy_prefixes = ["fig6.", "fleet8.", "hetero.", "gc.", "restore."];
+        let legacy_prefixes = ["fig6.", "fleet8.", "hetero.", "gc.", "restore.", "schedule."];
         let mut compared = 0usize;
         for (key, base) in &baseline {
             if !legacy_prefixes.iter().any(|p| key.starts_with(p)) {
@@ -211,6 +255,6 @@ mod tests {
             );
             compared += 1;
         }
-        assert!(compared >= 40, "only {compared} legacy metrics compared — baseline truncated?");
+        assert!(compared >= 49, "only {compared} legacy metrics compared — baseline truncated?");
     }
 }

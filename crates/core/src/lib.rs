@@ -57,6 +57,7 @@
 pub mod architecture;
 pub mod benchmarks;
 pub mod capability;
+pub mod faults;
 pub mod fleet;
 pub mod hetero;
 pub mod idle;
@@ -68,6 +69,7 @@ pub mod testbed;
 pub use architecture::{discover_architecture, ArchitectureReport};
 pub use benchmarks::{run_performance_suite, PerformanceRow, PerformanceSuite};
 pub use capability::{CapabilityMatrix, ServiceCapabilities};
+pub use faults::{run_faults, FaultLinkRow, FaultPolicyCell, FaultsSuite};
 pub use fleet::{run_fleet_scaling, FleetScalingRow, FleetScalingSuite, FLEET_SIZES};
 pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};

@@ -9,6 +9,7 @@
 use crate::architecture::ArchitectureReport;
 use crate::benchmarks::PerformanceSuite;
 use crate::capability::{CapabilityMatrix, CompressionPoint, DeltaPoint};
+use crate::faults::FaultsSuite;
 use crate::fleet::FleetScalingSuite;
 use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
@@ -392,6 +393,70 @@ impl Report {
         Report {
             title: "Schedule: think times, idle rounds and arrival jitter on a virtual clock"
                 .to_string(),
+            body,
+        }
+    }
+
+    /// Renders the fault-injection suite: per `link x policy` cell the
+    /// retry spend, the wasted/salvaged byte split, the completion-time
+    /// inflation against the fault-free control, and the SHA-256 verdicts
+    /// of the resumed restores.
+    pub fn faults(suite: &FaultsSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} per client, identical seeded outage schedules per link, policies: {}",
+            suite.workload,
+            suite.policies.join(", "),
+        );
+        let _ = writeln!(
+            body,
+            "\n{:<10} {:<12} {:>5} {:>7} {:>9} {:>11} {:>11} {:>9} {:>9} {:>8}",
+            "link",
+            "policy",
+            "cuts",
+            "retries",
+            "abandons",
+            "wasted kB",
+            "salvage kB",
+            "sync x",
+            "restore x",
+            "sha256"
+        );
+        for row in &suite.per_link {
+            for cell in &row.cells {
+                let _ = writeln!(
+                    body,
+                    "{:<10} {:<12} {:>5} {:>7} {:>9} {:>11.1} {:>11.1} {:>9.2} {:>9.2} {:>5}/{}",
+                    row.link,
+                    cell.policy,
+                    cell.stats.interruptions,
+                    cell.stats.retries,
+                    cell.abandoned_chunks + cell.files_abandoned,
+                    cell.stats.wasted_bytes as f64 / 1e3,
+                    cell.stats.salvaged_bytes as f64 / 1e3,
+                    cell.sync_inflation,
+                    cell.restore_inflation,
+                    cell.stats.checksums_verified,
+                    cell.stats.checksum_failures,
+                );
+            }
+        }
+        let _ = writeln!(body, "\nper-policy totals:");
+        for policy in &suite.policies {
+            let stats = suite.stats_for(policy);
+            let _ = writeln!(
+                body,
+                "  {:<12} completed {:>4.0}%, wasted ratio {:.3}, resume efficiency {:.3}, backoff {:.1}s",
+                policy,
+                suite.completed_fraction(policy) * 100.0,
+                suite.wasted_ratio(policy),
+                stats.resume_efficiency(),
+                stats.backoff_wait.as_secs_f64(),
+            );
+        }
+        Report {
+            title: "Faults: seeded outages, resumable sessions and retry policies".to_string(),
             body,
         }
     }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod http;
 pub mod link;
@@ -60,12 +61,14 @@ pub mod tcp;
 pub mod tls;
 pub mod udp;
 
+pub use fault::{FaultSchedule, FaultSpec, OutageWindow};
 pub use host::{HostId, HostInfo, HostRole};
 pub use link::AccessLink;
 pub use network::{Network, EPHEMERAL_PORT_MIN};
 pub use path::PathSpec;
 pub use rng::SimRng;
 pub use sim::Simulator;
+pub use tcp::TransferInterrupted;
 
 // Re-export the time base so downstream crates need only one import path.
 pub use cloudsim_trace::{SimDuration, SimTime};

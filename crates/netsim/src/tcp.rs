@@ -17,6 +17,7 @@
 //! with the timestamp at which the *test computer* would have captured it,
 //! exactly like the tcpdump vantage point of the original testbed.
 
+use crate::fault::FaultSchedule;
 use crate::host::HostId;
 use crate::network::Network;
 use crate::path::PathSpec;
@@ -47,6 +48,42 @@ pub struct DownloadOutcome {
     pub first_byte_at: SimTime,
     /// When the last response byte reached the client.
     pub completed_at: SimTime,
+}
+
+/// A transfer cut mid-flight by a link outage. The connection is dead after
+/// this: the socket closed without a FIN exchange, so a session layer must
+/// reopen (and pay the handshake again) before resuming from
+/// [`TransferInterrupted::bytes_acked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferInterrupted {
+    /// Payload bytes the application can rely on: acknowledged bytes for an
+    /// upload, received bytes for a download. Everything past this offset
+    /// must be re-driven.
+    pub bytes_acked: u64,
+    /// Payload bytes that actually travelled before the cut (wire cost).
+    /// `bytes_sent - bytes_acked` is the wasted share of the attempt: bytes
+    /// in flight when the link died.
+    pub bytes_sent: u64,
+    /// Virtual time from the operation's effective start to the cut.
+    pub elapsed: SimDuration,
+    /// The absolute instant the link went down under the transfer.
+    pub interrupted_at: SimTime,
+}
+
+/// What one bounded data run (or whole transfer) achieved before a cutoff.
+#[derive(Debug, Clone, Copy)]
+struct RunOutcome {
+    /// Send time of the last emitted data segment.
+    last: SimTime,
+    /// Data segments actually emitted.
+    segments: u64,
+    /// Payload bytes actually emitted (wire cost, wasted or not).
+    sent_bytes: u64,
+    /// Payload bytes the peer acknowledged before the cutoff (uploads) or
+    /// the client received before the cutoff (downloads).
+    acked_bytes: u64,
+    /// True when the cutoff suppressed at least one segment of the run.
+    truncated: bool,
 }
 
 /// Options for opening a connection.
@@ -338,6 +375,167 @@ impl TcpConnection {
         acked
     }
 
+    /// [`TcpConnection::send`] under a link-outage schedule. When an outage
+    /// window cuts the link mid-upload, the transfer stops at the cut, the
+    /// connection dies (no FIN — the socket just goes dark) and a typed
+    /// [`TransferInterrupted`] reports how many bytes the server had
+    /// acknowledged. With no outage intersecting the operation this
+    /// delegates to the plain path and is bit-identical to it.
+    pub fn send_faulted(
+        &mut self,
+        sim: &mut Simulator,
+        net: &Network,
+        start: SimTime,
+        bytes: u64,
+        faults: &FaultSchedule,
+    ) -> Result<SimTime, TransferInterrupted> {
+        assert!(!self.closed, "send on a closed connection");
+        let start = start.max(self.free_at);
+        let Some(cut) = faults.first_cut_at_or_after(start) else {
+            return Ok(self.send(sim, net, start, bytes));
+        };
+        if cut <= start {
+            // The link is already down: the attempt fails on the spot at
+            // zero wire cost (it still costs the retry budget upstream).
+            return Err(self.interrupt(sim, start, start, 0, 0));
+        }
+        let path = net.path(self.host);
+        let rtt = path.sample_rtt(sim.rng());
+        if bytes == 0 {
+            let acked = start + rtt;
+            if acked > cut {
+                return Err(self.interrupt(sim, start, cut, 0, 0));
+            }
+            self.free_at = acked;
+            sim.advance_to(acked);
+            return Ok(acked);
+        }
+        let out = self.transfer_bounded(
+            sim,
+            &path,
+            start,
+            bytes,
+            Direction::Upload,
+            rtt,
+            path.bdp_bytes_up(),
+            Some(cut),
+        );
+        if out.acked_bytes >= bytes {
+            let acked = out.last + rtt;
+            self.free_at = acked;
+            sim.advance_to(acked);
+            Ok(acked)
+        } else {
+            Err(self.interrupt(sim, start, cut, out.acked_bytes, out.sent_bytes))
+        }
+    }
+
+    /// [`TcpConnection::fetch`] under a link-outage schedule. A cut during
+    /// the request phase interrupts with zero bytes; a cut during the
+    /// response phase interrupts with the response bytes received so far —
+    /// the offset a ranged re-fetch resumes from. With no outage
+    /// intersecting the operation this delegates to the plain path and is
+    /// bit-identical to it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_faulted(
+        &mut self,
+        sim: &mut Simulator,
+        net: &Network,
+        start: SimTime,
+        request_bytes: u64,
+        download_bytes: u64,
+        server_think: SimDuration,
+        faults: &FaultSchedule,
+    ) -> Result<DownloadOutcome, TransferInterrupted> {
+        assert!(!self.closed, "fetch on a closed connection");
+        let start = start.max(self.free_at);
+        let Some(cut) = faults.first_cut_at_or_after(start) else {
+            return Ok(self.fetch(sim, net, start, request_bytes, download_bytes, server_think));
+        };
+        if cut <= start {
+            return Err(self.interrupt(sim, start, start, 0, 0));
+        }
+        let path = net.path(self.host);
+        let rtt = path.sample_rtt(sim.rng());
+
+        let request_done_at_server = if request_bytes > 0 {
+            let out = self.transfer_bounded(
+                sim,
+                &path,
+                start,
+                request_bytes,
+                Direction::Upload,
+                rtt,
+                path.bdp_bytes_up(),
+                Some(cut),
+            );
+            // The request must fully reach the server before the cut for
+            // the response to ever start.
+            if out.truncated || out.last + rtt / 2 > cut {
+                return Err(self.interrupt(sim, start, cut, 0, out.sent_bytes));
+            }
+            out.last + rtt / 2
+        } else {
+            start + rtt / 2
+        };
+
+        let response_start = request_done_at_server + server_think;
+        let first_byte_at = response_start + rtt / 2;
+        let completed_at = if download_bytes > 0 {
+            let out = self.transfer_bounded(
+                sim,
+                &path,
+                response_start,
+                download_bytes,
+                Direction::Download,
+                rtt,
+                path.bdp_bytes_down(),
+                Some(cut),
+            );
+            if out.acked_bytes < download_bytes {
+                return Err(self.interrupt(
+                    sim,
+                    start,
+                    cut,
+                    out.acked_bytes,
+                    request_bytes + out.sent_bytes,
+                ));
+            }
+            out.last + rtt / 2
+        } else {
+            if first_byte_at > cut {
+                return Err(self.interrupt(sim, start, cut, 0, request_bytes));
+            }
+            first_byte_at
+        };
+
+        self.free_at = completed_at;
+        sim.advance_to(completed_at);
+        Ok(DownloadOutcome { requested_at: start, first_byte_at, completed_at })
+    }
+
+    /// Kills the connection at the instant the link went down: no FIN
+    /// exchange travels (nothing can), the socket is simply dead and any
+    /// later operation must open a fresh connection.
+    fn interrupt(
+        &mut self,
+        sim: &mut Simulator,
+        started: SimTime,
+        at: SimTime,
+        bytes_acked: u64,
+        bytes_sent: u64,
+    ) -> TransferInterrupted {
+        self.closed = true;
+        self.free_at = at;
+        sim.advance_to(at);
+        TransferInterrupted {
+            bytes_acked,
+            bytes_sent,
+            elapsed: at.saturating_since(started),
+            interrupted_at: at,
+        }
+    }
+
     /// Closes the connection with a FIN exchange at `time` (or when the
     /// connection becomes free, whichever is later).
     pub fn close(&mut self, sim: &mut Simulator, net: &Network, time: SimTime) -> SimTime {
@@ -390,6 +588,26 @@ impl TcpConnection {
         rtt: SimDuration,
         bdp_bytes: u64,
     ) -> SimTime {
+        self.transfer_bounded(sim, path, start, bytes, direction, rtt, bdp_bytes, None).last
+    }
+
+    /// The transfer engine behind every data phase: emits the congestion-
+    /// window-shaped segment schedule, optionally stopping at `cutoff` (a
+    /// link outage). With `cutoff == None` the emitted packets and returned
+    /// times are identical to the historical unbounded transfer — the
+    /// bit-identity contract the committed baselines rely on.
+    #[allow(clippy::too_many_arguments)]
+    fn transfer_bounded(
+        &mut self,
+        sim: &mut Simulator,
+        path: &PathSpec,
+        start: SimTime,
+        bytes: u64,
+        direction: Direction,
+        rtt: SimDuration,
+        bdp_bytes: u64,
+        cutoff: Option<SimTime>,
+    ) -> RunOutcome {
         debug_assert!(bytes > 0);
         let bandwidth = match direction {
             Direction::Upload => path.effective_up_bandwidth(),
@@ -402,6 +620,8 @@ impl TcpConnection {
 
         let mut remaining = total_segments;
         let mut sent_bytes = 0u64;
+        let mut acked_bytes = 0u64;
+        let mut truncated = false;
         let mut cwnd = self.cwnd;
         let mut t = start;
         let mut last_sent = start;
@@ -410,10 +630,10 @@ impl TcpConnection {
             let window = (cwnd as u64).min(remaining);
             let window_tx = seg_tx.saturating_mul(window);
 
-            if window_tx >= rtt || cwnd >= bdp_segments.min(MAX_CWND_SEGMENTS) {
+            let run = if window_tx >= rtt || cwnd >= bdp_segments.min(MAX_CWND_SEGMENTS) {
                 // The pipe is full: the rest of the transfer streams at line
                 // rate, ack-clocked, with no idle gaps.
-                last_sent = self.emit_data_run(
+                let run = self.emit_data_run(
                     sim,
                     t,
                     direction,
@@ -421,10 +641,11 @@ impl TcpConnection {
                     bytes - sent_bytes,
                     seg_tx,
                     rtt,
+                    cutoff,
                 );
-                sent_bytes = bytes;
-                remaining = 0;
+                remaining -= run.segments.min(remaining);
                 cwnd = cwnd.max(bdp_segments).min(MAX_CWND_SEGMENTS);
+                run
             } else {
                 // Slow-start round: `window` segments paced across the round
                 // (ack-clocked senders spread their window over the RTT), then
@@ -433,22 +654,73 @@ impl TcpConnection {
                 // the throughput analyzer.
                 let run_bytes = (window * seg_payload).min(bytes - sent_bytes);
                 let spacing = seg_tx.max(rtt / (window + 1));
-                last_sent = self.emit_data_run(sim, t, direction, window, run_bytes, spacing, rtt);
-                sent_bytes += run_bytes;
-                remaining -= window;
+                let run =
+                    self.emit_data_run(sim, t, direction, window, run_bytes, spacing, rtt, cutoff);
+                remaining -= run.segments.min(remaining);
                 cwnd = (cwnd * 2).min(MAX_CWND_SEGMENTS);
                 t = t + rtt.max(spacing.saturating_mul(window)) + seg_tx;
+                run
+            };
+            if run.segments > 0 {
+                last_sent = run.last;
+            }
+            sent_bytes += run.sent_bytes;
+            acked_bytes += run.acked_bytes;
+
+            // Seeded per-segment drop mode: each emitted segment draws a
+            // drop at the path's loss rate; drops come back one RTT later
+            // as a timeout-style retransmission tail that costs wire bytes
+            // and delays everything after it. Lossless paths (or the mode
+            // switched off) never reach the RNG, so they replay the
+            // historical schedule bit-identically.
+            if path.segment_drops && path.loss > 0.0 && run.segments > 0 {
+                let mut drops = 0u64;
+                for _ in 0..run.segments {
+                    if sim.rng().chance(path.loss) {
+                        drops += 1;
+                    }
+                }
+                if drops > 0 {
+                    let retrans = self.emit_data_run(
+                        sim,
+                        run.last + rtt,
+                        direction,
+                        drops,
+                        (drops * seg_payload).min(run.sent_bytes.max(1)),
+                        seg_tx,
+                        rtt,
+                        cutoff,
+                    );
+                    // Retransmitted bytes are pure wire overhead: they do
+                    // not advance sent/acked payload accounting, only time.
+                    if retrans.segments > 0 {
+                        last_sent = last_sent.max(retrans.last);
+                        t = t.max(retrans.last + seg_tx);
+                    }
+                }
+            }
+
+            // The cutoff truncated this run: nothing further can be sent.
+            if run.truncated {
+                truncated = true;
+                break;
             }
         }
 
         self.cwnd = cwnd;
-        last_sent
+        RunOutcome {
+            last: last_sent,
+            segments: total_segments - remaining,
+            sent_bytes,
+            acked_bytes,
+            truncated,
+        }
     }
 
-    /// Emits `segments` data segments carrying `run_bytes` of payload starting
-    /// at `start`, spaced `spacing` apart, plus one ACK per two segments in the
-    /// opposite direction (arriving one RTT later). Returns the send time of
-    /// the last segment.
+    /// Emits up to `segments` data segments carrying `run_bytes` of payload
+    /// starting at `start`, spaced `spacing` apart, plus one ACK per two
+    /// segments in the opposite direction. Segments (and reverse ACKs) that
+    /// would land after `cutoff` are suppressed: the link is down.
     #[allow(clippy::too_many_arguments)]
     fn emit_data_run(
         &mut self,
@@ -459,19 +731,42 @@ impl TcpConnection {
         run_bytes: u64,
         spacing: SimDuration,
         rtt: SimDuration,
-    ) -> SimTime {
+        cutoff: Option<SimTime>,
+    ) -> RunOutcome {
         let seg_payload = MSS as u64;
+        // Acked-byte accounting: an uploaded segment is safe once its ack
+        // returned (one RTT after the send); a downloaded segment is safe
+        // the instant the client captured it.
+        let ack_lag = match direction {
+            Direction::Upload => rtt,
+            Direction::Download => SimDuration::ZERO,
+        };
         let mut remaining = run_bytes;
         let mut last = start;
+        let mut emitted = 0u64;
+        let mut sent = 0u64;
+        let mut acked = 0u64;
+        let mut truncated = false;
         for i in 0..segments {
             let payload = remaining.min(seg_payload) as u32;
             if payload == 0 {
                 break;
             }
-            remaining -= payload as u64;
             let ts = start + spacing.saturating_mul(i);
+            if let Some(c) = cutoff {
+                if ts > c {
+                    truncated = true;
+                    break;
+                }
+            }
+            remaining -= payload as u64;
             self.emit(sim, ts, direction, TcpFlags::ACK, payload, self.data_overhead());
             last = ts;
+            emitted += 1;
+            sent += payload as u64;
+            if cutoff.is_none_or(|c| ts + ack_lag <= c) {
+                acked += payload as u64;
+            }
             // Delayed acks: one pure ACK for every other data segment, flowing
             // in the reverse direction and captured at the client one RTT (for
             // uploads) or immediately (for downloads, the client is the acker)
@@ -481,10 +776,12 @@ impl TcpConnection {
                     Direction::Upload => ts + rtt,
                     Direction::Download => ts,
                 };
-                self.emit(sim, ack_ts, direction.reverse(), TcpFlags::ACK, 0, 0);
+                if cutoff.is_none_or(|c| ack_ts <= c) {
+                    self.emit(sim, ack_ts, direction.reverse(), TcpFlags::ACK, 0, 0);
+                }
             }
         }
-        last
+        RunOutcome { last, segments: emitted, sent_bytes: sent, acked_bytes: acked, truncated }
     }
 
     /// Emits a contiguous byte stream (used for handshake flights) as
@@ -560,6 +857,7 @@ impl TcpConnection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::OutageWindow;
     use cloudsim_trace::analysis::{self, BurstConfig, ThroughputConfig};
     use cloudsim_trace::FlowTable;
 
@@ -900,6 +1198,213 @@ mod tests {
             conn.request(&mut sim, &net, conn.established_at(), 50_000, 200, SimDuration::ZERO);
         let t2 = conn.request(&mut sim, &net, SimTime::ZERO, 50_000, 200, SimDuration::ZERO);
         assert!(t2 > t1);
+    }
+
+    #[test]
+    fn faulted_ops_with_an_empty_schedule_are_bit_identical_to_plain_ones() {
+        let run = |faulted: bool| -> (SimTime, SimTime, Vec<cloudsim_trace::PacketRecord>) {
+            let (net, host) = test_net(80, 20_000_000);
+            let mut sim = Simulator::new(11);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            let start = conn.established_at();
+            let think = SimDuration::from_millis(5);
+            let (sent, fetched) = if faulted {
+                let s = conn
+                    .send_faulted(&mut sim, &net, start, 700_000, &FaultSchedule::NONE)
+                    .expect("no faults scheduled");
+                let f = conn
+                    .fetch_faulted(&mut sim, &net, s, 400, 900_000, think, &FaultSchedule::NONE)
+                    .expect("no faults scheduled");
+                (s, f.completed_at)
+            } else {
+                let s = conn.send(&mut sim, &net, start, 700_000);
+                let f = conn.fetch(&mut sim, &net, s, 400, 900_000, think);
+                (s, f.completed_at)
+            };
+            (sent, fetched, sim.packets())
+        };
+        let plain = run(false);
+        let faulted = run(true);
+        assert_eq!(plain.0, faulted.0);
+        assert_eq!(plain.1, faulted.1);
+        assert_eq!(plain.2, faulted.2);
+    }
+
+    #[test]
+    fn schedules_entirely_before_the_op_also_delegate_to_the_plain_path() {
+        // An outage that ended before the transfer starts must not perturb
+        // anything: first_cut_at_or_after returns None and the plain path runs.
+        let (net, host) = test_net(80, 20_000_000);
+        let early = FaultSchedule {
+            windows: vec![OutageWindow {
+                down_at: SimTime::from_secs(1),
+                up_at: SimTime::from_secs(2),
+            }],
+        };
+        let mut sim = Simulator::new(11);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::from_secs(10),
+        );
+        let start = conn.established_at();
+        let done = conn.send_faulted(&mut sim, &net, start, 300_000, &early).unwrap();
+        assert!(done > start);
+        assert!(!conn.is_closed());
+    }
+
+    #[test]
+    fn a_mid_transfer_outage_interrupts_deterministically_with_a_dead_socket() {
+        let outage = |at_ms: u64| FaultSchedule {
+            windows: vec![OutageWindow {
+                down_at: SimTime::from_millis(at_ms),
+                up_at: SimTime::from_millis(at_ms + 5_000),
+            }],
+        };
+        let run = || {
+            // 4 MB over 8 Mb/s is ~4 s of serialization; cutting at 1.2 s
+            // lands mid-upload with part of the payload acknowledged.
+            let (net, host) = test_net(60, 8_000_000);
+            let mut sim = Simulator::new(5);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            let start = conn.established_at();
+            let err = conn
+                .send_faulted(&mut sim, &net, start, 4_000_000, &outage(1_200))
+                .expect_err("the outage must cut the upload");
+            (err, conn.is_closed(), sim.packets().len())
+        };
+        let (a, closed, packets_a) = run();
+        let (b, _, packets_b) = run();
+        assert_eq!(a, b, "interruption must be deterministic");
+        assert_eq!(packets_a, packets_b);
+        assert!(closed, "the socket dies without a FIN");
+        assert!(a.bytes_acked > 0, "part of the upload was acknowledged");
+        assert!(a.bytes_acked < 4_000_000, "the upload cannot have completed");
+        assert_eq!(a.interrupted_at, SimTime::from_millis(1_200));
+        assert!(a.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn starting_inside_an_outage_fails_immediately_at_zero_wire_cost() {
+        let (net, host) = test_net(60, 8_000_000);
+        let mut sim = Simulator::new(5);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let down_now = FaultSchedule {
+            windows: vec![OutageWindow {
+                down_at: SimTime::ZERO,
+                up_at: start + SimDuration::from_secs(30),
+            }],
+        };
+        let before = sim.packets().len();
+        let err = conn.send_faulted(&mut sim, &net, start, 1_000_000, &down_now).unwrap_err();
+        assert_eq!(err.bytes_acked, 0);
+        assert_eq!(err.elapsed, SimDuration::ZERO);
+        assert_eq!(sim.packets().len(), before, "no packets travel on a down link");
+        assert!(conn.is_closed());
+    }
+
+    #[test]
+    fn a_download_outage_reports_received_bytes_for_ranged_resume() {
+        let (net, host) = test_net(60, 8_000_000);
+        let mut sim = Simulator::new(5);
+        let mut conn = TcpConnection::open(
+            &mut sim,
+            &net,
+            host,
+            ConnectionOptions::https(FlowKind::Storage),
+            SimTime::ZERO,
+        );
+        let start = conn.established_at();
+        let cut = FaultSchedule {
+            windows: vec![OutageWindow {
+                down_at: start + SimDuration::from_millis(1_500),
+                up_at: start + SimDuration::from_secs(20),
+            }],
+        };
+        let err = conn
+            .fetch_faulted(&mut sim, &net, start, 300, 4_000_000, SimDuration::ZERO, &cut)
+            .expect_err("the outage must cut the download");
+        assert!(err.bytes_acked > 0, "some response bytes arrived before the cut");
+        assert!(err.bytes_acked < 4_000_000);
+        assert!(conn.is_closed());
+    }
+
+    #[test]
+    fn segment_drop_mode_is_bit_identical_on_lossless_paths() {
+        let run = |drops: bool| -> Vec<cloudsim_trace::PacketRecord> {
+            let mut net = Network::new();
+            let host = net.add_server("server.example", [10, 0, 0, 1], 443);
+            net.set_path(
+                host,
+                PathSpec::symmetric(SimDuration::from_millis(60), 20_000_000)
+                    .with_jitter(0.0)
+                    .with_segment_drops(drops),
+            );
+            let mut sim = Simulator::new(7);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::https(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            conn.send(&mut sim, &net, conn.established_at(), 1_000_000);
+            sim.packets()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn segment_drops_on_a_lossy_path_cost_wire_bytes_and_time() {
+        let run = |drops: bool| -> (SimTime, u64) {
+            let mut net = Network::new();
+            let host = net.add_server("server.example", [10, 0, 0, 1], 443);
+            net.set_path(
+                host,
+                PathSpec::symmetric(SimDuration::from_millis(60), 20_000_000)
+                    .with_jitter(0.0)
+                    .with_loss(0.02)
+                    .with_segment_drops(drops),
+            );
+            let mut sim = Simulator::new(7);
+            let mut conn = TcpConnection::open(
+                &mut sim,
+                &net,
+                host,
+                ConnectionOptions::http(FlowKind::Storage),
+                SimTime::ZERO,
+            );
+            let done = conn.send(&mut sim, &net, conn.established_at(), 2_000_000);
+            let wire: u64 = sim.packets().iter().map(|p| p.payload_len as u64).sum();
+            (done, wire)
+        };
+        let (done_off, wire_off) = run(false);
+        let (done_on, wire_on) = run(true);
+        assert!(done_on > done_off, "retransmission tails delay completion");
+        assert!(wire_on > wire_off, "retransmitted segments cost wire bytes");
+        // Deterministic under a fixed seed.
+        assert_eq!(run(true), run(true));
     }
 
     #[test]

@@ -9,11 +9,19 @@
 use crate::deployment::Deployment;
 use crate::planner::{FilePlan, UploadPlanner};
 use crate::profile::{ServiceProfile, TransferMode};
+use crate::retry::RetryPolicy;
+use crate::session::{FaultStats, RangedRestore, UploadSession};
 use cloudsim_net::http::{HttpExchange, HttpOverhead};
 use cloudsim_net::tcp::{ConnectionOptions, TcpConnection};
-use cloudsim_net::{AccessLink, Simulator};
+use cloudsim_net::{AccessLink, FaultSchedule, Simulator, TransferInterrupted};
 use cloudsim_trace::{FlowKind, SimDuration, SimTime};
+use cloudsim_workload::seed::derive_seed;
 use cloudsim_workload::GeneratedFile;
+
+/// Seed salt for upload-retry jitter draws (per chunk, per attempt).
+const UPLOAD_RETRY_SALT: u64 = 0xB0FF_0001;
+/// Seed salt for restore-retry jitter draws (per file, per attempt).
+const RESTORE_RETRY_SALT: u64 = 0xB0FF_0002;
 
 /// The outcome of one restore operation (a batch of paths pulled from one
 /// owner's namespace — the download mirror of [`SyncOutcome`]).
@@ -68,6 +76,40 @@ pub struct SyncOutcome {
     pub logical_bytes: u64,
     /// Payload bytes the planner decided to upload.
     pub uploaded_payload: u64,
+}
+
+/// The outcome of one fault-injected batch synchronisation: the plain
+/// [`SyncOutcome`] plus what recovery cost and how much payload became
+/// durable. `outcome.completed_at` is when the *session* finished — whether
+/// by committing every chunk or by exhausting retry budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedSyncOutcome {
+    /// The plain sync accounting (timing, planned payload).
+    pub outcome: SyncOutcome,
+    /// Payload bytes durably committed (whole chunks the server acked).
+    pub committed_payload: u64,
+    /// Chunks abandoned after the retry budget ran out.
+    pub abandoned_chunks: usize,
+    /// True when every planned chunk committed.
+    pub completed: bool,
+    /// Interruption / retry / wasted-byte accounting for the batch.
+    pub stats: FaultStats,
+}
+
+/// The outcome of one fault-injected restore: the plain [`RestoreOutcome`]
+/// plus recovery accounting. A file only counts as restored once its ranged
+/// download completed *and* the reassembled content passed SHA-256
+/// validation; abandoned files count as failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedRestoreOutcome {
+    /// The plain restore accounting (timing, payload, failures).
+    pub outcome: RestoreOutcome,
+    /// Files abandoned mid-download after the retry budget ran out.
+    pub files_abandoned: usize,
+    /// True when nothing was abandoned and every checksum verified.
+    pub completed: bool,
+    /// Interruption / retry / wasted-byte accounting for the restore.
+    pub stats: FaultStats,
 }
 
 /// A sync client bound to one service profile and one deployment.
@@ -615,6 +657,325 @@ impl SyncClient {
         }
     }
 
+    /// Synchronises a batch under a seeded outage schedule with a resumable
+    /// upload session: every chunk is driven through
+    /// [`TcpConnection::send_faulted`], and when a cut kills the transfer the
+    /// session persists the last committed offset so the retry — granted by
+    /// `policy`, after a backoff that spends *virtual-clock* time — re-drives
+    /// only the uncommitted tail over a freshly dialled connection. When the
+    /// budget runs out the chunk is abandoned and the batch moves on.
+    ///
+    /// Two deliberate simplifications: the control plane stays fault-free
+    /// (metadata exchanges are tiny and real clients retry them invisibly —
+    /// only storage transfers feel the outages), and the session drives
+    /// chunks one at a time regardless of the profile's transfer mode, so
+    /// the fault-free control for inflation comparisons is this same method
+    /// with [`FaultSchedule::NONE`], not [`SyncClient::sync_batch`].
+    ///
+    /// `seed` feeds the per-(chunk, attempt) jitter draws; same seed, same
+    /// schedule, same virtual timeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sync_batch_faulted(
+        &mut self,
+        sim: &mut Simulator,
+        files: &[GeneratedFile],
+        modification_time: SimTime,
+        faults: &FaultSchedule,
+        policy: &dyn RetryPolicy,
+        seed: u64,
+    ) -> FaultedSyncOutcome {
+        assert!(!files.is_empty(), "sync_batch_faulted needs at least one file");
+        if !self.logged_in {
+            let done = self.login(sim, modification_time - SimDuration::from_secs(60));
+            debug_assert!(done <= modification_time || self.logged_in);
+        }
+        let detection = self.profile.startup_delay
+            + self.profile.startup_delay_per_file.saturating_mul(files.len() as u64);
+        let sync_start = modification_time + detection;
+
+        let batch: Vec<(&str, &[u8])> =
+            files.iter().map(|f| (f.path.as_str(), f.content.as_slice())).collect();
+        let plans: Vec<FilePlan> = self.planner.plan_batch(&batch);
+        let uploaded_payload: u64 = plans.iter().map(|p| p.upload_bytes()).sum();
+        let logical_bytes: u64 = plans.iter().map(|p| p.logical_bytes).sum();
+        let metadata_total: u64 = plans.iter().map(|p| p.metadata_bytes).sum();
+
+        let control_done = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, sync_start);
+            HttpExchange::new(metadata_total.clamp(600, 64_000), 800, SimDuration::from_millis(30))
+                .execute(conn, sim, &network, sync_start)
+        };
+
+        let transfer_start = control_done.max(sync_start);
+        let mut session = UploadSession::new(
+            plans.iter().flat_map(|p| p.chunks.iter().map(|c| c.upload_bytes)).collect(),
+        );
+        let network = self.deployment.network.clone();
+        let mut t = transfer_start;
+        let mut current = usize::MAX;
+        let mut attempt = 0u32;
+        while let Some((idx, tail)) = session.remaining() {
+            if idx != current {
+                current = idx;
+                attempt = 0;
+            }
+            let interrupted = self.drive_upload(sim, &network, t, tail, faults);
+            match interrupted {
+                Ok(done) => {
+                    t = done;
+                    session.commit();
+                }
+                Err(int) => {
+                    session.interrupted(&int);
+                    attempt += 1;
+                    let draw = derive_seed(seed, UPLOAD_RETRY_SALT, idx as u64, attempt as u64);
+                    match policy.backoff(attempt, draw) {
+                        Some(wait) => {
+                            session.retried(wait);
+                            // Backoff burns virtual-clock time like think
+                            // time does, so retries interleave with the
+                            // fleet's temporal schedule.
+                            t = int.interrupted_at + wait;
+                        }
+                        None => {
+                            session.abandon();
+                            t = int.interrupted_at;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Final commit on the (fault-free) control channel.
+        let final_commit = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, t);
+            HttpExchange::new(900, 500, SimDuration::from_millis(30))
+                .execute(conn, sim, &network, t)
+        };
+        self.last_activity = final_commit;
+
+        FaultedSyncOutcome {
+            outcome: SyncOutcome {
+                modification_time,
+                sync_started_at: sync_start,
+                completed_at: t,
+                files: files.len(),
+                logical_bytes,
+                uploaded_payload,
+            },
+            committed_payload: session.committed_payload(),
+            abandoned_chunks: session.abandoned_chunks(),
+            completed: session.is_complete(),
+            stats: session.stats(),
+        }
+    }
+
+    /// One upload attempt under faults: fails at zero wire cost when the
+    /// link is already down at `t` (the client never reaches the handshake),
+    /// otherwise dials a fresh storage connection if an earlier cut killed
+    /// the socket and drives `tail` bytes through the faulted send.
+    fn drive_upload(
+        &mut self,
+        sim: &mut Simulator,
+        network: &cloudsim_net::Network,
+        t: SimTime,
+        tail: u64,
+        faults: &FaultSchedule,
+    ) -> Result<SimTime, TransferInterrupted> {
+        if faults.is_down(t) {
+            return Err(TransferInterrupted {
+                bytes_acked: 0,
+                bytes_sent: 0,
+                elapsed: SimDuration::ZERO,
+                interrupted_at: t,
+            });
+        }
+        if self.storage_conn.as_ref().is_some_and(|c| c.is_closed()) {
+            self.storage_conn = None;
+        }
+        let conn = self.ensure_storage(sim, t);
+        conn.send_faulted(sim, network, t, tail, faults)
+    }
+
+    /// [`SyncClient::restore_user`] under a seeded outage schedule — lists
+    /// the owner's live files and drives a fault-injected, resumable restore.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_user_faulted(
+        &mut self,
+        sim: &mut Simulator,
+        owner: &str,
+        at: SimTime,
+        faults: &FaultSchedule,
+        policy: &dyn RetryPolicy,
+        seed: u64,
+    ) -> FaultedRestoreOutcome {
+        let paths = self.planner.store().list_files(owner);
+        self.restore_batch_faulted(sim, owner, &paths, at, faults, policy, seed)
+    }
+
+    /// Restores `owner`'s files under a seeded outage schedule with ranged,
+    /// resumable downloads: each file is fetched through
+    /// [`TcpConnection::fetch_faulted`]; a cut leaves the received prefix
+    /// verified, and the retry issues a fresh range request for only the
+    /// remaining bytes. On completion the reassembled content is validated
+    /// end to end with SHA-256 along the recorded resume boundaries. The
+    /// control plane stays fault-free (see
+    /// [`SyncClient::sync_batch_faulted`]); `first_byte_at` is recorded from
+    /// completed ranges only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_batch_faulted(
+        &mut self,
+        sim: &mut Simulator,
+        owner: &str,
+        paths: &[String],
+        at: SimTime,
+        faults: &FaultSchedule,
+        policy: &dyn RetryPolicy,
+        seed: u64,
+    ) -> FaultedRestoreOutcome {
+        if !self.logged_in {
+            let done = self.login(sim, at - SimDuration::from_secs(60));
+            debug_assert!(done <= at || self.logged_in);
+        }
+        let plans = self.planner.plan_restore_paths(owner, paths);
+
+        let mut files_failed = 0usize;
+        let mut metadata_down = 0u64;
+        let mut work: Vec<&cloudsim_storage::RestoredFile> = Vec::new();
+        for plan in &plans {
+            match plan {
+                Ok(file) => {
+                    metadata_down += file.metadata_bytes;
+                    work.push(file);
+                }
+                Err(_) => {
+                    files_failed += 1;
+                    metadata_down += 200;
+                }
+            }
+        }
+        if plans.is_empty() {
+            files_failed = 1;
+            metadata_down = 200;
+        }
+
+        let control_done = {
+            let network = self.deployment.network.clone();
+            let conn = self.ensure_control(sim, at);
+            HttpExchange::new(600, metadata_down.clamp(300, 64_000), SimDuration::from_millis(30))
+                .execute(conn, sim, &network, at)
+        };
+
+        let network = self.deployment.network.clone();
+        let think = self.profile.server_think;
+        let mut first_byte_at: Option<SimTime> = None;
+        let mut t = control_done;
+        let mut files_restored = 0usize;
+        let mut files_abandoned = 0usize;
+        let mut logical_bytes = 0u64;
+        let mut downloaded_payload = 0u64;
+        let mut dedup_skipped_bytes = 0u64;
+        let mut stats = FaultStats::default();
+        for (fi, file) in work.iter().enumerate() {
+            let bytes = file.download_bytes();
+            let mut ranged = RangedRestore::new(bytes);
+            let mut attempt = 0u32;
+            let mut abandoned = false;
+            while !ranged.is_complete() {
+                let outcome =
+                    self.drive_download(sim, &network, t, ranged.remaining(), think, faults);
+                match outcome {
+                    Ok(out) => {
+                        if first_byte_at.is_none() {
+                            first_byte_at = Some(out.first_byte_at);
+                        }
+                        t = out.completed_at;
+                        ranged.complete();
+                    }
+                    Err(int) => {
+                        ranged.interrupted(&int);
+                        attempt += 1;
+                        let draw = derive_seed(seed, RESTORE_RETRY_SALT, fi as u64, attempt as u64);
+                        match policy.backoff(attempt, draw) {
+                            Some(wait) => {
+                                ranged.retried(wait);
+                                t = int.interrupted_at + wait;
+                            }
+                            None => {
+                                ranged.abandon();
+                                t = int.interrupted_at;
+                                abandoned = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if abandoned {
+                files_abandoned += 1;
+                files_failed += 1;
+                downloaded_payload += ranged.verified();
+            } else {
+                // End-to-end validation of the reassembled content.
+                if ranged.verify(&file.content) {
+                    files_restored += 1;
+                } else {
+                    files_failed += 1;
+                }
+                logical_bytes += file.logical_bytes();
+                dedup_skipped_bytes += file.dedup_skipped_bytes();
+                downloaded_payload += bytes;
+            }
+            stats.merge(&ranged.stats());
+        }
+        self.last_activity = t;
+
+        let completed = files_abandoned == 0 && stats.checksum_failures == 0;
+        FaultedRestoreOutcome {
+            outcome: RestoreOutcome {
+                requested_at: at,
+                first_byte_at,
+                completed_at: t,
+                files_restored,
+                files_failed,
+                logical_bytes,
+                downloaded_payload,
+                dedup_skipped_bytes,
+            },
+            files_abandoned,
+            completed,
+            stats,
+        }
+    }
+
+    /// One ranged download attempt under faults — the download mirror of
+    /// [`SyncClient::drive_upload`].
+    fn drive_download(
+        &mut self,
+        sim: &mut Simulator,
+        network: &cloudsim_net::Network,
+        t: SimTime,
+        remaining: u64,
+        think: SimDuration,
+        faults: &FaultSchedule,
+    ) -> Result<cloudsim_net::tcp::DownloadOutcome, TransferInterrupted> {
+        if faults.is_down(t) {
+            return Err(TransferInterrupted {
+                bytes_acked: 0,
+                bytes_sent: 0,
+                elapsed: SimDuration::ZERO,
+                interrupted_at: t,
+            });
+        }
+        if self.storage_conn.as_ref().is_some_and(|c| c.is_closed()) {
+            self.storage_conn = None;
+        }
+        let conn = self.ensure_storage(sim, t);
+        conn.fetch_faulted(sim, network, t, 250, remaining, think, faults)
+    }
+
     /// Deletes a file from the synced folder and propagates the deletion as a
     /// metadata-only operation.
     pub fn delete_file(&mut self, sim: &mut Simulator, path: &str, at: SimTime) -> SimTime {
@@ -941,6 +1302,184 @@ mod tests {
 
         client.sync_batch(&mut sim, &batch(1, 5_000), last_poll + SimDuration::from_secs(5));
         assert_eq!(client.planner().batches_planned(), 2);
+    }
+
+    #[test]
+    fn fault_free_faulted_sync_is_clean_and_commits_everything() {
+        use crate::retry::NoRetry;
+        let files = batch(3, 200_000);
+        let run = || {
+            let mut sim = Simulator::new(42);
+            let mut client = SyncClient::new(ServiceProfile::dropbox());
+            let t0 = client.login(&mut sim, SimTime::ZERO);
+            client.sync_batch_faulted(
+                &mut sim,
+                &files,
+                t0 + SimDuration::from_secs(5),
+                &FaultSchedule::NONE,
+                &NoRetry,
+                0xFEED,
+            )
+        };
+        let out = run();
+        assert!(out.completed);
+        assert_eq!(out.committed_payload, out.outcome.uploaded_payload);
+        assert_eq!(out.abandoned_chunks, 0);
+        assert!(out.stats.is_clean());
+        assert_eq!(out.stats.interruptions, 0);
+        assert_eq!(out.stats.wasted_bytes, 0);
+        assert_eq!(out, run(), "the faulted path must be deterministic");
+    }
+
+    /// The upload fault-recovery harness: learns the fault-free transfer
+    /// window, then cuts the link inside it.
+    fn faulted_sync_with(
+        policy: &dyn crate::retry::RetryPolicy,
+        faults: &FaultSchedule,
+        files: &[GeneratedFile],
+    ) -> FaultedSyncOutcome {
+        use cloudsim_storage::{ObjectStore, UploadPipeline};
+        let mut sim = Simulator::new(21);
+        let mut client = SyncClient::for_user_on_link(
+            ServiceProfile::dropbox(),
+            UploadPipeline::sequential(),
+            ObjectStore::new(),
+            "victim",
+            &AccessLink::adsl(),
+        );
+        let t0 = client.login(&mut sim, SimTime::ZERO);
+        client.sync_batch_faulted(
+            &mut sim,
+            files,
+            t0 + SimDuration::from_secs(5),
+            faults,
+            policy,
+            0xFA57,
+        )
+    }
+
+    /// One outage window centred inside the control run's transfer span.
+    fn outage_inside(control: &FaultedSyncOutcome, secs: u64) -> FaultSchedule {
+        use cloudsim_net::OutageWindow;
+        let start = control.outcome.sync_started_at;
+        let span = control.outcome.completed_at.saturating_since(start);
+        let mid = start + SimDuration::from_secs_f64(span.as_secs_f64() / 2.0);
+        FaultSchedule {
+            windows: vec![OutageWindow { down_at: mid, up_at: mid + SimDuration::from_secs(secs) }],
+        }
+    }
+
+    #[test]
+    fn a_mid_upload_outage_is_retried_resumed_and_salvaged() {
+        use crate::retry::ExponentialBackoff;
+        let files = batch(2, 400_000);
+        // 800 kB over the 1 Mb/s ADSL upstream: a multi-second window.
+        let control = faulted_sync_with(&crate::retry::NoRetry, &FaultSchedule::NONE, &files);
+        assert!(control.completed);
+
+        let faults = outage_inside(&control, 3);
+        let out = faulted_sync_with(&ExponentialBackoff::standard(), &faults, &files);
+        assert!(out.completed, "the backoff policy must recover: {:?}", out.stats);
+        assert_eq!(out.committed_payload, control.committed_payload);
+        assert!(out.stats.interruptions >= 1);
+        assert!(out.stats.retries >= 1);
+        assert!(out.stats.backoff_wait > SimDuration::ZERO);
+        assert!(out.stats.wasted_bytes > 0, "in-flight bytes at the cut are wasted");
+        assert!(out.stats.salvaged_bytes > 0, "acked bytes must not travel twice");
+        assert!(out.stats.resume_efficiency() > 0.0);
+        // Recovery costs virtual time: the faulted run finishes later.
+        assert!(out.outcome.completed_at > control.outcome.completed_at);
+    }
+
+    #[test]
+    fn no_retry_abandons_at_the_first_cut_and_commits_strictly_less() {
+        use crate::retry::{ExponentialBackoff, NoRetry};
+        let files = batch(2, 400_000);
+        let control = faulted_sync_with(&NoRetry, &FaultSchedule::NONE, &files);
+        let faults = outage_inside(&control, 3);
+
+        let abandoned = faulted_sync_with(&NoRetry, &faults, &files);
+        let recovered = faulted_sync_with(&ExponentialBackoff::standard(), &faults, &files);
+        assert!(!abandoned.completed);
+        assert!(abandoned.abandoned_chunks >= 1);
+        assert_eq!(abandoned.stats.abandoned, abandoned.abandoned_chunks as u64);
+        assert_eq!(abandoned.stats.retries, 0);
+        assert!(abandoned.stats.wasted_bytes > 0);
+        assert!(
+            abandoned.committed_payload < recovered.committed_payload,
+            "no-retry ({}) must commit strictly less than backoff ({})",
+            abandoned.committed_payload,
+            recovered.committed_payload
+        );
+    }
+
+    #[test]
+    fn faulted_restores_resume_ranged_and_validate_checksums() {
+        use crate::retry::{ExponentialBackoff, NoRetry};
+        use cloudsim_net::OutageWindow;
+        use cloudsim_storage::{ObjectStore, UploadPipeline};
+        let store = ObjectStore::new();
+        let pipeline = UploadPipeline::sequential();
+        let files = batch(4, 200_000);
+        let mut sim = Simulator::new(31);
+        let mut owner =
+            SyncClient::for_user(ServiceProfile::dropbox(), pipeline, store.clone(), "owner");
+        let t0 = owner.login(&mut sim, SimTime::ZERO);
+        owner.sync_batch(&mut sim, &files, t0 + SimDuration::from_secs(2));
+
+        let pull = |faults: &FaultSchedule, policy: &dyn crate::retry::RetryPolicy| {
+            let mut psim = Simulator::new(32);
+            let mut puller = SyncClient::for_user_on_link(
+                ServiceProfile::dropbox(),
+                pipeline,
+                store.clone(),
+                "puller",
+                &AccessLink::adsl(),
+            );
+            let login = puller.login(&mut psim, SimTime::ZERO);
+            puller.restore_user_faulted(
+                &mut psim,
+                "owner",
+                login + SimDuration::from_secs(1),
+                faults,
+                policy,
+                0xD0_5E,
+            )
+        };
+
+        let control = pull(&FaultSchedule::NONE, &NoRetry);
+        assert!(control.completed);
+        assert_eq!(control.outcome.files_restored, 4);
+        assert_eq!(control.stats.checksums_verified, 4, "every reassembly is validated");
+        assert_eq!(control.stats.checksum_failures, 0);
+        assert!(control.stats.is_clean());
+
+        // Cut the link mid-download.
+        let start = control.outcome.requested_at;
+        let span = control.outcome.completed_at.saturating_since(start);
+        let mid = start + SimDuration::from_secs_f64(span.as_secs_f64() * 0.6);
+        let faults = FaultSchedule {
+            windows: vec![OutageWindow { down_at: mid, up_at: mid + SimDuration::from_secs(2) }],
+        };
+
+        let recovered = pull(&faults, &ExponentialBackoff::standard());
+        assert!(recovered.completed, "backoff must recover the restore: {:?}", recovered.stats);
+        assert_eq!(recovered.outcome.files_restored, 4);
+        assert_eq!(recovered.stats.checksums_verified, 4);
+        assert_eq!(recovered.stats.checksum_failures, 0);
+        assert!(recovered.stats.interruptions >= 1);
+        assert!(recovered.stats.salvaged_bytes > 0, "the verified prefix resumes, not restarts");
+        assert!(recovered.outcome.completed_at > control.outcome.completed_at);
+
+        let abandoned = pull(&faults, &NoRetry);
+        assert!(!abandoned.completed);
+        assert!(abandoned.files_abandoned >= 1);
+        assert!(abandoned.outcome.files_failed >= 1);
+        assert!(abandoned.stats.wasted_bytes > 0, "a dropped download is wasted wire");
+        assert!(
+            abandoned.outcome.files_restored < recovered.outcome.files_restored,
+            "abandonment must lose files"
+        );
     }
 
     #[test]

@@ -47,8 +47,10 @@
 
 use crate::client::{RestoreOutcome, SyncClient, SyncOutcome};
 use crate::profile::ServiceProfile;
+use crate::retry::RetryConfig;
 use crate::schedule::{FleetSchedule, SyncActivation, ThinkTime};
-use cloudsim_net::{AccessLink, Simulator};
+use crate::session::FaultStats;
+use cloudsim_net::{AccessLink, FaultSchedule, FaultSpec, Simulator};
 use cloudsim_storage::{AggregateStats, GcPolicy, ObjectStore, UploadPipeline};
 use cloudsim_trace::series::SampleStats;
 use cloudsim_trace::{FlowKind, SimDuration, SimTime};
@@ -61,6 +63,52 @@ use std::sync::Mutex;
 /// idle round advances a connected client's virtual clock by exactly one
 /// epoch of keep-alive polling.
 pub const ROUND_EPOCH_SECS: u64 = 60;
+
+/// Seed salt for per-(client, round) upload outage schedules.
+const SYNC_FAULT_SALT: u64 = 0xFA017;
+/// Seed salt for per-(client, round) upload retry jitter.
+const SYNC_RETRY_SALT: u64 = 0xFA018;
+/// Seed salt base for per-(client, pull, round) restore outage schedules
+/// (even offsets; odd offsets are the retry-jitter salts).
+const RESTORE_FAULT_SALT: u64 = 0xFA020;
+/// Seed salt base for per-(client, pull, round) restore retry jitter.
+const RESTORE_RETRY_SALT: u64 = 0xFA021;
+
+/// Fault injection for a fleet run: the outage-schedule shape every faulted
+/// transfer window draws from, and the retry policy every client wraps its
+/// storage transfers in. The schedules themselves are derived per client
+/// and per round from the fleet's master seed — pure data, like the
+/// temporal schedule — so concurrent faulted runs replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetFaults {
+    /// How outages are drawn over each activation's transfer window.
+    pub spec: FaultSpec,
+    /// The retry policy applied to every interrupted transfer.
+    pub retry: RetryConfig,
+}
+
+impl FleetFaults {
+    /// A convenient default shape: up to three outages of 2–8 s drawn over
+    /// a 60 s window per activation, with the standard exponential policy.
+    pub fn standard() -> FleetFaults {
+        FleetFaults {
+            spec: FaultSpec {
+                horizon: SimDuration::from_secs(60),
+                outages: 3,
+                min_outage: SimDuration::from_secs(2),
+                max_outage: SimDuration::from_secs(8),
+            },
+            retry: RetryConfig::standard_exponential(),
+        }
+    }
+
+    /// The same outage shape with a different retry policy — the knob the
+    /// faults suite turns to compare policies under identical failures.
+    pub fn with_retry(mut self, retry: RetryConfig) -> FleetFaults {
+        self.retry = retry;
+        self
+    }
+}
 
 /// One client slot of a fleet: which service it runs, which access link it
 /// sits behind, and when it participates.
@@ -175,6 +223,14 @@ pub struct FleetSpec {
     /// paying only background signalling. 1.0 (the default) is the legacy
     /// every-round-syncs behaviour.
     pub activation: f64,
+    /// Fault injection: `None` (the default) runs the exact fault-free code
+    /// path — byte-identical to fleets that predate the failure model.
+    /// `Some` derives a seeded outage schedule per activation (and per
+    /// restore pull) and drives every storage transfer through the
+    /// resumable session layer under the configured retry policy. Control
+    /// traffic stays fault-free. Schedules derive from the master seed at
+    /// run time, so a later [`FleetSpec::with_seed`] needs no re-derivation.
+    pub faults: Option<FleetFaults>,
 }
 
 impl FleetSpec {
@@ -197,6 +253,7 @@ impl FleetSpec {
             think: ThinkTime::NONE,
             arrival_jitter: SimDuration::ZERO,
             activation: 1.0,
+            faults: None,
         }
     }
 
@@ -284,6 +341,15 @@ impl FleetSpec {
             "activation probability must be within [0, 1], got {activation}"
         );
         self.activation = activation;
+        self
+    }
+
+    /// Enables fault injection: every activation's storage transfers run
+    /// under a seeded outage schedule and the configured retry policy (see
+    /// [`FleetSpec::faults`]).
+    pub fn with_faults(mut self, faults: FleetFaults) -> FleetSpec {
+        faults.spec.validate();
+        self.faults = Some(faults);
         self
     }
 
@@ -467,6 +533,9 @@ impl FleetSpec {
     fn validate(&self) {
         assert!(!self.slots.is_empty(), "a fleet needs at least one client");
         assert!(self.rounds > 0, "a fleet needs at least one round");
+        if let Some(faults) = &self.faults {
+            faults.spec.validate();
+        }
         for (i, slot) in self.slots.iter().enumerate() {
             assert!(
                 slot.join_round < self.rounds,
@@ -529,6 +598,17 @@ pub struct ClientSummary {
     /// Wire bytes of the client's storage flows (chunk uploads and
     /// downloads, headers included) — the payload side of the split.
     pub payload_wire_bytes: u64,
+    /// Payload bytes durably committed. Equals `uploaded_payload` when the
+    /// fleet runs fault-free (or every retry succeeded); falls below it
+    /// when retry budgets ran out and chunks were abandoned.
+    pub committed_payload: u64,
+    /// Chunks abandoned after their retry budget ran out (0 without faults).
+    pub abandoned_chunks: usize,
+    /// Files abandoned mid-restore after their retry budget ran out.
+    pub abandoned_restores: usize,
+    /// Interruption / retry / wasted-byte accounting over every faulted
+    /// transfer of the client. All-zero without faults.
+    pub fault_stats: FaultStats,
 }
 
 impl ClientSummary {
@@ -823,6 +903,55 @@ impl FleetRun {
         }
     }
 
+    /// Merged fault-recovery accounting over every client. All-zero for a
+    /// fault-free run.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for client in &self.clients {
+            total.merge(&client.fault_stats);
+        }
+        total
+    }
+
+    /// Payload bytes the fleet durably committed. Equals
+    /// [`FleetRun::total_uploaded_payload`] when nothing was abandoned.
+    pub fn total_committed_payload(&self) -> u64 {
+        self.clients.iter().map(|c| c.committed_payload).sum()
+    }
+
+    /// Chunks abandoned fleet-wide after retry budgets ran out.
+    pub fn total_abandoned_chunks(&self) -> usize {
+        self.clients.iter().map(|c| c.abandoned_chunks).sum()
+    }
+
+    /// Files abandoned mid-restore fleet-wide.
+    pub fn total_abandoned_restores(&self) -> usize {
+        self.clients.iter().map(|c| c.abandoned_restores).sum()
+    }
+
+    /// Fraction of planned upload payload that became durable, in `[0, 1]`.
+    /// 1.0 for a fault-free (or fully recovered) run with payload; 0.0 for
+    /// a run that planned nothing — never NaN.
+    pub fn committed_fraction(&self) -> f64 {
+        let planned = self.total_uploaded_payload();
+        if planned > 0 {
+            self.total_committed_payload() as f64 / planned as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of all wire bytes that bought no durable progress, in
+    /// `[0, 1]`. 0.0 for a fault-free run — never NaN.
+    pub fn wasted_bytes_ratio(&self) -> f64 {
+        let wire = (self.total_payload_wire_bytes() + self.total_background_wire_bytes()) as f64;
+        if wire > 0.0 {
+            self.fault_stats().wasted_bytes as f64 / wire
+        } else {
+            0.0
+        }
+    }
+
     fn grouped<K: Fn(&ClientSummary) -> String>(
         &self,
         key: K,
@@ -849,6 +978,10 @@ struct LiveClient {
     next_modification: SimTime,
     deleted_manifests: usize,
     idle_rounds: usize,
+    committed_payload: u64,
+    abandoned_chunks: usize,
+    abandoned_restores: usize,
+    fault_stats: FaultStats,
 }
 
 fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -> LiveClient {
@@ -876,17 +1009,46 @@ fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -
         next_modification: login_done + SimDuration::from_secs(5),
         deleted_manifests: 0,
         idle_rounds: 0,
+        committed_payload: 0,
+        abandoned_chunks: 0,
+        abandoned_restores: 0,
+        fault_stats: FaultStats::default(),
     }
 }
 
 /// One client's restore fan for one round: pull every source user's full
 /// namespace. Store reads only — the round's sync barrier already happened,
 /// so every puller sees the same server state regardless of thread order.
-fn restore_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize) {
-    for &src in &spec.slots[i].pull_from {
+/// With fault injection, each pull runs under its own seeded outage
+/// schedule (anchored at the pull's start) through the ranged resumable
+/// download path.
+fn restore_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, round: usize) {
+    for (k, &src) in spec.slots[i].pull_from.iter().enumerate() {
         let owner = spec.user(src);
         let at = lc.next_modification;
-        let outcome = lc.client.restore_user(&mut lc.sim, &owner, at);
+        let outcome = match &spec.faults {
+            None => lc.client.restore_user(&mut lc.sim, &owner, at),
+            Some(faults) => {
+                let schedule_seed =
+                    spec.derived_seed(i as u64, RESTORE_FAULT_SALT + 2 * k as u64, round as u64);
+                let schedule = FaultSchedule::generate(&faults.spec, schedule_seed)
+                    .shifted(at.saturating_since(SimTime::ZERO));
+                let retry_seed =
+                    spec.derived_seed(i as u64, RESTORE_RETRY_SALT + 2 * k as u64, round as u64);
+                let policy = faults.retry.policy();
+                let faulted = lc.client.restore_user_faulted(
+                    &mut lc.sim,
+                    &owner,
+                    at,
+                    &schedule,
+                    policy.as_ref(),
+                    retry_seed,
+                );
+                lc.abandoned_restores += faulted.files_abandoned;
+                lc.fault_stats.merge(&faulted.stats);
+                faulted.outcome
+            }
+        };
         lc.next_modification = outcome.completed_at + SimDuration::from_secs(2);
         lc.restores.push(outcome);
     }
@@ -900,7 +1062,36 @@ fn restore_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize) {
 fn sync_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, activation: &SyncActivation) {
     let files = spec.workload_for(i, activation);
     let at = lc.next_modification + activation.think + activation.arrival_jitter;
-    let outcome = lc.client.sync_batch(&mut lc.sim, &files, at);
+    let outcome = match &spec.faults {
+        None => {
+            let outcome = lc.client.sync_batch(&mut lc.sim, &files, at);
+            // Fault-free, everything planned is durable.
+            lc.committed_payload += outcome.uploaded_payload;
+            outcome
+        }
+        Some(faults) => {
+            // The outage schedule is anchored at this activation's start, so
+            // every transfer window of the run gets its own seeded failures.
+            let schedule_seed =
+                spec.derived_seed(i as u64, SYNC_FAULT_SALT, activation.round as u64);
+            let schedule = FaultSchedule::generate(&faults.spec, schedule_seed)
+                .shifted(at.saturating_since(SimTime::ZERO));
+            let retry_seed = spec.derived_seed(i as u64, SYNC_RETRY_SALT, activation.round as u64);
+            let policy = faults.retry.policy();
+            let faulted = lc.client.sync_batch_faulted(
+                &mut lc.sim,
+                &files,
+                at,
+                &schedule,
+                policy.as_ref(),
+                retry_seed,
+            );
+            lc.committed_payload += faulted.committed_payload;
+            lc.abandoned_chunks += faulted.abandoned_chunks;
+            lc.fault_stats.merge(&faulted.stats);
+            faulted.outcome
+        }
+    };
     lc.next_modification = outcome.completed_at + SimDuration::from_secs(2);
     if lc.first_modification.is_none() {
         lc.first_modification = Some(outcome.modification_time);
@@ -948,6 +1139,10 @@ fn summarize(
         uploaded_payload: lc.outcomes.iter().map(|o| o.uploaded_payload).sum(),
         background_wire_bytes,
         payload_wire_bytes: trace.wire_bytes(FlowKind::Storage),
+        committed_payload: lc.committed_payload,
+        abandoned_chunks: lc.abandoned_chunks,
+        abandoned_restores: lc.abandoned_restores,
+        fault_stats: lc.fault_stats,
         outcomes: lc.outcomes,
         restores: lc.restores,
     }
@@ -1037,7 +1232,7 @@ pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetR
             syncing.iter().copied().filter(|&i| !spec.slots[i].pull_from.is_empty()).collect();
         run_phase(&mut states, &pullers, workers, |lc, i| {
             let mut lc = lc.expect("puller synced this round");
-            restore_round(spec, &mut lc, i);
+            restore_round(spec, &mut lc, i, round);
             lc
         });
 
@@ -1595,6 +1790,99 @@ mod tests {
             puller.outcomes.len(),
             "one pull per *synced* round, none while idle"
         );
+    }
+
+    /// A fleet whose transfers are slow enough (ADSL upstream) that the
+    /// seeded outage windows reliably cut them mid-flight.
+    fn faulted_spec(retry: RetryConfig) -> FleetSpec {
+        let outages = FaultSpec {
+            horizon: SimDuration::from_secs(30),
+            outages: 4,
+            min_outage: SimDuration::from_secs(2),
+            max_outage: SimDuration::from_secs(6),
+        };
+        FleetSpec::new(ServiceProfile::dropbox(), 3)
+            .with_files(4, 256 * 1024)
+            .with_batches(2)
+            .with_seed(0xFA57)
+            .with_links(&[AccessLink::adsl()])
+            .with_faults(FleetFaults { spec: outages, retry })
+    }
+
+    #[test]
+    fn fault_injected_fleets_stay_bit_exact_under_concurrency() {
+        // The tentpole's determinism acceptance for faults: the outage
+        // schedules and retry draws are data derived from the master seed,
+        // so a concurrent faulted run replays the sequential one exactly.
+        let spec = faulted_spec(RetryConfig::standard_exponential());
+        let concurrent = run_fleet(&spec, ObjectStore::new(), 3);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        assert_eq!(concurrent.fault_stats(), sequential.fault_stats());
+        assert!(
+            concurrent.fault_stats().interruptions > 0,
+            "the outage windows must actually cut transfers"
+        );
+    }
+
+    #[test]
+    fn zero_retry_budget_commits_strictly_less_and_wastes_bytes() {
+        // The acceptance pin: same seed, same outage schedules — a retry
+        // budget of zero must report strictly lower committed payload and
+        // nonzero wasted bytes versus exponential backoff.
+        let zero = run_fleet_sequential(&faulted_spec(RetryConfig::with_budget(0)));
+        let backoff = run_fleet_sequential(&faulted_spec(RetryConfig::standard_exponential()));
+
+        assert!(zero.fault_stats().interruptions > 0);
+        assert!(backoff.fault_stats().interruptions > 0);
+        assert!(zero.fault_stats().wasted_bytes > 0, "abandoned progress is wasted wire");
+        assert!(zero.total_abandoned_chunks() > 0);
+        assert!(
+            zero.total_committed_payload() < backoff.total_committed_payload(),
+            "budget 0 committed {} vs exponential {}",
+            zero.total_committed_payload(),
+            backoff.total_committed_payload()
+        );
+        assert!(zero.committed_fraction() < 1.0);
+        assert!(zero.wasted_bytes_ratio() > 0.0);
+
+        // The backoff policy pays time instead of payload: everything
+        // planned lands, at the price of retries and virtual backoff waits.
+        assert_eq!(backoff.total_committed_payload(), backoff.total_uploaded_payload());
+        assert_eq!(backoff.committed_fraction(), 1.0);
+        assert_eq!(backoff.total_abandoned_chunks(), 0);
+        assert!(backoff.fault_stats().retries > 0);
+        assert!(backoff.fault_stats().salvaged_bytes > 0);
+        assert!(backoff.fault_stats().backoff_wait > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn faulted_restore_fans_stay_deterministic_and_validate_checksums() {
+        let mut spec = faulted_spec(RetryConfig::standard_exponential());
+        spec.slots[2].pull_from = vec![0];
+        let concurrent = run_fleet(&spec, ObjectStore::new(), 3);
+        let sequential = run_fleet_sequential(&spec);
+        assert_eq!(concurrent.clients, sequential.clients);
+        assert_eq!(concurrent.aggregate(), sequential.aggregate());
+        let stats = concurrent.fault_stats();
+        assert!(stats.checksums_verified > 0, "completed restores must be validated");
+        assert_eq!(stats.checksum_failures, 0, "reassembly must be byte-exact");
+        assert_eq!(concurrent.total_abandoned_restores(), 0, "backoff recovers the pulls");
+    }
+
+    #[test]
+    fn fault_free_fleets_report_committed_equals_uploaded_and_clean_stats() {
+        let run = run_fleet_sequential(&small_spec(3));
+        assert_eq!(run.total_committed_payload(), run.total_uploaded_payload());
+        assert_eq!(run.committed_fraction(), 1.0);
+        assert_eq!(run.wasted_bytes_ratio(), 0.0);
+        assert!(run.fault_stats().is_clean());
+        assert_eq!(run.total_abandoned_chunks(), 0);
+        for client in &run.clients {
+            assert_eq!(client.committed_payload, client.uploaded_payload);
+            assert_eq!(client.fault_stats, FaultStats::default());
+        }
     }
 
     #[test]

@@ -32,15 +32,25 @@ pub mod deployment;
 pub mod fleet;
 pub mod planner;
 pub mod profile;
+pub mod retry;
 pub mod schedule;
+pub mod session;
 
-pub use client::{RestoreOutcome, SyncClient, SyncOutcome};
+pub use client::{
+    FaultedRestoreOutcome, FaultedSyncOutcome, RestoreOutcome, SyncClient, SyncOutcome,
+};
 pub use deployment::Deployment;
 pub use fleet::{
-    run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetRun,
-    FleetSpec,
+    run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetFaults,
+    FleetRun, FleetSpec,
 };
+pub use retry::{ExponentialBackoff, NoRetry, RetryConfig, RetryPolicy};
 pub use schedule::{ClientSchedule, FleetSchedule, RoundEvent, SyncActivation, ThinkTime};
+pub use session::{FaultStats, RangedRestore, UploadSession};
+
+// Re-export the fault-injection vocabulary so harnesses can describe outage
+// schedules without depending on cloudsim-net directly.
+pub use cloudsim_net::{FaultSchedule, FaultSpec, OutageWindow, TransferInterrupted};
 
 // Re-export the per-client network, GC and restore vocabulary the fleet
 // speaks.

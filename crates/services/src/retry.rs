@@ -1,0 +1,222 @@
+//! Pluggable retry policies for fault-injected transfers.
+//!
+//! When a link outage kills a transfer mid-flight (a
+//! [`cloudsim_net::TransferInterrupted`]), the session layer consults a
+//! [`RetryPolicy`] to decide whether — and after how long a backoff — the
+//! uncommitted tail is re-driven. Backoff waits are *virtual-clock* time:
+//! they advance the client's simulated timeline exactly like think-time
+//! pauses do, so retry storms and think-time scheduling interact the way
+//! they would on a real client.
+//!
+//! Determinism contract: a policy is pure. The jitter a backoff applies
+//! comes from a seeded 64-bit `draw` the *caller* derives (per client, per
+//! chunk, per attempt), never from shared RNG state — two runs with the
+//! same seeds back off for identical virtual durations.
+
+use cloudsim_trace::SimDuration;
+use cloudsim_workload::seed::unit_f64;
+use serde::{Deserialize, Serialize};
+
+/// Decides whether an interrupted transfer is retried and how long the
+/// client waits first. Implementations must be pure functions of
+/// `(attempt, draw)` so faulted runs replay bit-identically.
+pub trait RetryPolicy {
+    /// The virtual-time backoff before retry number `attempt` (1-based: the
+    /// first retry after the first interruption passes `attempt == 1`), or
+    /// `None` when the policy's budget is exhausted and the operation must
+    /// be abandoned. `draw` is a seeded 64-bit value for jitter.
+    fn backoff(&self, attempt: u32, draw: u64) -> Option<SimDuration>;
+
+    /// Stable policy name, used in reports and metric keys.
+    fn name(&self) -> &'static str;
+}
+
+/// The control policy: never retry. An interrupted transfer is abandoned on
+/// the first failure — the lower bound every real policy is compared
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoRetry;
+
+impl RetryPolicy for NoRetry {
+    fn backoff(&self, _attempt: u32, _draw: u64) -> Option<SimDuration> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Exponential backoff with seeded jitter and a bounded retry budget:
+/// retry `n` waits `base * 2^(n-1)` capped at `cap`, stretched by a
+/// multiplicative jitter factor drawn from `[1 - jitter, 1 + jitter]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialBackoff {
+    /// Backoff before the first retry.
+    pub base: SimDuration,
+    /// Upper bound any single backoff is clamped to.
+    pub cap: SimDuration,
+    /// Maximum number of retries per operation (0 degenerates to no-retry).
+    pub budget: u32,
+    /// Jitter half-width in `[0, 1]`: each wait is scaled by a seeded
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl ExponentialBackoff {
+    /// The fleet default: 2 s base, 60 s cap, 8 retries, 30% jitter.
+    pub fn standard() -> ExponentialBackoff {
+        ExponentialBackoff {
+            base: SimDuration::from_secs(2),
+            cap: SimDuration::from_secs(60),
+            budget: 8,
+            jitter: 0.3,
+        }
+    }
+}
+
+impl RetryPolicy for ExponentialBackoff {
+    fn backoff(&self, attempt: u32, draw: u64) -> Option<SimDuration> {
+        assert!(attempt >= 1, "retry attempts are 1-based");
+        if attempt > self.budget {
+            return None;
+        }
+        let doublings = (attempt - 1).min(32);
+        let wait = self.base.saturating_mul(1u64 << doublings).min(self.cap);
+        let factor = 1.0 + self.jitter * (2.0 * unit_f64(draw) - 1.0);
+        Some(SimDuration::from_secs_f64(wait.as_secs_f64() * factor.max(0.0)))
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Serialisable retry-policy configuration — the form a [`RetryPolicy`]
+/// takes inside a fleet spec. `policy()` materialises the trait object; to
+/// add a policy, implement [`RetryPolicy`], add a variant here and map it
+/// in `policy()`/`name()`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RetryConfig {
+    /// Abandon on first interruption (the no-recovery control).
+    None,
+    /// Exponential backoff with seeded jitter and a bounded budget.
+    Exponential {
+        /// Backoff before the first retry.
+        base: SimDuration,
+        /// Upper bound any single backoff is clamped to.
+        cap: SimDuration,
+        /// Maximum retries per operation.
+        budget: u32,
+        /// Jitter half-width in `[0, 1]`.
+        jitter: f64,
+    },
+}
+
+impl RetryConfig {
+    /// The standard exponential configuration ([`ExponentialBackoff::standard`]).
+    pub fn standard_exponential() -> RetryConfig {
+        let e = ExponentialBackoff::standard();
+        RetryConfig::Exponential { base: e.base, cap: e.cap, budget: e.budget, jitter: e.jitter }
+    }
+
+    /// An exponential configuration with the given retry budget and the
+    /// standard base/cap/jitter — `budget(0)` is the "retries exhausted
+    /// immediately" arm of the faults suite.
+    pub fn with_budget(budget: u32) -> RetryConfig {
+        match RetryConfig::standard_exponential() {
+            RetryConfig::Exponential { base, cap, jitter, .. } => {
+                RetryConfig::Exponential { base, cap, budget, jitter }
+            }
+            other => other,
+        }
+    }
+
+    /// Materialises the policy this configuration describes.
+    pub fn policy(&self) -> Box<dyn RetryPolicy + Send + Sync> {
+        match *self {
+            RetryConfig::None => Box::new(NoRetry),
+            RetryConfig::Exponential { base, cap, budget, jitter } => {
+                assert!((0.0..=1.0).contains(&jitter), "jitter must be within [0, 1]");
+                Box::new(ExponentialBackoff { base, cap, budget, jitter })
+            }
+        }
+    }
+
+    /// Stable configuration name (matches the materialised policy's name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RetryConfig::None => "none",
+            RetryConfig::Exponential { .. } => "exponential",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_retry_never_grants_a_backoff() {
+        assert_eq!(NoRetry.backoff(1, 42), None);
+        assert_eq!(NoRetry.backoff(100, 7), None);
+        assert_eq!(NoRetry.name(), "none");
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_caps_and_respects_the_budget() {
+        let p = ExponentialBackoff {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(10),
+            budget: 5,
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(1, 0), Some(SimDuration::from_secs(1)));
+        assert_eq!(p.backoff(2, 0), Some(SimDuration::from_secs(2)));
+        assert_eq!(p.backoff(3, 0), Some(SimDuration::from_secs(4)));
+        assert_eq!(p.backoff(4, 0), Some(SimDuration::from_secs(8)));
+        // Clamped to the cap, then the budget runs out.
+        assert_eq!(p.backoff(5, 0), Some(SimDuration::from_secs(10)));
+        assert_eq!(p.backoff(6, 0), None);
+    }
+
+    #[test]
+    fn jitter_is_a_pure_function_of_the_draw() {
+        // Draws are full 64-bit mixed values in practice (derive_seed), so
+        // the test uses mixed draws too: tiny integers all collapse to the
+        // bottom of the unit interval.
+        let p = ExponentialBackoff::standard();
+        let x = 0x9E3779B97F4A7C15u64;
+        let y = 0xD1B54A32D192ED03u64;
+        let a = p.backoff(1, x).unwrap();
+        assert_eq!(a, p.backoff(1, x).unwrap(), "same draw, same wait");
+        let b = p.backoff(1, y).unwrap();
+        assert_ne!(a, b, "different draws should jitter differently");
+        // Jitter stays within the configured half-width.
+        let base = p.base.as_secs_f64();
+        for draw in 0..100u64 {
+            let w = p.backoff(1, draw.wrapping_mul(0x9E3779B97F4A7C15)).unwrap().as_secs_f64();
+            assert!(w >= base * (1.0 - p.jitter) - 1e-6 && w <= base * (1.0 + p.jitter) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn a_zero_budget_exponential_degenerates_to_no_retry() {
+        let cfg = RetryConfig::with_budget(0);
+        assert_eq!(cfg.policy().backoff(1, 99), None);
+        assert_eq!(cfg.name(), "exponential");
+    }
+
+    #[test]
+    fn config_serialises_deterministically_and_materialises() {
+        for cfg in [RetryConfig::None, RetryConfig::standard_exponential()] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            assert_eq!(json, serde_json::to_string(&cfg).unwrap());
+            assert_eq!(cfg.policy().name(), cfg.name());
+        }
+        let json = serde_json::to_string(&RetryConfig::standard_exponential()).unwrap();
+        assert!(json.contains("Exponential") && json.contains("budget"), "got {json}");
+        let policy = RetryConfig::standard_exponential().policy();
+        assert!(policy.backoff(1, 7).is_some());
+    }
+}

@@ -1,0 +1,431 @@
+//! Resumable transfer sessions: the bookkeeping half of fault recovery.
+//!
+//! When a seeded link outage kills a transfer (a typed
+//! [`TransferInterrupted`] from the TCP layer), the session objects here
+//! persist how far the transfer *durably* got, so the next attempt
+//! re-drives only the uncommitted tail:
+//!
+//! * [`UploadSession`] tracks a planned batch of chunks and the last
+//!   committed chunk offset — bytes the server acknowledged before a cut
+//!   are never uploaded again;
+//! * [`RangedRestore`] tracks one download's last verified byte and the
+//!   resume boundaries, and validates the reassembled content end to end
+//!   with SHA-256 once the last range lands.
+//!
+//! Both accumulate the same [`FaultStats`] — retries, wasted wire bytes,
+//! salvaged bytes, virtual backoff time — which the fleet aggregates into
+//! the `faults.*` gate metrics.
+
+use cloudsim_net::TransferInterrupted;
+use cloudsim_storage::hash::{sha256, Sha256};
+use cloudsim_trace::SimDuration;
+use serde::Serialize;
+
+/// Fault-recovery accounting for one session (or one client, or one fleet —
+/// stats merge additively).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct FaultStats {
+    /// Transfer attempts a link outage cut mid-flight (immediate failures
+    /// on an already-down link included).
+    pub interruptions: u64,
+    /// Retries the policy granted (each spent a virtual-clock backoff).
+    pub retries: u64,
+    /// Operations abandoned after the retry budget ran out.
+    pub abandoned: u64,
+    /// Wire bytes that bought no durable progress: in-flight bytes lost to
+    /// a cut, plus partial progress thrown away by an abandonment.
+    pub wasted_bytes: u64,
+    /// Bytes an interruption had already committed (acked or verified) that
+    /// resume kept off the wire — the payoff of sessions over restarts.
+    pub salvaged_bytes: u64,
+    /// Virtual-clock time spent waiting in retry backoffs.
+    pub backoff_wait: SimDuration,
+    /// Restored files whose reassembled content passed SHA-256 validation.
+    pub checksums_verified: u64,
+    /// Restored files whose reassembled content failed validation.
+    pub checksum_failures: u64,
+}
+
+impl FaultStats {
+    /// Adds `other` into `self` (stats are additive across sessions).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.interruptions += other.interruptions;
+        self.retries += other.retries;
+        self.abandoned += other.abandoned;
+        self.wasted_bytes += other.wasted_bytes;
+        self.salvaged_bytes += other.salvaged_bytes;
+        self.backoff_wait += other.backoff_wait;
+        self.checksums_verified += other.checksums_verified;
+        self.checksum_failures += other.checksum_failures;
+    }
+
+    /// Fraction of interruption-touched bytes that resume salvaged instead
+    /// of re-driving, in `[0, 1]`. 0.0 when no interruption ever happened —
+    /// never NaN.
+    pub fn resume_efficiency(&self) -> f64 {
+        let touched = self.salvaged_bytes + self.wasted_bytes;
+        if touched > 0 {
+            self.salvaged_bytes as f64 / touched as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// True when nothing ever went wrong (the fault-free control's shape).
+    pub fn is_clean(&self) -> bool {
+        self.interruptions == 0 && self.abandoned == 0 && self.checksum_failures == 0
+    }
+}
+
+/// Resumable upload state for one planned batch: which chunks are durably
+/// committed, how far into the current chunk the server acknowledged, and
+/// what recovery cost so far. The driving loop (the sync client) owns the
+/// connection; this object owns the offsets.
+#[derive(Debug, Clone)]
+pub struct UploadSession {
+    chunks: Vec<u64>,
+    next: usize,
+    committed_offset: u64,
+    pending_salvage: u64,
+    committed_payload: u64,
+    abandoned_chunks: usize,
+    abandoned_payload: u64,
+    stats: FaultStats,
+}
+
+impl UploadSession {
+    /// A session over the planned chunk upload sizes (zero-byte chunks —
+    /// deduplicated ones — are skipped up front: nothing to transfer).
+    pub fn new(chunks: Vec<u64>) -> UploadSession {
+        UploadSession {
+            chunks: chunks.into_iter().filter(|b| *b > 0).collect(),
+            next: 0,
+            committed_offset: 0,
+            pending_salvage: 0,
+            committed_payload: 0,
+            abandoned_chunks: 0,
+            abandoned_payload: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The next transfer to drive: `(chunk index, uncommitted tail bytes)`,
+    /// or `None` when every chunk is committed or abandoned.
+    pub fn remaining(&self) -> Option<(usize, u64)> {
+        self.chunks.get(self.next).map(|&size| (self.next, size - self.committed_offset))
+    }
+
+    /// Records a cut mid-chunk: bytes the server acknowledged advance the
+    /// committed offset (the resume point); bytes in flight are wasted.
+    pub fn interrupted(&mut self, int: &TransferInterrupted) {
+        self.stats.interruptions += 1;
+        self.stats.wasted_bytes += int.bytes_sent.saturating_sub(int.bytes_acked);
+        self.committed_offset += int.bytes_acked;
+        self.pending_salvage += int.bytes_acked;
+    }
+
+    /// Records a granted retry and its virtual backoff.
+    pub fn retried(&mut self, wait: SimDuration) {
+        self.stats.retries += 1;
+        self.stats.backoff_wait += wait;
+    }
+
+    /// The current chunk's tail finished: the whole chunk is durable, and
+    /// whatever earlier interruptions had acked counts as salvaged.
+    pub fn commit(&mut self) {
+        let size = self.chunks[self.next];
+        self.committed_payload += size;
+        self.stats.salvaged_bytes += self.pending_salvage;
+        self.pending_salvage = 0;
+        self.committed_offset = 0;
+        self.next += 1;
+    }
+
+    /// The retry budget ran out: the current chunk is abandoned, and its
+    /// partial progress — acked or not — is wasted wire.
+    pub fn abandon(&mut self) {
+        let size = self.chunks[self.next];
+        self.stats.abandoned += 1;
+        self.stats.wasted_bytes += self.committed_offset;
+        self.abandoned_chunks += 1;
+        self.abandoned_payload += size;
+        self.pending_salvage = 0;
+        self.committed_offset = 0;
+        self.next += 1;
+    }
+
+    /// Payload bytes durably committed so far (whole chunks only).
+    pub fn committed_payload(&self) -> u64 {
+        self.committed_payload
+    }
+
+    /// Bytes of the current chunk the server has acknowledged — the offset
+    /// the next attempt resumes from.
+    pub fn committed_offset(&self) -> u64 {
+        self.committed_offset
+    }
+
+    /// Chunks given up on after the retry budget ran out.
+    pub fn abandoned_chunks(&self) -> usize {
+        self.abandoned_chunks
+    }
+
+    /// Payload bytes of the abandoned chunks.
+    pub fn abandoned_payload(&self) -> u64 {
+        self.abandoned_payload
+    }
+
+    /// True when every chunk committed (nothing abandoned, nothing left).
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.chunks.len() && self.abandoned_chunks == 0
+    }
+
+    /// The session's recovery accounting.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+/// Resumable download state for one file: the last verified byte of the
+/// encoded stream, the resume boundaries, and SHA-256 validation of the
+/// reassembled content once the stream completes.
+#[derive(Debug, Clone)]
+pub struct RangedRestore {
+    total: u64,
+    verified: u64,
+    pending_salvage: u64,
+    segments: Vec<u64>,
+    stats: FaultStats,
+}
+
+impl RangedRestore {
+    /// A ranged download of `total` encoded-stream bytes.
+    pub fn new(total: u64) -> RangedRestore {
+        RangedRestore {
+            total,
+            verified: 0,
+            pending_salvage: 0,
+            segments: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Bytes still to fetch — the range the next attempt requests.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.verified
+    }
+
+    /// The last verified byte offset (the next range request's start).
+    pub fn verified(&self) -> u64 {
+        self.verified
+    }
+
+    /// Records a cut mid-download: received bytes advance the verified
+    /// offset, in-flight bytes (and the re-sent range request) are wasted.
+    pub fn interrupted(&mut self, int: &TransferInterrupted) {
+        self.stats.interruptions += 1;
+        self.stats.wasted_bytes += int.bytes_sent.saturating_sub(int.bytes_acked);
+        if int.bytes_acked > 0 {
+            self.segments.push(int.bytes_acked);
+            self.verified += int.bytes_acked;
+            self.pending_salvage += int.bytes_acked;
+        }
+    }
+
+    /// Records a granted retry and its virtual backoff.
+    pub fn retried(&mut self, wait: SimDuration) {
+        self.stats.retries += 1;
+        self.stats.backoff_wait += wait;
+    }
+
+    /// The final range landed: the stream is complete, and the ranges that
+    /// survived interruptions count as salvaged.
+    pub fn complete(&mut self) {
+        let tail = self.remaining();
+        if tail > 0 {
+            self.segments.push(tail);
+        }
+        self.verified = self.total;
+        self.stats.salvaged_bytes += self.pending_salvage;
+        self.pending_salvage = 0;
+    }
+
+    /// The retry budget ran out: everything downloaded so far is wasted —
+    /// the file cannot be reassembled.
+    pub fn abandon(&mut self) {
+        self.stats.abandoned += 1;
+        self.stats.wasted_bytes += self.verified;
+        self.pending_salvage = 0;
+    }
+
+    /// True once the whole stream was received.
+    pub fn is_complete(&self) -> bool {
+        self.verified >= self.total
+    }
+
+    /// End-to-end validation: reassembles `content` along the recorded
+    /// resume boundaries (each stream range maps onto its span of the
+    /// plaintext) through an incremental SHA-256 and compares against the
+    /// digest of the intact content. Records the verdict in the stats and
+    /// returns it. Must only be called on a complete stream.
+    pub fn verify(&mut self, content: &[u8]) -> bool {
+        assert!(self.is_complete(), "verify requires a complete stream");
+        let expected = sha256(content);
+        let mut hasher = Sha256::new();
+        let mut covered = 0u64;
+        let mut offset = 0usize;
+        for seg in &self.segments {
+            covered += seg;
+            // Map the stream boundary onto the plaintext proportionally
+            // (the encoded stream may be smaller than the plaintext when
+            // chunks deduplicated or delta-encoded away).
+            let end = if covered >= self.total {
+                content.len()
+            } else {
+                ((covered as u128 * content.len() as u128) / self.total.max(1) as u128) as usize
+            };
+            hasher.update(&content[offset..end]);
+            offset = end;
+        }
+        if offset < content.len() {
+            // Zero-byte streams (fully deduplicated files) hash in one piece.
+            hasher.update(&content[offset..]);
+        }
+        let ok = hasher.finalize() == expected;
+        if ok {
+            self.stats.checksums_verified += 1;
+        } else {
+            self.stats.checksum_failures += 1;
+        }
+        ok
+    }
+
+    /// The restore's recovery accounting.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim_trace::SimTime;
+
+    fn cut(acked: u64, sent: u64) -> TransferInterrupted {
+        TransferInterrupted {
+            bytes_acked: acked,
+            bytes_sent: sent,
+            elapsed: SimDuration::from_secs(1),
+            interrupted_at: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn upload_session_resumes_from_the_committed_offset() {
+        let mut s = UploadSession::new(vec![1000, 0, 2000]);
+        assert_eq!(s.remaining(), Some((0, 1000)), "zero-byte chunks are skipped");
+        s.interrupted(&cut(300, 450));
+        assert_eq!(s.remaining(), Some((0, 700)), "only the unacked tail is re-driven");
+        assert_eq!(s.committed_offset(), 300);
+        s.retried(SimDuration::from_secs(2));
+        s.commit();
+        assert_eq!(s.remaining(), Some((1, 2000)));
+        s.commit();
+        assert!(s.is_complete());
+        assert_eq!(s.committed_payload(), 3000);
+        let stats = s.stats();
+        assert_eq!(stats.interruptions, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.wasted_bytes, 150, "in-flight bytes at the cut");
+        assert_eq!(stats.salvaged_bytes, 300, "acked bytes never travelled twice");
+        assert_eq!(stats.backoff_wait, SimDuration::from_secs(2));
+        assert!(stats.resume_efficiency() > 0.6);
+    }
+
+    #[test]
+    fn abandoning_a_chunk_wastes_its_partial_progress() {
+        let mut s = UploadSession::new(vec![1000, 500]);
+        s.interrupted(&cut(400, 600));
+        s.abandon();
+        assert!(!s.is_complete());
+        assert_eq!(s.abandoned_chunks(), 1);
+        assert_eq!(s.abandoned_payload(), 1000);
+        assert_eq!(s.remaining(), Some((1, 500)));
+        s.commit();
+        assert_eq!(s.remaining(), None);
+        assert!(!s.is_complete(), "an abandoned chunk means the batch never completed");
+        let stats = s.stats();
+        // 200 in flight at the cut + 400 acked-then-thrown-away.
+        assert_eq!(stats.wasted_bytes, 600);
+        assert_eq!(stats.salvaged_bytes, 0);
+        assert_eq!(stats.abandoned, 1);
+    }
+
+    #[test]
+    fn ranged_restore_tracks_verified_bytes_and_validates_reassembly() {
+        let content: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut r = RangedRestore::new(content.len() as u64);
+        r.interrupted(&cut(4_000, 5_500));
+        assert_eq!(r.verified(), 4_000);
+        assert_eq!(r.remaining(), 6_000);
+        r.retried(SimDuration::from_secs(1));
+        r.complete();
+        assert!(r.is_complete());
+        assert!(r.verify(&content), "reassembled content must hash identically");
+        let stats = r.stats();
+        assert_eq!(stats.checksums_verified, 1);
+        assert_eq!(stats.checksum_failures, 0);
+        assert_eq!(stats.wasted_bytes, 1_500);
+        assert_eq!(stats.salvaged_bytes, 4_000);
+    }
+
+    #[test]
+    fn an_abandoned_restore_wastes_everything_it_downloaded() {
+        let mut r = RangedRestore::new(8_000);
+        r.interrupted(&cut(3_000, 3_500));
+        r.abandon();
+        assert!(!r.is_complete());
+        let stats = r.stats();
+        assert_eq!(stats.abandoned, 1);
+        // 500 in flight + 3000 verified-but-useless.
+        assert_eq!(stats.wasted_bytes, 3_500);
+        assert_eq!(stats.resume_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn stats_merge_additively_and_fault_free_runs_stay_clean() {
+        let mut a = FaultStats::default();
+        assert!(a.is_clean());
+        assert_eq!(a.resume_efficiency(), 0.0);
+        let b = FaultStats {
+            interruptions: 2,
+            retries: 1,
+            wasted_bytes: 100,
+            salvaged_bytes: 300,
+            backoff_wait: SimDuration::from_secs(3),
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.interruptions, 4);
+        assert_eq!(a.wasted_bytes, 200);
+        assert_eq!(a.salvaged_bytes, 600);
+        assert_eq!(a.backoff_wait, SimDuration::from_secs(6));
+        assert!(!a.is_clean());
+        assert_eq!(a.resume_efficiency(), 0.75);
+    }
+
+    #[test]
+    fn verification_runs_on_single_shot_and_empty_streams_too() {
+        let content = b"personal cloud storage".to_vec();
+        let mut whole = RangedRestore::new(content.len() as u64);
+        whole.complete();
+        assert!(whole.verify(&content));
+        // A fully deduplicated file moves zero stream bytes; its content
+        // still validates.
+        let mut empty = RangedRestore::new(0);
+        assert!(empty.is_complete());
+        empty.complete();
+        assert!(empty.verify(&content));
+    }
+}
