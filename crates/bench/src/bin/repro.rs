@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]
+//! repro fleet-scale [--clients N] [--json PATH]
 //! repro bench-json [PATH]
 //! ```
 //!
@@ -23,9 +24,15 @@
 //! `faults` runs the fault-injection suite (identical seeded link-outage
 //! schedules per access-link preset, replayed under every retry policy plus
 //! a fault-free control, with resumable upload sessions and SHA-256
-//! validated ranged restores), and `bench-json` dumps the deterministic
-//! gate metrics as flat JSON (to PATH, default stdout) for the CI
-//! bench-regression gate.
+//! validated ranged restores), `fleet-scale` drives `--clients` (default
+//! 100 000) lightweight clients through the discrete-event engine against
+//! the sharded store — commits per virtual second, concurrency peak,
+//! population-scale dedup and the server load curve, with `--json PATH`
+//! dumping the suite deterministically for the CI fleet-scale determinism
+//! leg — and `bench-json` dumps the deterministic gate metrics as flat
+//! JSON (to PATH, default stdout) for the CI bench-regression gate.
+//! `fleet-scale` is not part of `all`: at the default population it runs
+//! for minutes, not seconds.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -130,6 +137,18 @@ fn faults() {
     print_report(&Report::faults(&suite));
 }
 
+fn fleet_scale(clients: usize, json: Option<&str>) {
+    let suite = cloudbench::scale::run_fleet_scale(clients, REPRO_SEED);
+    print_report(&Report::fleet_scale(&suite));
+    if let Some(path) = json {
+        std::fs::write(path, Report::to_json(&suite)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote the fleet-scale suite to {path}");
+    }
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -183,6 +202,20 @@ fn main() {
         "restore" => restore(),
         "schedule" => schedule(),
         "faults" => faults(),
+        "fleet-scale" => {
+            let clients = args
+                .iter()
+                .position(|a| a == "--clients")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100_000);
+            let json = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            fleet_scale(clients, json);
+        }
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -201,6 +234,7 @@ fn main() {
         other => {
             eprintln!("unknown target '{other}'");
             eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]");
+            eprintln!("       repro fleet-scale [--clients N] [--json PATH]");
             eprintln!("       repro bench-json [PATH]");
             std::process::exit(2);
         }

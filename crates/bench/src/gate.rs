@@ -238,9 +238,12 @@ impl GateReport {
     /// Renders the comparison as GitHub-flavoured markdown — what the CI
     /// job appends to `$GITHUB_STEP_SUMMARY`, so a regression is readable
     /// on the run page without downloading the metrics artifact. Metrics
-    /// are grouped by suite prefix (`fig6`, `fleet8`, `hetero`, `gc`,
-    /// `restore`, `schedule`, …), one table per suite, so the growing
-    /// metric set stays scannable.
+    /// are grouped by suite prefix (`fig6`, `fleet8`, `fleetscale`,
+    /// `hetero`, `gc`, `restore`, `schedule`, …), one table per suite, and
+    /// sorted lexicographically within each suite — the collector appends
+    /// in simulation order, which interleaves related keys; the summary
+    /// table keeps siblings (`restore.goodput_mbps.*`, `restore.ttfb_s.*`)
+    /// adjacent instead.
     pub fn render_markdown(&self) -> String {
         let mut out = String::new();
         let verdict_cell = |v: &Verdict| match v {
@@ -268,11 +271,12 @@ impl GateReport {
             }
         }
         for suite in suites {
-            let members: Vec<_> = self
+            let mut members: Vec<_> = self
                 .rows
                 .iter()
                 .filter(|(key, _, _, _)| GateReport::suite_of(key) == suite)
                 .collect();
+            members.sort_by(|a, b| a.0.cmp(&b.0));
             let flagged = members.iter().filter(|(_, _, _, v)| self.fails(v)).count();
             let status =
                 if flagged > 0 { format!(" — {flagged} flagged") } else { String::new() };
@@ -444,6 +448,39 @@ mod tests {
         let fleet8 = markdown.find("#### `fleet8`").unwrap();
         let schedule = markdown.find("#### `schedule`").unwrap();
         assert!(fig6 < fleet8 && fleet8 < schedule);
+    }
+
+    #[test]
+    fn markdown_sorts_metrics_lexicographically_within_each_suite() {
+        // The collector emits goodput/ttfb interleaved per link; the
+        // summary must regroup the siblings without reordering the suites.
+        let baseline = vec![
+            ("restore.goodput_mbps.fiber".to_string(), 1.0),
+            ("restore.ttfb_s.fiber".to_string(), 2.0),
+            ("restore.goodput_mbps.adsl".to_string(), 3.0),
+            ("restore.ttfb_s.adsl".to_string(), 4.0),
+            ("fleet8.goodput_mbps".to_string(), 5.0),
+        ];
+        let markdown = compare(&baseline, &baseline.clone(), 0.15).render_markdown();
+        let keys: Vec<&str> =
+            markdown.lines().filter_map(|l| l.strip_prefix("| `")?.split('`').next()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "restore.goodput_mbps.adsl",
+                "restore.goodput_mbps.fiber",
+                "restore.ttfb_s.adsl",
+                "restore.ttfb_s.fiber",
+                "fleet8.goodput_mbps",
+            ],
+            "rows must sort within their suite while suites keep first-appearance order"
+        );
+        // The fixed-width render keeps raw baseline order (it mirrors the
+        // metric files byte for byte).
+        let plain = compare(&baseline, &baseline.clone(), 0.15).render();
+        let fiber = plain.find("restore.goodput_mbps.fiber").unwrap();
+        let adsl = plain.find("restore.goodput_mbps.adsl").unwrap();
+        assert!(fiber < adsl);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! concurrency peaks and the background-vs-payload split) and the
 //! fault-injection suite (`faults.*` retry counts, wasted-bytes ratios,
 //! completion-time inflation against the fault-free control and resume
-//! efficiency). `repro bench-json` dumps them; the `bench_gate` binary
-//! compares a fresh dump against the committed `bench_baseline.json`.
+//! efficiency) and the fleet-scale suite (`fleetscale.*` commits per virtual
+//! second, concurrency peak and population-scale dedup from 10k lightweight
+//! clients on the event heap). `repro bench-json` dumps them; the
+//! `bench_gate` binary compares a fresh dump against the committed
+//! `bench_baseline.json`.
 
 use cloudbench::faults::run_faults;
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
@@ -52,6 +55,12 @@ pub const RESTORE_CLIENTS: usize = 8;
 /// activation draws that a 0.7 probability reliably yields both synced and
 /// idle rounds for the pinned seed.
 pub const SCHEDULE_CLIENTS: usize = 10;
+
+/// The population size of the fleet-scale gate point: four orders of
+/// magnitude above the full-fidelity fleet (enough that the shared pool and
+/// the concurrency peak are population-scale effects), small enough that
+/// the gate collects in seconds. `repro fleet-scale` defaults to 100k.
+pub const GATE_SCALE_CLIENTS: usize = 10_000;
 
 /// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
 /// rerunning produces bit-identical values, so the gate's ±tolerance only
@@ -159,6 +168,20 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("faults.checksums_verified".to_string(), exp.checksums_verified as f64));
     metrics.push(("faults.wasted_ratio_none".to_string(), suite.wasted_ratio("none")));
 
+    // The fleet-scale suite: the provider's view of a 10k-client population
+    // on the event heap. Deterministic for any worker count (waves hold
+    // pairwise-distinct clients; store aggregates are order-independent),
+    // so the values are safe to gate byte-for-byte. Wall-clock time is
+    // deliberately absent — it is the one non-deterministic field.
+    let suite = cloudbench::scale::run_fleet_scale(GATE_SCALE_CLIENTS, REPRO_SEED);
+    metrics.push(("fleetscale.commits".to_string(), suite.commits as f64));
+    metrics.push(("fleetscale.commits_per_vsec".to_string(), suite.commits_per_vsec));
+    metrics.push(("fleetscale.concurrency_peak".to_string(), suite.concurrency_peak as f64));
+    metrics.push(("fleetscale.dedup_ratio".to_string(), suite.dedup_ratio));
+    metrics.push(("fleetscale.logical_mb".to_string(), suite.logical_mb));
+    metrics.push(("fleetscale.physical_mb".to_string(), suite.physical_mb));
+    metrics.push(("fleetscale.virtual_span_s".to_string(), suite.virtual_span_s));
+
     metrics
 }
 
@@ -221,6 +244,23 @@ mod tests {
             "faults.resume_efficiency",
             "faults.wasted_ratio_none",
             "faults.checksums_verified",
+        ] {
+            assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+    }
+
+    #[test]
+    fn fleet_scale_suite_is_represented_in_the_gate() {
+        let metrics = collected();
+        let scale: Vec<&String> =
+            metrics.iter().map(|(k, _)| k).filter(|k| k.starts_with("fleetscale.")).collect();
+        assert!(scale.len() >= 7, "fleetscale.* must be gated, got {scale:?}");
+        for key in [
+            "fleetscale.commits",
+            "fleetscale.commits_per_vsec",
+            "fleetscale.concurrency_peak",
+            "fleetscale.dedup_ratio",
+            "fleetscale.virtual_span_s",
         ] {
             assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
         }

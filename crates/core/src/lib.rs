@@ -36,7 +36,12 @@
 //! think-time distributions, idle rounds that pay §3.1 keep-alive
 //! signalling, and intra-round arrival jitter on a virtual clock, measuring
 //! start-up delay distributions, the concurrency high-water mark and the
-//! background-vs-payload byte split.
+//! background-vs-payload byte split. [`scale`] takes the final step to
+//! provider scale: 100k+ lightweight clients on the discrete-event heap —
+//! compact state records and metadata-only commits in place of full sync
+//! clients — measuring commits per virtual second, the concurrency peak and
+//! population-scale inter-user dedup (see `docs/ARCHITECTURE.md` for the
+//! engine design).
 //!
 //! ## Quick start
 //!
@@ -63,6 +68,7 @@ pub mod hetero;
 pub mod idle;
 pub mod report;
 pub mod restore;
+pub mod scale;
 pub mod schedule;
 pub mod testbed;
 
@@ -75,6 +81,7 @@ pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};
 pub use report::Report;
 pub use restore::{run_restore, RestoreLinkRow, RestoreSuite};
+pub use scale::{run_fleet_scale, FleetScaleSuite};
 pub use schedule::{run_schedule, ScheduleSuite};
 pub use testbed::{ExperimentRun, Testbed};
 

@@ -14,6 +14,7 @@ use crate::fleet::FleetScalingSuite;
 use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
 use crate::restore::RestoreSuite;
+use crate::scale::FleetScaleSuite;
 use crate::schedule::ScheduleSuite;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -393,6 +394,57 @@ impl Report {
         Report {
             title: "Schedule: think times, idle rounds and arrival jitter on a virtual clock"
                 .to_string(),
+            body,
+        }
+    }
+
+    /// Renders the fleet-scale suite: the provider's view of a 100k+ client
+    /// population on the event heap — commits per virtual second, the
+    /// concurrency peak, population-scale dedup and the server load curve.
+    pub fn fleet_scale(suite: &FleetScaleSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} lightweight clients, {} commits each of {}, over {:.0}s of virtual time",
+            suite.clients, suite.commits_per_client, suite.workload, suite.horizon_s,
+        );
+        let _ = writeln!(
+            body,
+            "\n{:>12} {:>10} {:>12} {:>12} {:>9} {:>14} {:>12} {:>9}",
+            "commits",
+            "files",
+            "logical MB",
+            "physical MB",
+            "dedup x",
+            "commits/vsec",
+            "conc peak",
+            "wall s"
+        );
+        let _ = writeln!(
+            body,
+            "{:>12} {:>10} {:>12.2} {:>12.2} {:>9.2} {:>14.2} {:>12} {:>9.2}",
+            suite.commits,
+            suite.files,
+            suite.logical_mb,
+            suite.physical_mb,
+            suite.dedup_ratio,
+            suite.commits_per_vsec,
+            suite.concurrency_peak,
+            suite.wall_secs,
+        );
+        let _ = writeln!(
+            body,
+            "\nserver load curve over the {:.0}s active span ({} buckets, commits per bucket):",
+            suite.virtual_span_s,
+            suite.load_curve.len(),
+        );
+        let top = suite.load_curve.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in suite.load_curve.iter().enumerate() {
+            let bar = "#".repeat((count * 40).div_ceil(top) as usize);
+            let _ = writeln!(body, "  [{i:>2}] {count:>8} {bar}");
+        }
+        Report {
+            title: "Fleet scale: 100k+ event-driven clients against the sharded store".to_string(),
             body,
         }
     }

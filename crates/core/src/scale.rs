@@ -1,0 +1,149 @@
+//! Fleet-scale suite: population-level server load from 100k+ lightweight
+//! clients.
+//!
+//! The paper's server-side findings (§4.3's inter-user deduplication,
+//! §5's completion behaviour under load) are claims about *populations* —
+//! what the provider sees when very many clients hit it at once — but the
+//! full-fidelity fleet tops out at tens of clients. This suite drives the
+//! lightweight fleet-scale runner ([`cloudsim_services::scale`]) instead:
+//! compact per-client state records on the discrete-event heap, seeded
+//! commit instants over a virtual horizon, metadata-only chunk commits into
+//! the sharded store, analytic per-link transfer times. What it reports is
+//! the provider's view:
+//!
+//! * **commits per virtual second** over the population's active span,
+//! * the **concurrency high-water mark** — most transfers in flight at any
+//!   virtual instant,
+//! * the **population-scale dedup ratio** of the shared content pool,
+//! * the **server load curve** — commits bucketed over the horizon.
+//!
+//! Everything is a pure function of `(clients, seed)`, so the suite is
+//! gated as `fleetscale.*` metrics and the CI fleet-scale determinism leg
+//! `cmp`s two fresh JSON dumps byte for byte.
+
+use cloudsim_services::scale::{run_scale_concurrent, ScaleSpec};
+use serde::Serialize;
+
+/// Buckets of the reported server load curve.
+pub const LOAD_CURVE_BUCKETS: usize = 12;
+
+/// The canonical fleet-scale population: `clients` lightweight uploaders,
+/// two commits each of four 64 kB files (half from the population-wide
+/// shared pool), spread over one virtual hour across all four link presets.
+pub fn scale_spec(clients: usize, seed: u64) -> ScaleSpec {
+    ScaleSpec::new(clients).with_seed(seed)
+}
+
+/// The fleet-scale suite's results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetScaleSuite {
+    /// Clients the run drove.
+    pub clients: usize,
+    /// Commits each client performed.
+    pub commits_per_client: usize,
+    /// Per-commit workload label (e.g. "4x64kB").
+    pub workload: String,
+    /// The virtual horizon commit instants were drawn over, in seconds.
+    pub horizon_s: f64,
+    /// Total commits across the population.
+    pub commits: u64,
+    /// Total file manifests committed.
+    pub files: u64,
+    /// Plaintext bytes committed, in MB.
+    pub logical_mb: f64,
+    /// Bytes the server physically stores after inter-user dedup, in MB.
+    pub physical_mb: f64,
+    /// Population-scale inter-user dedup ratio.
+    pub dedup_ratio: f64,
+    /// The span between the first transfer's start and the last transfer's
+    /// end, in virtual seconds.
+    pub virtual_span_s: f64,
+    /// Commits per virtual second over the active span.
+    pub commits_per_vsec: f64,
+    /// Most transfers in flight at any virtual instant.
+    pub concurrency_peak: usize,
+    /// Commits bucketed by start instant into [`LOAD_CURVE_BUCKETS`] equal
+    /// slices of the active span.
+    pub load_curve: Vec<u64>,
+    /// Host wall-clock seconds the run took. The one non-deterministic
+    /// field: excluded from gate metrics and from JSON serialisation (the
+    /// CI determinism leg `cmp`s two dumps byte for byte), reported in the
+    /// text table for the "100k clients in minutes" claim.
+    #[serde(skip)]
+    pub wall_secs: f64,
+}
+
+/// Runs the canonical fleet-scale population with one worker per host core
+/// and assembles the suite.
+pub fn run_fleet_scale(clients: usize, seed: u64) -> FleetScaleSuite {
+    let spec = scale_spec(clients, seed);
+    let run = run_scale_concurrent(&spec);
+    let aggregate = run.aggregate();
+    FleetScaleSuite {
+        clients: run.clients,
+        commits_per_client: spec.commits_per_client,
+        workload: format!("{}x{}kB", spec.files_per_commit, spec.file_size / 1024),
+        horizon_s: spec.horizon.as_secs_f64(),
+        commits: run.commits,
+        files: run.files,
+        logical_mb: run.logical_bytes as f64 / 1e6,
+        physical_mb: aggregate.physical_bytes as f64 / 1e6,
+        dedup_ratio: run.dedup_ratio(),
+        virtual_span_s: run.virtual_span_secs(),
+        commits_per_vsec: run.commits_per_vsec(),
+        concurrency_peak: run.concurrency_peak(),
+        load_curve: run.load_curve(LOAD_CURVE_BUCKETS),
+        wall_secs: run.elapsed.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The canonical 2000-client suite, computed once and shared by the
+    /// assertions below to keep debug test time in check.
+    fn canonical() -> &'static FleetScaleSuite {
+        static SUITE: OnceLock<FleetScaleSuite> = OnceLock::new();
+        SUITE.get_or_init(|| run_fleet_scale(2000, 0x5CA1E))
+    }
+
+    #[test]
+    fn population_level_load_metrics_are_sane() {
+        let suite = canonical();
+        assert_eq!(suite.clients, 2000);
+        assert_eq!(suite.commits, 4000);
+        assert_eq!(suite.files, 16_000);
+        assert!(suite.logical_mb > suite.physical_mb, "the shared pool must dedup");
+        assert!(suite.dedup_ratio > 1.5 && suite.dedup_ratio < 2.1);
+        assert!(suite.virtual_span_s > 0.0 && suite.virtual_span_s <= suite.horizon_s * 1.1);
+        assert!(suite.commits_per_vsec > 0.5, "4000 commits over an hour exceed 1/s");
+        assert!(suite.concurrency_peak > 1, "2000 clients over an hour must overlap");
+        assert!(suite.concurrency_peak <= suite.clients);
+    }
+
+    #[test]
+    fn load_curve_spreads_over_the_horizon() {
+        let suite = canonical();
+        assert_eq!(suite.load_curve.len(), LOAD_CURVE_BUCKETS);
+        assert_eq!(suite.load_curve.iter().sum::<u64>(), suite.commits);
+        let populated = suite.load_curve.iter().filter(|&&c| c > 0).count();
+        assert!(populated == LOAD_CURVE_BUCKETS, "uniform draws must fill every bucket");
+    }
+
+    #[test]
+    fn suite_is_deterministic_for_a_seed() {
+        let a = run_fleet_scale(300, 7);
+        let b = run_fleet_scale(300, 7);
+        // `wall_secs` is host time; everything else must be bit-identical.
+        assert_eq!(
+            (a.commits, a.load_curve.clone(), a.concurrency_peak),
+            (b.commits, b.load_curve.clone(), b.concurrency_peak)
+        );
+        assert_eq!(a.commits_per_vsec.to_bits(), b.commits_per_vsec.to_bits());
+        assert_eq!(a.dedup_ratio.to_bits(), b.dedup_ratio.to_bits());
+        assert_eq!(a.virtual_span_s.to_bits(), b.virtual_span_s.to_bits());
+        assert_ne!(run_fleet_scale(300, 8).load_curve, a.load_curve);
+    }
+}

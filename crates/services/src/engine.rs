@@ -1,0 +1,410 @@
+//! The discrete-event fleet engine: a time-ordered event heap replacing
+//! round barriers.
+//!
+//! The round-major fleet loop materialised the whole population every round
+//! — partition the clients, fan out a sync phase, a barrier, an idle phase,
+//! a barrier, … — which caps fleets at the size the per-round bookkeeping
+//! can afford. This module turns the same computation inside out: the
+//! precomputed [`FleetSchedule`] (pure data since PR 5) is lowered into a
+//! flat list of [`FleetEvent`]s — activations, keep-alive epochs,
+//! restore-fan pulls, departures, GC sweeps — ordered by
+//! `(timestamp, phase, client id)` on a binary heap, and the driver pops
+//! them one at a time, touching only the event's client.
+//!
+//! ## Determinism
+//!
+//! The heap order is a *total* order: ties at equal timestamps resolve by
+//! phase first (syncs before idles before restores before leaves before GC,
+//! mirroring the old intra-round phase separation) and then by client id,
+//! so two derivations of the same schedule replay the same event sequence
+//! whatever the insertion order was. The legacy lock-step configuration
+//! degenerates to exactly the old round-major timeline: every round's
+//! events share one epoch timestamp, so the heap emits the old sync → idle
+//! → restore → leave → GC phases in the old client order, and the committed
+//! `fig6.*`/`fleet8.*`/`hetero.*`/`schedule.*`/`restore.*`/`faults.*`
+//! baselines replay byte-identically (`to_bits()` equality, asserted in the
+//! bench crate).
+//!
+//! ## Waves
+//!
+//! Popping strictly one event at a time would serialise clients that are
+//! mutually independent. [`EventHeap::next_wave`] therefore pops a
+//! *wave*: the maximal run of consecutive same-phase events in which every
+//! client appears at most once. Within a wave the per-client simulations
+//! are independent and the shared store's aggregate accounting is
+//! order-independent (commits and reads commute), so a wave may execute on
+//! any number of worker threads and still produce bit-identical results —
+//! the engine-level analogue of the old phase barrier, without the
+//! per-round materialisation.
+//!
+//! ```
+//! use cloudsim_services::engine::{EventHeap, FleetEvent, Phase};
+//! use cloudsim_trace::SimTime;
+//!
+//! let mut heap = EventHeap::from_events(vec![
+//!     FleetEvent { at: SimTime::from_secs(60), phase: Phase::Sync, client: 0, round: 1 },
+//!     FleetEvent { at: SimTime::ZERO, phase: Phase::Sync, client: 1, round: 0 },
+//!     FleetEvent { at: SimTime::ZERO, phase: Phase::Sync, client: 0, round: 0 },
+//! ]);
+//! let wave = heap.next_wave().expect("three events queued");
+//! // Ties at t=0 resolve by client id, and client 0's later event cannot
+//! // join the wave because the client already appears in it.
+//! assert_eq!(wave.clients(), vec![0, 1]);
+//! assert_eq!(heap.next_wave().expect("one event left").clients(), vec![0]);
+//! assert!(heap.next_wave().is_none());
+//! ```
+
+use crate::fleet::{FleetSpec, ROUND_EPOCH_SECS};
+use crate::schedule::{FleetSchedule, RoundEvent};
+use cloudsim_trace::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What kind of work a [`FleetEvent`] performs when it fires.
+///
+/// The discriminant order *is* the intra-timestamp execution order: at one
+/// virtual instant all syncs run before all idles, before all restores,
+/// before all leaves, before the GC sweep — exactly the phase separation
+/// the round-major loop enforced with barriers. Restores must observe the
+/// timestamp's completed commits, leaves must not race them, and GC runs
+/// after the releases it is meant to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// The client activates and syncs one batch into the shared store.
+    Sync,
+    /// The client stays connected and pays one epoch of keep-alive
+    /// signalling; its own simulated universe only, no store access.
+    Idle,
+    /// The client pulls its restore fan's source namespaces back down
+    /// (store reads only).
+    Restore,
+    /// The client departs and hard-deletes its manifests (store releases).
+    Leave,
+    /// The periodic single-threaded garbage-collection sweep. Not tied to a
+    /// client; the driver runs it only when the store's policy is
+    /// mark-sweep.
+    Gc,
+}
+
+/// Sentinel client id for events that do not belong to any client
+/// ([`Phase::Gc`] sweeps). Sorts after every real client at its timestamp
+/// and phase, which is irrelevant in practice: a sweep is alone in its
+/// phase slot.
+pub const NO_CLIENT: usize = usize::MAX;
+
+/// One entry of the event heap: fire `phase` for `client` at virtual time
+/// `at`. `round` carries the schedule round the event was derived from, so
+/// the driver can look up the activation (and spawn a client at the right
+/// login epoch) without a reverse search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Virtual instant the event fires at.
+    pub at: SimTime,
+    /// What the event does.
+    pub phase: Phase,
+    /// The client the event touches ([`NO_CLIENT`] for GC sweeps).
+    pub client: usize,
+    /// The schedule round the event was derived from.
+    pub round: usize,
+}
+
+impl FleetEvent {
+    /// The total-order key: `(timestamp, phase, client id)`, with the
+    /// round as a final disambiguator so the order is total even if two of
+    /// a client's seeded instants ever collide to the same microsecond —
+    /// two events of one schedule never compare equal unless they are the
+    /// same event.
+    pub fn key(&self) -> (SimTime, Phase, usize, usize) {
+        (self.at, self.phase, self.client, self.round)
+    }
+}
+
+impl Ord for FleetEvent {
+    fn cmp(&self, other: &FleetEvent) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for FleetEvent {
+    fn partial_cmp(&self, other: &FleetEvent) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A maximal run of consecutive same-phase events with pairwise-distinct
+/// clients, popped off the heap as one unit. See the module docs for why a
+/// wave may execute in parallel without breaking bit-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventWave {
+    /// The phase every event of the wave shares.
+    pub phase: Phase,
+    /// The wave's events, in heap (= key) order.
+    pub events: Vec<FleetEvent>,
+}
+
+impl EventWave {
+    /// The client ids of the wave, in event order (pairwise distinct by
+    /// construction).
+    pub fn clients(&self) -> Vec<usize> {
+        self.events.iter().map(|e| e.client).collect()
+    }
+}
+
+/// The time-ordered event heap the fleet driver pops.
+///
+/// A thin wrapper over a min-[`BinaryHeap`] keyed by [`FleetEvent::key`].
+/// Derive one from a spec and its schedule with [`EventHeap::derive`], or
+/// build one from an explicit event list with [`EventHeap::from_events`]
+/// (the fleet-scale runner does the latter with analytically drawn
+/// activation instants).
+#[derive(Debug, Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<Reverse<FleetEvent>>,
+}
+
+impl EventHeap {
+    /// An empty heap.
+    pub fn new() -> EventHeap {
+        EventHeap::default()
+    }
+
+    /// A heap preloaded with `events` (any order; the heap sorts).
+    pub fn from_events(events: Vec<FleetEvent>) -> EventHeap {
+        EventHeap { heap: events.into_iter().map(Reverse).collect() }
+    }
+
+    /// Lowers a spec's precomputed schedule into the full event list:
+    ///
+    /// * one [`Phase::Sync`] event per activation, at its round's epoch;
+    /// * one [`Phase::Restore`] event per activation of a slot with a
+    ///   restore fan (the fan rides the activation — an idle client defers
+    ///   its pulls along with its upload);
+    /// * one [`Phase::Idle`] event per connected-but-idle round;
+    /// * one [`Phase::Leave`] event at the slot's `leave_after` round;
+    /// * one [`Phase::Gc`] event per round (the driver runs the sweep only
+    ///   under a mark-sweep store, matching the old per-round policy
+    ///   check).
+    ///
+    /// Pure data in, pure data out: deriving twice yields identical heaps,
+    /// which is what makes heap-driven replay a pure function of
+    /// `(FleetSpec, seed)` just like the schedule itself.
+    pub fn derive(spec: &FleetSpec, schedule: &FleetSchedule) -> EventHeap {
+        let epoch = |round: usize| SimTime::from_secs(round as u64 * ROUND_EPOCH_SECS);
+        let mut events = Vec::new();
+        for client in &schedule.clients {
+            let slot = &spec.slots[client.slot];
+            for event in &client.events {
+                let round = event.round();
+                match event {
+                    RoundEvent::Sync(_) => {
+                        events.push(FleetEvent {
+                            at: epoch(round),
+                            phase: Phase::Sync,
+                            client: client.slot,
+                            round,
+                        });
+                        if !slot.pull_from.is_empty() {
+                            events.push(FleetEvent {
+                                at: epoch(round),
+                                phase: Phase::Restore,
+                                client: client.slot,
+                                round,
+                            });
+                        }
+                    }
+                    RoundEvent::Idle { .. } => events.push(FleetEvent {
+                        at: epoch(round),
+                        phase: Phase::Idle,
+                        client: client.slot,
+                        round,
+                    }),
+                }
+            }
+            if let Some(leave) = slot.leave_after {
+                events.push(FleetEvent {
+                    at: epoch(leave),
+                    phase: Phase::Leave,
+                    client: client.slot,
+                    round: leave,
+                });
+            }
+        }
+        for round in 0..spec.rounds {
+            events.push(FleetEvent {
+                at: epoch(round),
+                phase: Phase::Gc,
+                client: NO_CLIENT,
+                round,
+            });
+        }
+        EventHeap::from_events(events)
+    }
+
+    /// Queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pushes one event.
+    pub fn push(&mut self, event: FleetEvent) {
+        self.heap.push(Reverse(event));
+    }
+
+    /// Pops the single next event in `(timestamp, phase, client)` order.
+    pub fn pop(&mut self) -> Option<FleetEvent> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The next event without popping it.
+    pub fn peek(&self) -> Option<&FleetEvent> {
+        self.heap.peek().map(|Reverse(e)| e)
+    }
+
+    /// Pops the next wave: the maximal run of consecutive same-phase events
+    /// in which every client appears at most once. A repeated client ends
+    /// the wave (its later event depends on its earlier one), as does a
+    /// phase change (cross-phase order is the determinism contract).
+    pub fn next_wave(&mut self) -> Option<EventWave> {
+        let first = self.pop()?;
+        let phase = first.phase;
+        let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        seen.insert(first.client);
+        let mut events = vec![first];
+        while let Some(next) = self.peek() {
+            if next.phase != phase || seen.contains(&next.client) {
+                break;
+            }
+            let next = self.pop().expect("peeked event is still queued");
+            seen.insert(next.client);
+            events.push(next);
+        }
+        Some(EventWave { phase, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ServiceProfile;
+
+    fn event(at_secs: u64, phase: Phase, client: usize) -> FleetEvent {
+        FleetEvent { at: SimTime::from_secs(at_secs), phase, client, round: 0 }
+    }
+
+    #[test]
+    fn ties_at_equal_timestamps_resolve_by_client_id() {
+        // Pinned: the total order at one instant and one phase is the
+        // client id, whatever the insertion order.
+        let mut heap = EventHeap::from_events(vec![
+            event(5, Phase::Sync, 3),
+            event(5, Phase::Sync, 0),
+            event(5, Phase::Sync, 2),
+            event(5, Phase::Sync, 1),
+        ]);
+        let popped: Vec<usize> = std::iter::from_fn(|| heap.pop()).map(|e| e.client).collect();
+        assert_eq!(popped, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn phases_order_before_clients_at_one_instant() {
+        let mut heap = EventHeap::from_events(vec![
+            event(7, Phase::Gc, NO_CLIENT),
+            event(7, Phase::Leave, 0),
+            event(7, Phase::Restore, 9),
+            event(7, Phase::Idle, 4),
+            event(7, Phase::Sync, 9),
+        ]);
+        let phases: Vec<Phase> = std::iter::from_fn(|| heap.pop()).map(|e| e.phase).collect();
+        assert_eq!(phases, vec![Phase::Sync, Phase::Idle, Phase::Restore, Phase::Leave, Phase::Gc]);
+    }
+
+    #[test]
+    fn timestamps_dominate_phases_and_clients() {
+        let mut heap = EventHeap::from_events(vec![
+            event(60, Phase::Sync, 0),
+            event(0, Phase::Gc, NO_CLIENT),
+            event(0, Phase::Sync, 5),
+        ]);
+        let keys: Vec<(u64, Phase, usize)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.at.as_secs_f64() as u64, e.phase, e.client))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(0, Phase::Sync, 5), (0, Phase::Gc, NO_CLIENT), (60, Phase::Sync, 0)]
+        );
+    }
+
+    #[test]
+    fn waves_batch_distinct_clients_and_break_on_repeats_and_phase_changes() {
+        let mut heap = EventHeap::from_events(vec![
+            event(0, Phase::Sync, 0),
+            event(0, Phase::Sync, 1),
+            event(10, Phase::Sync, 2),
+            event(20, Phase::Sync, 0), // repeat of client 0: new wave
+            event(20, Phase::Idle, 3), // phase change: new wave
+        ]);
+        let waves: Vec<(Phase, Vec<usize>)> =
+            std::iter::from_fn(|| heap.next_wave()).map(|w| (w.phase, w.clients())).collect();
+        assert_eq!(
+            waves,
+            vec![(Phase::Sync, vec![0, 1, 2]), (Phase::Sync, vec![0]), (Phase::Idle, vec![3]),]
+        );
+    }
+
+    #[test]
+    fn derivation_is_pure_and_covers_the_whole_schedule() {
+        let spec = FleetSpec::new(ServiceProfile::dropbox(), 4)
+            .with_files(2, 8 * 1024)
+            .with_batches(3)
+            .with_seed(7)
+            .with_activation(0.5);
+        let schedule = spec.schedule();
+        let mut a = EventHeap::derive(&spec, &schedule);
+        let mut b = EventHeap::derive(&spec, &schedule);
+        let drain = |h: &mut EventHeap| std::iter::from_fn(|| h.pop()).collect::<Vec<_>>();
+        let (ea, eb) = (drain(&mut a), drain(&mut b));
+        assert_eq!(ea, eb, "derivation must be a pure function of (spec, schedule)");
+        // Every schedule entry surfaces as exactly one sync or idle event,
+        // plus one GC event per round.
+        let syncs = ea.iter().filter(|e| e.phase == Phase::Sync).count();
+        let idles = ea.iter().filter(|e| e.phase == Phase::Idle).count();
+        let gcs = ea.iter().filter(|e| e.phase == Phase::Gc).count();
+        assert_eq!(syncs, schedule.total_sync_rounds());
+        assert_eq!(idles, schedule.total_idle_rounds());
+        assert_eq!(gcs, spec.rounds);
+    }
+
+    #[test]
+    fn derivation_emits_restore_and_leave_events_for_the_configured_slots() {
+        let spec = FleetSpec::new(ServiceProfile::dropbox(), 5)
+            .with_files(2, 8 * 1024)
+            .with_batches(4)
+            .with_seed(11)
+            .with_churn(0, 1)
+            .with_restore_fan(1, 2);
+        let schedule = spec.schedule();
+        let mut heap = EventHeap::derive(&spec, &schedule);
+        let events: Vec<FleetEvent> = std::iter::from_fn(|| heap.pop()).collect();
+        let leaver = 0; // with_churn assigns leavers from slot 0 upward
+        let puller = spec.slots.len() - 1; // restore fans from the last slot downward
+        assert_eq!(
+            events.iter().filter(|e| e.phase == Phase::Leave).map(|e| e.client).collect::<Vec<_>>(),
+            vec![leaver]
+        );
+        let restores: Vec<usize> =
+            events.iter().filter(|e| e.phase == Phase::Restore).map(|e| e.client).collect();
+        assert!(!restores.is_empty(), "the puller syncs at least once in four rounds");
+        assert!(restores.iter().all(|&c| c == puller));
+        // Each restore event pairs a sync event of the same client and round.
+        for e in events.iter().filter(|e| e.phase == Phase::Restore) {
+            assert!(events
+                .iter()
+                .any(|s| s.phase == Phase::Sync && s.client == e.client && s.round == e.round));
+        }
+    }
+}

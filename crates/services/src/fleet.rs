@@ -24,21 +24,29 @@
 //! namespaces back down through their own links after each round they
 //! sync in — round-major fleets mix uploaders and downloaders.
 //!
+//! Execution is **event-driven**: the schedule is lowered into a
+//! time-ordered [`EventHeap`] of `(timestamp, phase, client)` entries —
+//! activations, keep-alive epochs, restore-fan pulls, departures, GC
+//! sweeps — and [`run_fleet`] pops it wave by wave (see [`crate::engine`]),
+//! touching only each event's client instead of materialising the whole
+//! population per round.
+//!
 //! Determinism contract: the schedule is *data*, not thread timing — every
 //! temporal draw is fixed before the first client spawns. A client's
 //! simulation consumes only its own seed, its schedule entries and its own
 //! planner state, and the shared store's aggregate accounting is
-//! order-independent within each phase. Rounds are phase-separated — all
-//! sync commits of a round complete (barrier), idle clients poll (their own
-//! universes only), then the restore fans run (store *reads* only, so they
-//! commute), then leaves release references, and garbage collection runs
-//! between rounds — so [`run_fleet`] produces bit-identical
-//! [`ClientSummary`]s and [`AggregateStats`] whether the clients run on one
-//! thread (sequential replay) or on one thread per client, jitter, churn,
-//! GC and restores included. A puller whose source departed in an *earlier*
-//! round records a clean failure; same-round departures are still visible
-//! because restores precede leaves. The `fleet_scaling` bench and the
-//! workspace property tests assert exactly that.
+//! order-independent within each wave. The heap's phase sub-key keeps the
+//! instants phase-separated — at one virtual instant all sync commits
+//! complete, idle clients poll (their own universes only), then the restore
+//! fans run (store *reads* only, so they commute), then leaves release
+//! references, and garbage collection sweeps last — so [`run_fleet`]
+//! produces bit-identical [`ClientSummary`]s and [`AggregateStats`] whether
+//! the clients run on one thread (sequential replay) or on one thread per
+//! client, jitter, churn, GC and restores included. A puller whose source
+//! departed at an *earlier* instant records a clean failure; same-instant
+//! departures are still visible because restores precede leaves. The
+//! `fleet_scaling` bench and the workspace property tests assert exactly
+//! that.
 //!
 //! The legacy configuration — zero think time, zero jitter, activation
 //! 1.0 — degenerates to the old lock-step timeline byte-identically, so the
@@ -46,6 +54,7 @@
 //! scheduler refactor safe.
 
 use crate::client::{RestoreOutcome, SyncClient, SyncOutcome};
+use crate::engine::{EventHeap, FleetEvent, Phase};
 use crate::profile::ServiceProfile;
 use crate::retry::RetryConfig;
 use crate::schedule::{FleetSchedule, SyncActivation, ThinkTime};
@@ -498,26 +507,38 @@ impl FleetSpec {
         ((self.files_per_batch as f64) * self.shared_fraction).round() as usize
     }
 
-    /// Generates the batch client `client` syncs in round `round`. The first
-    /// [`FleetSpec::shared_files_per_batch`] files carry shared-pool content
-    /// (seeded by round and file index only, identical across clients); the
-    /// rest are private to the client.
-    pub fn workload(&self, client: usize, round: usize) -> Vec<GeneratedFile> {
+    /// Lazily generates the batch client `client` syncs in round `round`,
+    /// one file at a time: content is produced only when the iterator is
+    /// advanced, so drivers that stream files (or never touch content at
+    /// all, like the fleet-scale runner's metadata path) pay nothing for
+    /// the files they skip. The first [`FleetSpec::shared_files_per_batch`]
+    /// files carry shared-pool content (seeded by round and file index
+    /// only, identical across clients); the rest are private to the client.
+    /// Collecting the stream yields exactly [`FleetSpec::workload`].
+    pub fn workload_stream(
+        &self,
+        client: usize,
+        round: usize,
+    ) -> impl Iterator<Item = GeneratedFile> + '_ {
         let shared = self.shared_files_per_batch();
-        (0..self.files_per_batch)
-            .map(|f| {
-                let (label, seed) = if f < shared {
-                    // Shared pool: client index deliberately excluded.
-                    ("shared", self.derived_seed(u64::MAX, round as u64, f as u64))
-                } else {
-                    ("private", self.derived_seed(client as u64, round as u64, f as u64))
-                };
-                GeneratedFile {
-                    path: format!("{label}/b{round:03}_f{f:04}.{}", self.kind.extension()),
-                    content: generate(self.kind, self.file_size, seed),
-                }
-            })
-            .collect()
+        (0..self.files_per_batch).map(move |f| {
+            let (label, seed) = if f < shared {
+                // Shared pool: client index deliberately excluded.
+                ("shared", self.derived_seed(u64::MAX, round as u64, f as u64))
+            } else {
+                ("private", self.derived_seed(client as u64, round as u64, f as u64))
+            };
+            GeneratedFile {
+                path: format!("{label}/b{round:03}_f{f:04}.{}", self.kind.extension()),
+                content: generate(self.kind, self.file_size, seed),
+            }
+        })
+    }
+
+    /// Generates the batch client `client` syncs in round `round` — the
+    /// eager collection of [`FleetSpec::workload_stream`].
+    pub fn workload(&self, client: usize, round: usize) -> Vec<GeneratedFile> {
+        self.workload_stream(client, round).collect()
     }
 
     /// Generates the batch one schedule activation syncs — batch generation
@@ -528,6 +549,16 @@ impl FleetSpec {
     /// replays the old content byte-identically).
     pub fn workload_for(&self, client: usize, activation: &SyncActivation) -> Vec<GeneratedFile> {
         self.workload(client, activation.round)
+    }
+
+    /// The lazy counterpart of [`FleetSpec::workload_for`]: the activation's
+    /// batch as a per-file stream (see [`FleetSpec::workload_stream`]).
+    pub fn workload_stream_for(
+        &self,
+        client: usize,
+        activation: &SyncActivation,
+    ) -> impl Iterator<Item = GeneratedFile> + '_ {
+        self.workload_stream(client, activation.round)
     }
 
     fn validate(&self) {
@@ -1148,112 +1179,118 @@ fn summarize(
     }
 }
 
-/// Runs one parallel round phase: takes each indexed client out of
+/// Runs one parallel event wave: takes each event's client out of
 /// `states`, applies `work` on up to `workers` threads, and puts the
-/// results back — the barrier both the sync and the restore phases fan out
-/// through. `work` receives the slot's prior state (`None` when the client
-/// has not been spawned yet) and must return the live client.
-fn run_phase<F>(states: &mut [Option<LiveClient>], indices: &[usize], workers: usize, work: F)
+/// results back — the engine-level analogue of the old per-round phase
+/// barrier. Clients within a wave are pairwise distinct (the heap
+/// guarantees it), so the fan-out never aliases a state slot. `work`
+/// receives the client's prior state (`None` when the client has not been
+/// spawned yet) and must return the live client.
+fn run_wave<F>(states: &mut [Option<LiveClient>], events: &[FleetEvent], workers: usize, work: F)
 where
-    F: Fn(Option<LiveClient>, usize) -> LiveClient + Sync,
+    F: Fn(Option<LiveClient>, &FleetEvent) -> LiveClient + Sync,
 {
-    if indices.is_empty() {
+    if events.is_empty() {
         return;
     }
     let tasks: Vec<Mutex<Option<LiveClient>>> =
-        indices.iter().map(|&i| Mutex::new(states[i].take())).collect();
+        events.iter().map(|e| Mutex::new(states[e.client].take())).collect();
     let done: Vec<LiveClient> = cloudsim_parallel::run_indexed(
-        workers.min(indices.len()),
-        indices.len(),
+        workers.min(events.len()),
+        events.len(),
         || (),
-        |(), k| work(tasks[k].lock().expect("task mutex").take(), indices[k]),
+        |(), k| work(tasks[k].lock().expect("task mutex").take(), &events[k]),
     );
     for (k, lc) in done.into_iter().enumerate() {
-        states[indices[k]] = Some(lc);
+        states[events[k].client] = Some(lc);
     }
 }
 
 /// Runs the fleet on up to `workers` OS threads, committing into `store`,
-/// replaying the spec's precomputed [`FleetSchedule`]. `workers = 1` is the
-/// sequential replay; any other count produces bit-identical
-/// [`ClientSummary`]s and aggregate store statistics, because the schedule
-/// is derived before the first client spawns (the temporal draws are data,
-/// not thread timing) and every round is phase-separated: all of the
-/// round's sync commits complete before idle clients poll their own
-/// universes, before any restore fan reads, before any leaving client
-/// releases references, and mark-sweep GC runs between rounds on one
-/// thread.
+/// replaying the spec's precomputed [`FleetSchedule`] through the
+/// discrete-event engine: the schedule is lowered into a time-ordered
+/// [`EventHeap`] (see [`crate::engine`]) and popped wave by wave, touching
+/// only each event's client. `workers = 1` is the sequential replay; any
+/// other count produces bit-identical [`ClientSummary`]s and aggregate
+/// store statistics, because the heap's `(timestamp, phase, client)` total
+/// order is derived before the first client spawns (the temporal draws are
+/// data, not thread timing) and each wave holds pairwise-distinct clients
+/// whose store operations commute: at one virtual instant all sync commits
+/// complete before idle clients poll their own universes, before any
+/// restore fan reads, before any leaving client releases references, and
+/// mark-sweep GC sweeps on one thread.
 pub fn run_fleet(spec: &FleetSpec, store: ObjectStore, workers: usize) -> FleetRun {
     spec.validate();
     let schedule = spec.schedule();
+    let mut heap = EventHeap::derive(spec, &schedule);
     let started = std::time::Instant::now();
     let mut states: Vec<Option<LiveClient>> = spec.slots.iter().map(|_| None).collect();
     let mut summaries: Vec<Option<ClientSummary>> = spec.slots.iter().map(|_| None).collect();
 
-    for round in 0..spec.rounds {
-        let connected: Vec<usize> =
-            (0..spec.slots.len()).filter(|&i| spec.slots[i].active_in(round)).collect();
-        let (syncing, idling): (Vec<usize>, Vec<usize>) = connected
-            .iter()
-            .copied()
-            .partition(|&i| schedule.clients[i].activation_in(round).is_some());
+    while let Some(wave) = heap.next_wave() {
+        match wave.phase {
+            // Sync wave: every activated client syncs one batch at its
+            // scheduled virtual offset, in parallel. The store only sees
+            // commits here, which commute. A client whose first event this
+            // is spawns (and logs in) at its round's epoch.
+            Phase::Sync => run_wave(&mut states, &wave.events, workers, |lc, ev| {
+                let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, ev.client, ev.round));
+                let activation = *schedule.clients[ev.client]
+                    .activation_in(ev.round)
+                    .expect("sync event derived from an activation");
+                sync_round(spec, &mut lc, ev.client, &activation);
+                lc
+            }),
 
-        // Sync phase: every activated client syncs one batch at its
-        // scheduled virtual offset, in parallel. The store only sees
-        // commits here, which commute.
-        run_phase(&mut states, &syncing, workers, |lc, i| {
-            let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, i, round));
-            let activation =
-                *schedule.clients[i].activation_in(round).expect("partitioned as syncing");
-            sync_round(spec, &mut lc, i, &activation);
-            lc
-        });
+            // Idle wave: connected clients the schedule did not activate
+            // stay online and pay one epoch of keep-alive signalling. Each
+            // client polls only its own simulated universe — no store
+            // access — so the wave commutes trivially. A client whose
+            // *first* connected round is idle still spawns here.
+            Phase::Idle => run_wave(&mut states, &wave.events, workers, |lc, ev| {
+                let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, ev.client, ev.round));
+                idle_round(&mut lc);
+                lc
+            }),
 
-        // Idle phase: connected clients the schedule did not activate stay
-        // online and pay one round of keep-alive signalling. Each client
-        // polls only its own simulated universe — no store access — so the
-        // phase commutes trivially. A client whose *first* connected round
-        // is idle still spawns (and logs in) here.
-        run_phase(&mut states, &idling, workers, |lc, i| {
-            let mut lc = lc.unwrap_or_else(|| spawn_client(spec, &store, i, round));
-            idle_round(&mut lc);
-            lc
-        });
+            // Restore wave (the heap orders it after the instant's syncs,
+            // before any leave): pullers that synced fan their sources'
+            // namespaces back down through their own links. The store is
+            // only *read* here, and every puller observes the instant's
+            // complete commits — reads commute, so concurrency stays
+            // bit-exact. Sources that departed at an earlier instant fail
+            // cleanly and are counted in the puller's summary.
+            Phase::Restore => run_wave(&mut states, &wave.events, workers, |lc, ev| {
+                let mut lc = lc.expect("puller synced this round");
+                restore_round(spec, &mut lc, ev.client, ev.round);
+                lc
+            }),
 
-        // Restore phase (after the sync barrier, before any leave): pullers
-        // that synced this round fan their sources' namespaces back down
-        // through their own links (the fan rides the sync activation — an
-        // idle client defers its pulls along with its upload). The store is
-        // only *read* here, and every puller observes the complete round —
-        // reads commute, so concurrency stays bit-exact. Sources that
-        // departed in an earlier round fail cleanly and are counted in the
-        // puller's summary.
-        let pullers: Vec<usize> =
-            syncing.iter().copied().filter(|&i| !spec.slots[i].pull_from.is_empty()).collect();
-        run_phase(&mut states, &pullers, workers, |lc, i| {
-            let mut lc = lc.expect("puller synced this round");
-            restore_round(spec, &mut lc, i, round);
-            lc
-        });
-
-        // Leave phase (after the sync barrier): departing clients hard-delete
-        // their manifests — even when their final round was idle. The store
-        // only sees releases here, which commute — but they never race the
-        // round's commits.
-        for &i in &connected {
-            if spec.slots[i].leave_after == Some(round) {
-                let mut lc = states[i].take().expect("leaving client is live");
-                let at = lc.next_modification;
-                let (_, deleted) = lc.client.leave_service(&mut lc.sim, at);
-                lc.deleted_manifests = deleted;
-                summaries[i] = Some(summarize(spec, i, lc, Some(round)));
+            // Leave events (after the instant's syncs and restores):
+            // departing clients hard-delete their manifests — even when
+            // their final round was idle. The store only sees releases
+            // here, executed sequentially in client order — they never
+            // race the instant's commits.
+            Phase::Leave => {
+                for ev in &wave.events {
+                    let mut lc = states[ev.client].take().expect("leaving client is live");
+                    let at = lc.next_modification;
+                    let (_, deleted) = lc.client.leave_service(&mut lc.sim, at);
+                    lc.deleted_manifests = deleted;
+                    summaries[ev.client] = Some(summarize(spec, ev.client, lc, Some(ev.round)));
+                }
             }
-        }
 
-        // GC phase: under mark-sweep, a single-threaded periodic pass between
-        // rounds. (Eager frees already happened inside the releases.)
-        if store.gc_policy() == GcPolicy::MarkSweep {
-            store.collect_garbage();
+            // GC sweep: under mark-sweep, a single-threaded periodic pass
+            // per epoch. (Eager frees already happened inside the
+            // releases.) The event fires unconditionally; the policy check
+            // lives here because the store is the caller's, not the
+            // spec's.
+            Phase::Gc => {
+                if store.gc_policy() == GcPolicy::MarkSweep {
+                    store.collect_garbage();
+                }
+            }
         }
     }
 

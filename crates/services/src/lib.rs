@@ -16,7 +16,14 @@
 //! [`schedule`] gives that population its temporal shape: seeded think-time
 //! distributions, idle rounds and intra-round arrival jitter derived up
 //! front on a virtual clock, so even jittered concurrent runs replay
-//! bit-identically.
+//! bit-identically. [`engine`] lowers such a schedule onto a time-ordered
+//! event heap — `(timestamp, phase, client)` entries popped one at a time,
+//! each touching only its client's state — which is what the fleet loop
+//! actually executes; [`scale`] rides the same heap with compact per-client
+//! state records (no [`client::SyncClient`] at all) to reach 100k–1M
+//! clients, and [`session`]/[`retry`] add resumable transfers and seeded
+//! backoff under injected link faults. `docs/ARCHITECTURE.md` at the
+//! repository root walks through the whole lifecycle.
 //!
 //! The crate deliberately separates *what a service does* (the profile) from
 //! *how the sync engine executes it* (the client), so the ablation benchmarks
@@ -29,10 +36,12 @@
 
 pub mod client;
 pub mod deployment;
+pub mod engine;
 pub mod fleet;
 pub mod planner;
 pub mod profile;
 pub mod retry;
+pub mod scale;
 pub mod schedule;
 pub mod session;
 
@@ -40,11 +49,13 @@ pub use client::{
     FaultedRestoreOutcome, FaultedSyncOutcome, RestoreOutcome, SyncClient, SyncOutcome,
 };
 pub use deployment::Deployment;
+pub use engine::{EventHeap, EventWave, FleetEvent, Phase};
 pub use fleet::{
     run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetFaults,
     FleetRun, FleetSpec,
 };
 pub use retry::{ExponentialBackoff, NoRetry, RetryConfig, RetryPolicy};
+pub use scale::{run_scale, run_scale_concurrent, run_scale_sequential, ScaleRun, ScaleSpec};
 pub use schedule::{ClientSchedule, FleetSchedule, RoundEvent, SyncActivation, ThinkTime};
 pub use session::{FaultStats, RangedRestore, UploadSession};
 

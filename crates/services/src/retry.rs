@@ -96,6 +96,18 @@ impl RetryPolicy for ExponentialBackoff {
 /// takes inside a fleet spec. `policy()` materialises the trait object; to
 /// add a policy, implement [`RetryPolicy`], add a variant here and map it
 /// in `policy()`/`name()`.
+///
+/// ```
+/// use cloudsim_services::retry::{RetryConfig, RetryPolicy as _};
+///
+/// let policy = RetryConfig::standard_exponential().policy();
+/// let wait = policy.backoff(1, 42).expect("the standard budget allows a first retry");
+/// // Pure: the same (attempt, draw) pair always waits the same time.
+/// assert_eq!(policy.backoff(1, 42), Some(wait));
+/// // The control policy and an exhausted budget both abandon immediately.
+/// assert_eq!(RetryConfig::None.policy().backoff(1, 42), None);
+/// assert_eq!(RetryConfig::with_budget(0).policy().backoff(1, 42), None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum RetryConfig {
     /// Abandon on first interruption (the no-recovery control).

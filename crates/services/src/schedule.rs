@@ -70,6 +70,21 @@ impl ThinkTime {
 
     /// Samples the distribution from one seeded draw. Pure: the same draw
     /// always yields the same duration.
+    ///
+    /// ```
+    /// use cloudsim_services::schedule::ThinkTime;
+    /// use cloudsim_trace::SimDuration;
+    ///
+    /// let think = ThinkTime::Uniform {
+    ///     min: SimDuration::from_secs(1),
+    ///     max: SimDuration::from_secs(9),
+    /// };
+    /// let pause = think.sample(0xA11CE);
+    /// assert!(pause >= SimDuration::from_secs(1) && pause <= SimDuration::from_secs(9));
+    /// // Pure: the same draw always yields the same pause.
+    /// assert_eq!(pause, think.sample(0xA11CE));
+    /// assert!(ThinkTime::NONE.sample(7).is_zero());
+    /// ```
     pub fn sample(&self, draw: u64) -> SimDuration {
         match *self {
             ThinkTime::Fixed(d) => d,
@@ -211,6 +226,23 @@ impl FleetSchedule {
     /// no unseeded RNG). Every `(client, round)` pair draws its activation,
     /// jitter and think time from independent seeded streams, so inserting
     /// or removing clients or rounds never shifts another pair's draws.
+    ///
+    /// ```
+    /// use cloudsim_services::fleet::FleetSpec;
+    /// use cloudsim_services::schedule::{FleetSchedule, ThinkTime};
+    /// use cloudsim_services::ServiceProfile;
+    /// use cloudsim_trace::SimDuration;
+    ///
+    /// let spec = FleetSpec::new(ServiceProfile::dropbox(), 3)
+    ///     .with_batches(2)
+    ///     .with_seed(7)
+    ///     .with_think_time(ThinkTime::Exponential { mean: SimDuration::from_secs(5) })
+    ///     .with_activation(0.8);
+    /// let schedule = FleetSchedule::generate(&spec);
+    /// assert_eq!(schedule.clients.len(), 3);
+    /// // The schedule is data: regenerating from the same spec is identical.
+    /// assert_eq!(schedule, spec.schedule());
+    /// ```
     pub fn generate(spec: &FleetSpec) -> FleetSchedule {
         let clients = (0..spec.slots.len())
             .map(|i| {

@@ -11,7 +11,7 @@
 //!
 //! * [`hash`] — SHA-256 content hashing (the basis of dedup and delta),
 //! * [`chunker`] — fixed-size and content-defined chunking,
-//! * [`compress`] — an LZSS compressor with *always* / *smart* (magic-number
+//! * [`mod@compress`] — an LZSS compressor with *always* / *smart* (magic-number
 //!   aware) / *never* policies, mirroring Dropbox vs. Google Drive vs. the
 //!   rest (§4.5),
 //! * [`delta`] — an rsync-style rolling-hash delta encoder (Dropbox is the

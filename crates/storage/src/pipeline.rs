@@ -10,7 +10,7 @@
 //!   file content ([`FileJob`] holds `&[u8]`); nothing is copied until a
 //!   result must be owned.
 //! * **Preallocated scratch**: each worker owns one
-//!   [`LzssScratch`](crate::compress::LzssScratch), so the LZSS coder
+//!   [`crate::compress::LzssScratch`], so the LZSS coder
 //!   performs no per-chunk heap allocation, and the content-defined chunker
 //!   reads a `static` gear table.
 //! * **Parallel**: work is fanned out across *chunks and files* with

@@ -33,7 +33,7 @@ pub mod generator;
 pub mod mutate;
 pub mod seed;
 
-pub use batch::{BatchSpec, GeneratedFile};
+pub use batch::{BatchSpec, BatchStream, GeneratedFile};
 pub use folder::{ChangeEvent, LocalFolder};
 pub use generator::{generate, FileKind};
 pub use mutate::Mutation;
