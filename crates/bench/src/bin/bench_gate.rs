@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--markdown PATH]
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--subset] [--markdown PATH]
 //! ```
 //!
 //! Both files are flat `{"metric": number, …}` objects as produced by
@@ -18,6 +18,14 @@
 //! the ±tolerance comparison forever by never being compared — CI runs the
 //! gate strict so every new metric lands together with its baseline entry.
 //!
+//! `--subset` scopes the comparison to the baseline keys the current file
+//! actually contains, instead of failing the absent ones as MISSING. This
+//! is the mode for partial dumps: the CI replay-gate leg compares `repro
+//! replay --metrics` (fleet-scale keys only) against the full committed
+//! baseline at `--tolerance 0`, proving the replayed capture reproduces
+//! the gated values exactly. `--strict` still rejects current keys with no
+//! baseline entry.
+//!
 //! `--markdown PATH` additionally *appends* the comparison as a markdown
 //! table to PATH — pass `$GITHUB_STEP_SUMMARY` in CI so regressions are
 //! readable on the run page without downloading the metrics artifact. The
@@ -30,7 +38,7 @@
 //! cargo run --release -p cloudbench-bench --bin repro -- bench-json bench_baseline.json
 //! ```
 
-use cloudbench_bench::gate::{compare, parse_flat};
+use cloudbench_bench::gate::{compare, compare_subset, parse_flat};
 
 fn load(path: &str) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -47,6 +55,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.15f64;
     let mut strict = false;
+    let mut subset = false;
     let mut markdown_path: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
     let mut i = 0usize;
@@ -54,6 +63,10 @@ fn main() {
         match args[i].as_str() {
             "--strict" => {
                 strict = true;
+                i += 1;
+            }
+            "--subset" => {
+                subset = true;
                 i += 1;
             }
             "--tolerance" => {
@@ -78,7 +91,7 @@ fn main() {
     }
     let [baseline_path, current_path] = files.as_slice() else {
         eprintln!(
-            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--markdown PATH]"
+            "usage: bench_gate <baseline.json> <current.json> [--tolerance 0.15] [--strict] [--subset] [--markdown PATH]"
         );
         std::process::exit(2);
     };
@@ -87,7 +100,8 @@ fn main() {
     let current = load(current_path);
     // Strictness is applied before any render, so the step summary of a
     // failing strict run says FAIL and flags the unregistered metrics.
-    let report = compare(&baseline, &current, tolerance).with_strict(strict);
+    let comparison = if subset { compare_subset } else { compare };
+    let report = comparison(&baseline, &current, tolerance).with_strict(strict);
     print!("{}", report.render());
     if let Some(path) = markdown_path {
         // Append (the CI step summary may already hold earlier sections);
@@ -121,9 +135,10 @@ fn main() {
         }
     }
     println!(
-        "bench gate: PASS ({} metrics within ±{:.0}%{})",
-        baseline.len(),
+        "bench gate: PASS ({} metrics within ±{:.0}%{}{})",
+        report.rows.len(),
         tolerance * 100.0,
+        if subset { ", subset of the baseline" } else { "" },
         if strict { ", baseline hygienic" } else { "" }
     );
 }

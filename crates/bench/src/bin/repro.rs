@@ -3,10 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]
-//! repro fleet-scale [--clients N] [--json PATH]
+//! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N] [--json PATH]
+//! repro fleet-scale [--clients N] [--json PATH] [--capture PATH]
+//! repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]
+//! repro suites
 //! repro bench-json [PATH]
 //! ```
+//!
+//! `--json PATH` (on `restore`, `schedule`, `faults`, `fleet-scale` and
+//! `replay`) additionally dumps the suite struct as deterministic JSON;
+//! `-` streams the JSON to stdout *instead of* the text report, which is
+//! what the CI determinism legs `cmp`.
 //!
 //! Each target runs the corresponding experiment on the simulated substrate
 //! and prints the same rows/series the paper reports. Absolute values differ
@@ -29,7 +36,13 @@
 //! the sharded store — commits per virtual second, concurrency peak,
 //! population-scale dedup and the server load curve, with `--json PATH`
 //! dumping the suite deterministically for the CI fleet-scale determinism
-//! leg — and `bench-json` dumps the deterministic gate metrics as flat
+//! leg and `--capture PATH` recording the workload as a versioned JSONL
+//! capture — `replay` re-drives such a capture through the event heap
+//! (same mix by default: bit-identical metrics; `--link`/`--profile`
+//! remap every client for the paper-style A/B comparison, with
+//! `--metrics PATH` dumping the replayed gate metrics for `bench_gate
+//! --subset`), `suites` prints the gated suite table CI scripts iterate
+//! over, and `bench-json` dumps the deterministic gate metrics as flat
 //! JSON (to PATH, default stdout) for the CI bench-regression gate.
 //! `fleet-scale` is not part of `all`: at the default population it runs
 //! for minutes, not seconds.
@@ -46,10 +59,43 @@ use cloudbench::testbed::Testbed;
 use cloudbench::{FileKind, Provider, ServiceProfile};
 use cloudbench_bench::{BENCH_REPETITIONS, REPRO_SEED};
 use cloudsim_geo::ResolverFleet;
+use cloudsim_services::capture::{parse_capture, render_capture, ReplayMix};
+use cloudsim_services::AccessLink;
 
 fn print_report(report: &Report) {
     println!("==== {} ====", report.title);
     println!("{}", report.body);
+}
+
+/// The value following `--flag`, if present.
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Writes `payload` to `path`, with `-` streaming it to stdout.
+fn write_payload(path: &str, payload: &str, what: &str) {
+    if path == "-" {
+        print!("{payload}");
+    } else {
+        std::fs::write(path, payload).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {what} to {path}");
+    }
+}
+
+/// Prints a suite's text report and/or its JSON dump: `--json -` replaces
+/// the report with the JSON stream (the report of some suites carries
+/// wall-clock time, the JSON never does — CI `cmp`s the stream), any other
+/// path gets the JSON alongside the report.
+fn emit(report: &Report, json: Option<&str>, payload: &str, what: &str) {
+    if json != Some("-") {
+        print_report(report);
+    }
+    if let Some(path) = json {
+        write_payload(path, payload, what);
+    }
 }
 
 fn table1(testbed: &Testbed) {
@@ -120,32 +166,91 @@ fn hetero() {
     print_report(&Report::heterogeneous(&suite));
 }
 
-fn restore() {
+fn restore(json: Option<&str>) {
     let suite =
         cloudbench::restore::run_restore(cloudbench_bench::metrics::RESTORE_CLIENTS, REPRO_SEED);
-    print_report(&Report::restore(&suite));
+    emit(&Report::restore(&suite), json, &Report::to_json(&suite), "the restore suite");
 }
 
-fn schedule() {
+fn schedule(json: Option<&str>) {
     let suite =
         cloudbench::schedule::run_schedule(cloudbench_bench::metrics::SCHEDULE_CLIENTS, REPRO_SEED);
-    print_report(&Report::schedule(&suite));
+    emit(&Report::schedule(&suite), json, &Report::to_json(&suite), "the schedule suite");
 }
 
-fn faults() {
+fn faults(json: Option<&str>) {
     let suite = cloudbench::faults::run_faults(REPRO_SEED);
-    print_report(&Report::faults(&suite));
+    emit(&Report::faults(&suite), json, &Report::to_json(&suite), "the faults suite");
 }
 
-fn fleet_scale(clients: usize, json: Option<&str>) {
+fn fleet_scale(clients: usize, json: Option<&str>, capture: Option<&str>) {
     let suite = cloudbench::scale::run_fleet_scale(clients, REPRO_SEED);
-    print_report(&Report::fleet_scale(&suite));
-    if let Some(path) = json {
-        std::fs::write(path, Report::to_json(&suite)).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("wrote the fleet-scale suite to {path}");
+    emit(&Report::fleet_scale(&suite), json, &Report::to_json(&suite), "the fleet-scale suite");
+    if let Some(path) = capture {
+        let spec = cloudbench::scale::scale_spec(clients, REPRO_SEED);
+        write_payload(path, &render_capture(&spec), "the fleet-scale workload capture");
+    }
+}
+
+fn replay(args: &[String]) {
+    let Some(capture_path) = arg_value(args, "--capture") else {
+        eprintln!(
+            "repro replay needs --capture PATH \
+             (record one with `repro fleet-scale --capture PATH`)"
+        );
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(capture_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {capture_path}: {e}");
+        std::process::exit(2);
+    });
+    let capture = parse_capture(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {capture_path}: {e}");
+        std::process::exit(2);
+    });
+
+    let mix = match (arg_value(args, "--link"), arg_value(args, "--profile")) {
+        (Some(_), Some(_)) => {
+            eprintln!("--link and --profile are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(name), None) => ReplayMix::Link(AccessLink::by_name(name).unwrap_or_else(|| {
+            let valid: Vec<&str> = AccessLink::all().iter().map(|l| l.name).collect();
+            eprintln!("unknown link preset '{name}' (valid: {})", valid.join(", "));
+            std::process::exit(2);
+        })),
+        (None, Some(name)) => {
+            let wanted = name.to_lowercase();
+            let profile = ServiceProfile::all()
+                .into_iter()
+                .find(|p| p.name().to_lowercase().replace(' ', "_") == wanted)
+                .unwrap_or_else(|| {
+                    let valid: Vec<String> = ServiceProfile::all()
+                        .iter()
+                        .map(|p| p.name().to_lowercase().replace(' ', "_"))
+                        .collect();
+                    eprintln!("unknown service profile '{name}' (valid: {})", valid.join(", "));
+                    std::process::exit(2);
+                });
+            ReplayMix::Profile(profile)
+        }
+        (None, None) => ReplayMix::Original,
+    };
+
+    let suite = cloudbench::scale::replay_fleet_scale(&capture, &mix).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    emit(
+        &Report::fleet_scale(&suite),
+        arg_value(args, "--json"),
+        &Report::to_json(&suite),
+        "the replayed fleet-scale suite",
+    );
+    if let Some(path) = arg_value(args, "--metrics") {
+        let metrics = cloudbench_bench::metrics::scale_suite_metrics(&suite);
+        let rendered = cloudbench_bench::gate::render_flat(&metrics);
+        write_payload(path, &rendered, "the replayed gate metrics");
     }
 }
 
@@ -175,15 +280,25 @@ fn fig6(testbed: &Testbed, reps: usize, metric: Option<Fig6Metric>) {
     }
 }
 
+/// The usage text of the error path. The suite list is derived from the
+/// shared table, so `repro` never advertises a stale set.
+fn usage() -> String {
+    format!(
+        "usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N] [--json PATH]\n       \
+         repro fleet-scale [--clients N] [--json PATH] [--capture PATH]\n       \
+         repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]\n       \
+         repro suites\n       \
+         repro bench-json [PATH]\n\
+         gated suites (see `repro suites`): {}",
+        cloudbench_bench::suites::prefix_list()
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let target = args.first().map(|s| s.as_str()).unwrap_or("all");
-    let reps = args
-        .iter()
-        .position(|a| a == "--reps")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(BENCH_REPETITIONS);
+    let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(BENCH_REPETITIONS);
+    let json = arg_value(&args, "--json");
     let testbed = Testbed::new(REPRO_SEED);
 
     match target {
@@ -199,23 +314,16 @@ fn main() {
         "fig6" => fig6(&testbed, reps, None),
         "fleet" => fleet(),
         "hetero" => hetero(),
-        "restore" => restore(),
-        "schedule" => schedule(),
-        "faults" => faults(),
+        "restore" => restore(json),
+        "schedule" => schedule(json),
+        "faults" => faults(json),
         "fleet-scale" => {
-            let clients = args
-                .iter()
-                .position(|a| a == "--clients")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100_000);
-            let json = args
-                .iter()
-                .position(|a| a == "--json")
-                .and_then(|i| args.get(i + 1))
-                .map(String::as_str);
-            fleet_scale(clients, json);
+            let clients =
+                arg_value(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            fleet_scale(clients, json, arg_value(&args, "--capture"));
         }
+        "replay" => replay(&args),
+        "suites" => print!("{}", cloudbench_bench::suites::render_table()),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
             table1(&testbed);
@@ -227,15 +335,13 @@ fn main() {
             fig6(&testbed, reps, None);
             fleet();
             hetero();
-            restore();
-            schedule();
-            faults();
+            restore(None);
+            schedule(None);
+            faults(None);
         }
         other => {
             eprintln!("unknown target '{other}'");
-            eprintln!("usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N]");
-            eprintln!("       repro fleet-scale [--clients N] [--json PATH]");
-            eprintln!("       repro bench-json [PATH]");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     }

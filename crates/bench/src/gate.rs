@@ -338,6 +338,24 @@ pub fn compare(
     GateReport { rows, tolerance, strict: false }
 }
 
+/// Like [`compare`], but scoped to the metrics the current run actually
+/// emits: baseline keys with no current entry are skipped instead of
+/// verdicted [`Verdict::Missing`]. This is the mode for partial dumps —
+/// `repro replay --metrics` re-derives only the fleet-scale suite, yet the
+/// values it does emit must still match the committed baseline (the CI
+/// replay-gate leg runs it at zero tolerance). Current metrics with no
+/// baseline entry still surface as [`Verdict::New`], so `--strict` hygiene
+/// keeps rejecting unregistered names.
+pub fn compare_subset(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> GateReport {
+    let scoped: Vec<(String, f64)> =
+        baseline.iter().filter(|(key, _)| current.iter().any(|(k, _)| k == key)).cloned().collect();
+    compare(&scoped, current, tolerance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,6 +547,38 @@ mod tests {
         // A hygienic strict run still renders PASS.
         let clean = compare(&baseline, &baseline.clone(), 0.15).with_strict(true);
         assert!(clean.render_markdown().starts_with("### Bench regression gate (PASS"));
+    }
+
+    #[test]
+    fn subset_mode_skips_absent_baseline_keys_but_gates_the_present_ones() {
+        let baseline = vec![
+            ("fleetscale.commits".to_string(), 100.0),
+            ("hist.scale_transfer.p50_s".to_string(), 2.5),
+            ("fig6.completion_s.dropbox".to_string(), 12.0),
+        ];
+        // A partial dump covering only the fleet-scale keys: the fig6 key
+        // is skipped, not MISSING, and strict hygiene holds.
+        let partial = vec![
+            ("fleetscale.commits".to_string(), 100.0),
+            ("hist.scale_transfer.p50_s".to_string(), 2.5),
+        ];
+        let report = compare_subset(&baseline, &partial, 0.0).with_strict(true);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.effective_pass());
+        // The full comparison over the same dump fails as MISSING.
+        assert!(!compare(&baseline, &partial, 0.0).passed());
+        // A drifted present key still fails at zero tolerance.
+        let drifted = vec![("fleetscale.commits".to_string(), 101.0)];
+        assert!(!compare_subset(&baseline, &drifted, 0.0).passed());
+        // An unregistered key still fails strict hygiene.
+        let unregistered = vec![
+            ("fleetscale.commits".to_string(), 100.0),
+            ("fleetscale.invented".to_string(), 1.0),
+        ];
+        let report = compare_subset(&baseline, &unregistered, 0.0).with_strict(true);
+        assert!(report.passed());
+        assert!(!report.effective_pass());
+        assert_eq!(report.unregistered(), vec!["fleetscale.invented"]);
     }
 
     #[test]

@@ -13,12 +13,16 @@
 //!   bench-regression gate (`repro bench-json` dumps it, the `bench_gate`
 //!   binary compares it against the committed `bench_baseline.json` with a
 //!   relative tolerance implemented in [`gate`]).
+//! * [`suites`] is the single source of truth for the gated suite list —
+//!   `repro suites` prints it and the CI determinism/coverage scripts
+//!   iterate over that output instead of hardcoding suite names.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;
 pub mod metrics;
+pub mod suites;
 
 /// Shared helper: the default testbed seed used by the harness, so the repro
 /// binary and the benches measure the same simulated universe.

@@ -12,20 +12,23 @@
 //! completion-time inflation against the fault-free control and resume
 //! efficiency) and the fleet-scale suite (`fleetscale.*` commits per virtual
 //! second, concurrency peak and population-scale dedup from 10k lightweight
-//! clients on the event heap). `repro bench-json` dumps them; the
-//! `bench_gate` binary compares a fresh dump against the committed
-//! `bench_baseline.json`.
+//! clients on the event heap), plus `hist.*` log-bucketed latency quantiles
+//! (sync commits, restore pulls, retry backoff waits and fleet-scale
+//! transfers). `repro bench-json` dumps them; the `bench_gate` binary
+//! compares a fresh dump against the committed `bench_baseline.json`.
 
 use cloudbench::faults::run_faults;
 use cloudbench::fleet::{fleet_spec, FleetScalingRow};
 use cloudbench::hetero::run_hetero;
 use cloudbench::restore::run_restore;
+use cloudbench::scale::FleetScaleSuite;
 use cloudbench::schedule::run_schedule;
 use cloudbench::testbed::Testbed;
 use cloudbench::ServiceProfile;
 use cloudsim_services::fleet::run_fleet;
 use cloudsim_services::GcPolicy;
 use cloudsim_storage::ObjectStore;
+use cloudsim_trace::HistogramSummary;
 use cloudsim_workload::{BatchSpec, FileKind};
 
 use crate::REPRO_SEED;
@@ -62,6 +65,35 @@ pub const SCHEDULE_CLIENTS: usize = 10;
 /// the gate collects in seconds. `repro fleet-scale` defaults to 100k.
 pub const GATE_SCALE_CLIENTS: usize = 10_000;
 
+/// Appends one gate-metric quadruple (`.count`, `.p50_s`, `.p90_s`,
+/// `.p99_s`) for a log-bucketed latency distribution. Quantiles are bucket
+/// lower bounds, so they are exactly reproducible and safe to gate at zero
+/// tolerance.
+fn hist_metrics(metrics: &mut Vec<(String, f64)>, prefix: &str, hist: &HistogramSummary) {
+    metrics.push((format!("{prefix}.count"), hist.count as f64));
+    metrics.push((format!("{prefix}.p50_s"), hist.p50_s));
+    metrics.push((format!("{prefix}.p90_s"), hist.p90_s));
+    metrics.push((format!("{prefix}.p99_s"), hist.p99_s));
+}
+
+/// The fleet-scale suite's gate metrics, as a pure function of an assembled
+/// suite. Shared by [`collect`] and `repro replay --metrics`, so a replayed
+/// capture can be gated against the very same `fleetscale.*` and
+/// `hist.scale_transfer.*` baseline entries the live run produced.
+pub fn scale_suite_metrics(suite: &FleetScaleSuite) -> Vec<(String, f64)> {
+    let mut metrics = vec![
+        ("fleetscale.commits".to_string(), suite.commits as f64),
+        ("fleetscale.commits_per_vsec".to_string(), suite.commits_per_vsec),
+        ("fleetscale.concurrency_peak".to_string(), suite.concurrency_peak as f64),
+        ("fleetscale.dedup_ratio".to_string(), suite.dedup_ratio),
+        ("fleetscale.logical_mb".to_string(), suite.logical_mb),
+        ("fleetscale.physical_mb".to_string(), suite.physical_mb),
+        ("fleetscale.virtual_span_s".to_string(), suite.virtual_span_s),
+    ];
+    hist_metrics(&mut metrics, "hist.scale_transfer", &suite.transfer_hist);
+    metrics
+}
+
 /// Collects the gate metrics. Deterministic for a given `REPRO_SEED`:
 /// rerunning produces bit-identical values, so the gate's ±tolerance only
 /// absorbs intentional simulator changes, not noise.
@@ -97,6 +129,7 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("fleet8.dedup_ratio".to_string(), row.dedup_ratio));
     metrics.push(("fleet8.physical_mb".to_string(), row.physical_bytes as f64 / 1e6));
     metrics.push(("fleet8.uploaded_mb".to_string(), row.uploaded_payload as f64 / 1e6));
+    hist_metrics(&mut metrics, "hist.sync", &run.sync_duration_histogram().summary());
 
     // The heterogeneous scenario matrix: per-profile completion
     // distributions, per-link goodput, dedup over churn, and GC reclamation
@@ -128,6 +161,7 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("restore.downloaded_mb".to_string(), suite.downloaded_payload as f64 / 1e6));
     metrics.push(("restore.dedup_saved_mb".to_string(), suite.dedup_saved_bytes as f64 / 1e6));
     metrics.push(("restore.failures".to_string(), suite.failures as f64));
+    hist_metrics(&mut metrics, "hist.restore", &suite.restore_hist);
 
     // The temporal schedule suite: start-up delays, idle-round accounting,
     // the arrival spread, concurrency peaks (jittered vs lock-step) and the
@@ -167,6 +201,7 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("faults.backoff_wait_s".to_string(), exp.backoff_wait.as_secs_f64()));
     metrics.push(("faults.checksums_verified".to_string(), exp.checksums_verified as f64));
     metrics.push(("faults.wasted_ratio_none".to_string(), suite.wasted_ratio("none")));
+    hist_metrics(&mut metrics, "hist.backoff", &suite.backoff_hist);
 
     // The fleet-scale suite: the provider's view of a 10k-client population
     // on the event heap. Deterministic for any worker count (waves hold
@@ -174,13 +209,7 @@ pub fn collect() -> Vec<(String, f64)> {
     // so the values are safe to gate byte-for-byte. Wall-clock time is
     // deliberately absent — it is the one non-deterministic field.
     let suite = cloudbench::scale::run_fleet_scale(GATE_SCALE_CLIENTS, REPRO_SEED);
-    metrics.push(("fleetscale.commits".to_string(), suite.commits as f64));
-    metrics.push(("fleetscale.commits_per_vsec".to_string(), suite.commits_per_vsec));
-    metrics.push(("fleetscale.concurrency_peak".to_string(), suite.concurrency_peak as f64));
-    metrics.push(("fleetscale.dedup_ratio".to_string(), suite.dedup_ratio));
-    metrics.push(("fleetscale.logical_mb".to_string(), suite.logical_mb));
-    metrics.push(("fleetscale.physical_mb".to_string(), suite.physical_mb));
-    metrics.push(("fleetscale.virtual_span_s".to_string(), suite.virtual_span_s));
+    metrics.extend(scale_suite_metrics(&suite));
 
     metrics
 }
@@ -263,6 +292,40 @@ mod tests {
             "fleetscale.virtual_span_s",
         ] {
             assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+    }
+
+    /// The single-sourcing contract: the collector and the suites table
+    /// (the list `repro suites` prints and CI scripts over) may not drift
+    /// apart in either direction.
+    #[test]
+    fn every_metric_prefix_is_a_registered_suite() {
+        let metrics = collected();
+        for (key, _) in metrics.iter() {
+            let prefix = key.split('.').next().unwrap_or(key);
+            assert!(
+                crate::suites::by_prefix(prefix).is_some(),
+                "{key}: prefix {prefix} is not in the suites table"
+            );
+        }
+        for suite in crate::suites::SUITES {
+            let dotted = format!("{}.", suite.prefix);
+            assert!(
+                metrics.iter().any(|(k, _)| k.starts_with(&dotted)),
+                "suite {} has no gate metrics",
+                suite.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histograms_are_represented_in_the_gate() {
+        let metrics = collected();
+        for prefix in ["hist.sync", "hist.restore", "hist.backoff", "hist.scale_transfer"] {
+            for suffix in [".count", ".p50_s", ".p90_s", ".p99_s"] {
+                let key = format!("{prefix}{suffix}");
+                assert!(metrics.iter().any(|(k, _)| k == &key), "{key} missing from the gate");
+            }
         }
     }
 

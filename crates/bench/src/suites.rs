@@ -1,0 +1,111 @@
+//! The single source of truth for the gated benchmark suites.
+//!
+//! Every place that needs "the list of suites" derives it from this table
+//! instead of keeping its own copy: the `repro suites` subcommand prints
+//! it, CI's per-suite determinism legs and the `refresh-baseline` coverage
+//! check shell over that output, and `repro`'s usage/error text names the
+//! prefixes. Adding a suite is one row here (plus its metrics and baseline
+//! entries) — the workflow scripts pick it up without a YAML edit, and the
+//! `every_metric_prefix_is_a_registered_suite` test in [`crate::metrics`]
+//! fails any collector/table drift.
+
+/// One gated metric prefix, with the `repro` invocation (if any) whose
+/// output the CI determinism leg `cmp`s across two fresh runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteSpec {
+    /// The metric-key prefix: every gate metric named `<prefix>.<rest>` in
+    /// `bench_baseline.json` belongs to this suite.
+    pub prefix: &'static str,
+    /// The `repro` arguments that dump this suite deterministically, or
+    /// `None` for prefixes gated through `bench-json` alone (re-simulating
+    /// them for a dedicated dump would add minutes for no extra coverage).
+    /// Targets must write nothing host-dependent to stdout — the
+    /// fleet-scale row uses `--json -` because its *text* report prints
+    /// wall-clock time.
+    pub determinism_target: Option<&'static str>,
+}
+
+/// Every suite prefix the committed baseline carries, in collection order.
+pub const SUITES: &[SuiteSpec] = &[
+    SuiteSpec { prefix: "fig6", determinism_target: None },
+    SuiteSpec { prefix: "fleet8", determinism_target: None },
+    SuiteSpec { prefix: "hetero", determinism_target: None },
+    SuiteSpec { prefix: "gc", determinism_target: None },
+    SuiteSpec { prefix: "restore", determinism_target: Some("restore") },
+    SuiteSpec { prefix: "schedule", determinism_target: Some("schedule") },
+    SuiteSpec { prefix: "faults", determinism_target: Some("faults") },
+    SuiteSpec {
+        prefix: "fleetscale",
+        determinism_target: Some("fleet-scale --clients 10000 --json -"),
+    },
+    SuiteSpec { prefix: "hist", determinism_target: None },
+];
+
+/// Finds a suite by its metric prefix.
+pub fn by_prefix(prefix: &str) -> Option<&'static SuiteSpec> {
+    SUITES.iter().find(|s| s.prefix == prefix)
+}
+
+/// The `repro suites` listing: one `prefix<TAB>target` line per suite,
+/// with `-` standing in for "no dedicated dump target". Tab-separated so
+/// shell consumers can `cut -f1` / `read -r prefix target` without
+/// quoting trouble.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    for suite in SUITES {
+        out.push_str(suite.prefix);
+        out.push('\t');
+        out.push_str(suite.determinism_target.unwrap_or("-"));
+        out.push('\n');
+    }
+    out
+}
+
+/// The suite prefixes joined for usage/error text.
+pub fn prefix_list() -> String {
+    SUITES.iter().map(|s| s.prefix).collect::<Vec<_>>().join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_unique_and_resolvable() {
+        let names: std::collections::HashSet<&str> = SUITES.iter().map(|s| s.prefix).collect();
+        assert_eq!(names.len(), SUITES.len(), "duplicate suite prefix");
+        for suite in SUITES {
+            assert_eq!(by_prefix(suite.prefix), Some(suite));
+        }
+        assert_eq!(by_prefix("nonexistent"), None);
+    }
+
+    #[test]
+    fn table_renders_one_tab_separated_line_per_suite() {
+        let table = render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), SUITES.len());
+        for (line, suite) in lines.iter().zip(SUITES) {
+            let (prefix, target) = line.split_once('\t').expect("tab-separated");
+            assert_eq!(prefix, suite.prefix);
+            assert_eq!(target, suite.determinism_target.unwrap_or("-"));
+            assert!(!target.is_empty());
+        }
+    }
+
+    #[test]
+    fn determinism_targets_dump_machine_comparable_output() {
+        // `cmp`-able means nothing host-dependent on stdout: the only
+        // suite whose text report prints wall-clock time must dump JSON.
+        let fleetscale = by_prefix("fleetscale").expect("fleetscale row");
+        assert!(fleetscale.determinism_target.expect("has target").contains("--json -"));
+    }
+
+    #[test]
+    fn prefix_list_names_every_suite() {
+        let list = prefix_list();
+        for suite in SUITES {
+            assert!(list.contains(suite.prefix), "{} missing from {list}", suite.prefix);
+        }
+    }
+}

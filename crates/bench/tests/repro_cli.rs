@@ -1,0 +1,159 @@
+//! End-to-end tests of the `repro` binary's CLI surface: the suites
+//! listing, the unknown-subcommand error path, and the capture → replay
+//! round trip the CI replay-fidelity leg `cmp`s.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch directory under the target-adjacent temp root.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro_cli_{}_{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn suites_prints_the_shared_table() {
+    let out = repro(&["suites"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), cloudbench_bench::suites::render_table());
+    // The output is the machine-readable contract CI scripts over: one
+    // tab-separated line per gated suite.
+    let listing = stdout(&out);
+    let lines: Vec<&str> = listing.lines().collect();
+    assert_eq!(lines.len(), cloudbench_bench::suites::SUITES.len());
+    for suite in cloudbench_bench::suites::SUITES {
+        assert!(
+            lines.iter().any(|l| l.starts_with(&format!("{}\t", suite.prefix))),
+            "{} missing from the listing",
+            suite.prefix
+        );
+    }
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_and_lists_the_valid_targets() {
+    let out = repro(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown target 'frobnicate'"), "got: {err}");
+    // The error must teach the valid surface: subcommands and the gated
+    // suite list (derived from the shared table, never hardcoded stale).
+    for needle in ["usage: repro", "fleet-scale", "replay", "suites", "bench-json"] {
+        assert!(err.contains(needle), "{needle} missing from: {err}");
+    }
+    for suite in cloudbench_bench::suites::SUITES {
+        assert!(err.contains(suite.prefix), "{} missing from: {err}", suite.prefix);
+    }
+}
+
+#[test]
+fn replay_without_a_capture_fails_with_guidance() {
+    let out = repro(&["replay"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--capture"), "got: {}", stderr(&out));
+}
+
+#[test]
+fn replay_rejects_a_malformed_capture_file() {
+    let dir = scratch("malformed");
+    let path = dir.join("garbage.jsonl");
+    std::fs::write(&path, "{\"format\":\"not-a-capture\",\"version\":1}\n").expect("write");
+    let out = repro(&["replay", "--capture", path.to_str().expect("utf8 path")]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot parse"), "got: {}", stderr(&out));
+}
+
+#[test]
+fn replay_rejects_unknown_remap_names() {
+    let dir = scratch("remap");
+    let capture = dir.join("cap.jsonl");
+    let out =
+        repro(&["fleet-scale", "--clients", "40", "--capture", capture.to_str().expect("utf8")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let cap = capture.to_str().expect("utf8");
+    let out = repro(&["replay", "--capture", cap, "--link", "carrier-pigeon"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown link preset"), "got: {}", stderr(&out));
+
+    let out = repro(&["replay", "--capture", cap, "--profile", "nopebox"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown service profile"), "got: {}", stderr(&out));
+
+    let out = repro(&["replay", "--capture", cap, "--link", "adsl", "--profile", "dropbox"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("mutually exclusive"), "got: {}", stderr(&out));
+}
+
+/// The CI replay-fidelity leg, end to end: record a capture alongside the
+/// live run's JSON dump, replay it same-mix, and require the two dumps to
+/// be byte-identical; the replayed `--metrics` dump must parse and carry
+/// the fleet-scale gate keys.
+#[test]
+fn capture_replay_round_trip_is_byte_identical() {
+    let dir = scratch("roundtrip");
+    let capture = dir.join("cap.jsonl");
+    let original = dir.join("orig.json");
+    let out = repro(&[
+        "fleet-scale",
+        "--clients",
+        "150",
+        "--json",
+        original.to_str().expect("utf8"),
+        "--capture",
+        capture.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let replayed = dir.join("replayed.json");
+    let metrics = dir.join("metrics.json");
+    let out = repro(&[
+        "replay",
+        "--capture",
+        capture.to_str().expect("utf8"),
+        "--json",
+        replayed.to_str().expect("utf8"),
+        "--metrics",
+        metrics.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let a = std::fs::read_to_string(&original).expect("original dump");
+    let b = std::fs::read_to_string(&replayed).expect("replayed dump");
+    assert_eq!(a, b, "same-mix replay must reproduce the suite dump byte for byte");
+
+    let flat = cloudbench_bench::gate::parse_flat(
+        &std::fs::read_to_string(&metrics).expect("metrics dump"),
+    )
+    .expect("replayed metrics parse");
+    for key in ["fleetscale.commits", "fleetscale.dedup_ratio", "hist.scale_transfer.count"] {
+        assert!(flat.iter().any(|(k, _)| k == key), "{key} missing from the replayed metrics");
+    }
+
+    // A cross-mix replay of the same capture keeps the workload but moves
+    // the timing: the dump must differ from the original.
+    let out = repro(&[
+        "replay",
+        "--capture",
+        capture.to_str().expect("utf8"),
+        "--link",
+        "3g",
+        "--json",
+        "-",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_ne!(stdout(&out), a, "an all-3g remap cannot reproduce the original timing");
+}

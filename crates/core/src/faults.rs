@@ -30,7 +30,7 @@ use cloudsim_services::{
     AccessLink, FaultSchedule, FaultSpec, FaultStats, RetryConfig, ServiceProfile, SyncClient,
 };
 use cloudsim_storage::{ObjectStore, UploadPipeline};
-use cloudsim_trace::{SimDuration, SimTime};
+use cloudsim_trace::{HistogramSummary, LatencyHistogram, SimDuration, SimTime};
 use cloudsim_workload::seed::derive_seed;
 use cloudsim_workload::{BatchSpec, FileKind, GeneratedFile};
 use serde::Serialize;
@@ -113,6 +113,9 @@ pub struct FaultsSuite {
     pub workload: String,
     /// Policy names, in cell order.
     pub policies: Vec<String>,
+    /// Distribution of every backoff wait slept across all `link × policy`
+    /// cells, both directions. Only retrying policies contribute.
+    pub backoff_hist: HistogramSummary,
     /// One row per access-link preset, in [`AccessLink::all`] order.
     pub per_link: Vec<FaultLinkRow>,
 }
@@ -238,6 +241,7 @@ pub fn run_faults(seed: u64) -> FaultsSuite {
     let file_size = 192 * 1024usize;
     let batch = BatchSpec::new(files, file_size, FileKind::RandomBinary).generate(seed);
     let policies = fault_policies();
+    let mut backoff = LatencyHistogram::new();
 
     let per_link = AccessLink::all()
         .iter()
@@ -326,6 +330,8 @@ pub fn run_faults(seed: u64) -> FaultsSuite {
                         .as_secs_f64();
                     let mut stats = sync.stats;
                     stats.merge(&restore.stats);
+                    backoff.merge(&sync.backoff_waits);
+                    backoff.merge(&restore.backoff_waits);
                     FaultPolicyCell {
                         policy: retry.name().to_string(),
                         sync_completed: sync.completed,
@@ -360,6 +366,7 @@ pub fn run_faults(seed: u64) -> FaultsSuite {
         seed,
         workload: format!("{}x{}kB", files, file_size / 1024),
         policies: policies.iter().map(|p| p.name().to_string()).collect(),
+        backoff_hist: backoff.summary(),
         per_link,
     }
 }
@@ -398,6 +405,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn backoff_histogram_counts_exactly_the_retrying_policy_waits() {
+        let suite = canonical();
+        let hist = &suite.backoff_hist;
+        // `none` never sleeps, so every recorded wait is an exponential
+        // retry — the histogram and the retry counter must agree.
+        assert_eq!(hist.count, suite.stats_for("exponential").retries);
+        assert!(hist.count > 0);
+        // The standard policy's jittered base wait stays above a second.
+        assert!(hist.p50_s >= 1.0, "p50 {} below the base backoff", hist.p50_s);
+        assert!(hist.p50_s <= hist.p90_s && hist.p90_s <= hist.p999_s);
     }
 
     #[test]

@@ -16,8 +16,19 @@ use crate::idle::IdleSeries;
 use crate::restore::RestoreSuite;
 use crate::scale::FleetScaleSuite;
 use crate::schedule::ScheduleSuite;
+use cloudsim_trace::HistogramSummary;
 use serde::Serialize;
 use std::fmt::Write as _;
+
+/// One latency-distribution line, shared by every suite that carries a
+/// [`HistogramSummary`].
+fn hist_line(body: &mut String, label: &str, hist: &HistogramSummary) {
+    let _ = writeln!(
+        body,
+        "{label} latency (s, log-bucketed): n={} p50 {:.3} p90 {:.3} p99 {:.3} p99.9 {:.3}",
+        hist.count, hist.p50_s, hist.p90_s, hist.p99_s, hist.p999_s,
+    );
+}
 
 /// A rendered report section.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -333,6 +344,8 @@ impl Report {
             suite.dedup_saved_fraction() * 100.0,
             suite.failures,
         );
+        body.push('\n');
+        hist_line(&mut body, "restore", &suite.restore_hist);
         Report { title: "Restore: fleets pulling other users' content back down".to_string(), body }
     }
 
@@ -374,6 +387,7 @@ impl Report {
                 name, stats.count, stats.mean, stats.min, stats.max, stats.std_dev
             );
         }
+        hist_line(&mut body, "sync commit", &suite.sync_hist);
         let _ = writeln!(
             body,
             "\narrival spread {:.2}s; concurrency peak {} (lock-step control: {})",
@@ -432,6 +446,8 @@ impl Report {
             suite.concurrency_peak,
             suite.wall_secs,
         );
+        body.push('\n');
+        hist_line(&mut body, "transfer", &suite.transfer_hist);
         let _ = writeln!(
             body,
             "\nserver load curve over the {:.0}s active span ({} buckets, commits per bucket):",
@@ -507,6 +523,8 @@ impl Report {
                 stats.backoff_wait.as_secs_f64(),
             );
         }
+        body.push('\n');
+        hist_line(&mut body, "backoff wait", &suite.backoff_hist);
         Report {
             title: "Faults: seeded outages, resumable sessions and retry policies".to_string(),
             body,

@@ -23,6 +23,7 @@
 
 use cloudsim_services::fleet::{run_fleet_concurrent, FleetSpec};
 use cloudsim_services::{AccessLink, GcPolicy, ServiceProfile};
+use cloudsim_trace::HistogramSummary;
 use serde::Serialize;
 
 /// Per-access-link row of the restore suite.
@@ -61,6 +62,8 @@ pub struct RestoreSuite {
     pub dedup_saved_bytes: u64,
     /// Clean restore failures (pulls of the departed source).
     pub failures: usize,
+    /// Distribution of end-to-end restore durations across every pull.
+    pub restore_hist: HistogramSummary,
     /// One row per access link that hosted at least one puller.
     pub per_link: Vec<RestoreLinkRow>,
 }
@@ -139,6 +142,7 @@ pub fn run_restore(clients: usize, seed: u64) -> RestoreSuite {
         downloaded_payload: run.total_downloaded_payload(),
         dedup_saved_bytes: run.restore_dedup_saved_bytes(),
         failures: run.total_restore_failures(),
+        restore_hist: run.restore_duration_histogram().summary(),
         per_link,
     }
 }
@@ -170,6 +174,18 @@ mod tests {
         assert!(suite.restored_logical_bytes > 0);
         assert!(suite.downloaded_payload > 0);
         assert!(suite.downloaded_payload < suite.restored_logical_bytes);
+    }
+
+    #[test]
+    fn restore_histogram_covers_every_pull_with_ordered_quantiles() {
+        let suite = canonical();
+        let hist = &suite.restore_hist;
+        // 4 pullers x 2 sources x 3 rounds, minus the pulls the departed
+        // victim (itself a puller) never performed after round 0; failed
+        // pulls of its namespace still count.
+        assert_eq!(hist.count, 20);
+        assert!(hist.p50_s > 0.0);
+        assert!(hist.p50_s <= hist.p90_s && hist.p90_s <= hist.p99_s && hist.p99_s <= hist.p999_s);
     }
 
     #[test]

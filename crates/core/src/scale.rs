@@ -21,7 +21,9 @@
 //! gated as `fleetscale.*` metrics and the CI fleet-scale determinism leg
 //! `cmp`s two fresh JSON dumps byte for byte.
 
-use cloudsim_services::scale::{run_scale_concurrent, ScaleSpec};
+use cloudsim_services::capture::{replay_concurrent, FleetCapture, ReplayMix};
+use cloudsim_services::scale::{run_scale_concurrent, ScaleRun, ScaleSpec};
+use cloudsim_trace::{HistogramSummary, SimDuration};
 use serde::Serialize;
 
 /// Buckets of the reported server load curve.
@@ -65,6 +67,8 @@ pub struct FleetScaleSuite {
     /// Commits bucketed by start instant into [`LOAD_CURVE_BUCKETS`] equal
     /// slices of the active span.
     pub load_curve: Vec<u64>,
+    /// Distribution of per-commit transfer durations across the population.
+    pub transfer_hist: HistogramSummary,
     /// Host wall-clock seconds the run took. The one non-deterministic
     /// field: excluded from gate metrics and from JSON serialisation (the
     /// CI determinism leg `cmp`s two dumps byte for byte), reported in the
@@ -73,17 +77,23 @@ pub struct FleetScaleSuite {
     pub wall_secs: f64,
 }
 
-/// Runs the canonical fleet-scale population with one worker per host core
-/// and assembles the suite.
-pub fn run_fleet_scale(clients: usize, seed: u64) -> FleetScaleSuite {
-    let spec = scale_spec(clients, seed);
-    let run = run_scale_concurrent(&spec);
+/// Assembles the suite from a finished run and its workload description —
+/// the one code path both the spec-derived runner and the capture replay
+/// go through, so a same-mix replay derives every field with the exact
+/// same arithmetic and reproduces the suite bit for bit.
+fn assemble_suite(
+    commits_per_client: usize,
+    files_per_commit: usize,
+    file_size: u64,
+    horizon: SimDuration,
+    run: &ScaleRun,
+) -> FleetScaleSuite {
     let aggregate = run.aggregate();
     FleetScaleSuite {
         clients: run.clients,
-        commits_per_client: spec.commits_per_client,
-        workload: format!("{}x{}kB", spec.files_per_commit, spec.file_size / 1024),
-        horizon_s: spec.horizon.as_secs_f64(),
+        commits_per_client,
+        workload: format!("{}x{}kB", files_per_commit, file_size / 1024),
+        horizon_s: horizon.as_secs_f64(),
         commits: run.commits,
         files: run.files,
         logical_mb: run.logical_bytes as f64 / 1e6,
@@ -93,8 +103,42 @@ pub fn run_fleet_scale(clients: usize, seed: u64) -> FleetScaleSuite {
         commits_per_vsec: run.commits_per_vsec(),
         concurrency_peak: run.concurrency_peak(),
         load_curve: run.load_curve(LOAD_CURVE_BUCKETS),
+        transfer_hist: run.transfer_histogram().summary(),
         wall_secs: run.elapsed.as_secs_f64(),
     }
+}
+
+/// Runs the canonical fleet-scale population with one worker per host core
+/// and assembles the suite.
+pub fn run_fleet_scale(clients: usize, seed: u64) -> FleetScaleSuite {
+    let spec = scale_spec(clients, seed);
+    let run = run_scale_concurrent(&spec);
+    assemble_suite(
+        spec.commits_per_client,
+        spec.files_per_commit,
+        spec.file_size,
+        spec.horizon,
+        &run,
+    )
+}
+
+/// Re-drives a parsed capture with one worker per host core and assembles
+/// the suite from the replayed run. With [`ReplayMix::Original`] the result
+/// is bit-identical to [`run_fleet_scale`] on the captured spec (the CI
+/// replay-fidelity leg `cmp`s the two JSON dumps); a link or profile remap
+/// is the paper-style A/B comparison over the same recorded workload.
+pub fn replay_fleet_scale(
+    capture: &FleetCapture,
+    mix: &ReplayMix,
+) -> Result<FleetScaleSuite, String> {
+    let run = replay_concurrent(capture, mix)?;
+    Ok(assemble_suite(
+        capture.commits_per_client,
+        capture.files_per_commit,
+        capture.file_size,
+        capture.horizon,
+        &run,
+    ))
 }
 
 #[cfg(test)]
@@ -130,6 +174,71 @@ mod tests {
         assert_eq!(suite.load_curve.iter().sum::<u64>(), suite.commits);
         let populated = suite.load_curve.iter().filter(|&&c| c > 0).count();
         assert!(populated == LOAD_CURVE_BUCKETS, "uniform draws must fill every bucket");
+    }
+
+    #[test]
+    fn transfer_histogram_summarises_every_commit() {
+        let suite = canonical();
+        assert_eq!(suite.transfer_hist.count, suite.commits);
+        assert!(suite.transfer_hist.p50_s > 0.0);
+        assert!(suite.transfer_hist.p50_s <= suite.transfer_hist.p999_s);
+    }
+
+    #[test]
+    fn same_mix_replay_reproduces_the_suite_bit_for_bit() {
+        use cloudsim_services::capture::{parse_capture, render_capture};
+
+        let spec = scale_spec(300, 7);
+        let original = run_fleet_scale(300, 7);
+        let capture = parse_capture(&render_capture(&spec)).expect("capture must parse");
+        let replayed = replay_fleet_scale(&capture, &ReplayMix::Original).expect("replay");
+
+        assert_eq!(replayed.clients, original.clients);
+        assert_eq!(replayed.commits_per_client, original.commits_per_client);
+        assert_eq!(replayed.workload, original.workload);
+        assert_eq!(replayed.commits, original.commits);
+        assert_eq!(replayed.files, original.files);
+        assert_eq!(replayed.load_curve, original.load_curve);
+        assert_eq!(replayed.concurrency_peak, original.concurrency_peak);
+        for (a, b) in [
+            (replayed.horizon_s, original.horizon_s),
+            (replayed.logical_mb, original.logical_mb),
+            (replayed.physical_mb, original.physical_mb),
+            (replayed.dedup_ratio, original.dedup_ratio),
+            (replayed.virtual_span_s, original.virtual_span_s),
+            (replayed.commits_per_vsec, original.commits_per_vsec),
+            (replayed.transfer_hist.p50_s, original.transfer_hist.p50_s),
+            (replayed.transfer_hist.p999_s, original.transfer_hist.p999_s),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "replayed {a} != original {b}");
+        }
+        // The serialised reports must be byte-identical too (`wall_secs` is
+        // skipped) — the exact property the CI replay-fidelity leg `cmp`s.
+        assert_eq!(
+            crate::report::Report::to_json(&replayed),
+            crate::report::Report::to_json(&original),
+        );
+    }
+
+    #[test]
+    fn cross_mix_replay_preserves_the_workload_but_not_the_timing() {
+        use cloudsim_services::capture::{parse_capture, render_capture};
+        use cloudsim_services::AccessLink;
+
+        let spec = scale_spec(300, 7);
+        let original = run_fleet_scale(300, 7);
+        let capture = parse_capture(&render_capture(&spec)).expect("capture must parse");
+        let remapped = replay_fleet_scale(&capture, &ReplayMix::Link(AccessLink::adsl()))
+            .expect("link remap replay");
+
+        // Same recorded workload: volume and dedup are invariant.
+        assert_eq!(remapped.commits, original.commits);
+        assert_eq!(remapped.files, original.files);
+        assert_eq!(remapped.logical_mb.to_bits(), original.logical_mb.to_bits());
+        assert_eq!(remapped.dedup_ratio.to_bits(), original.dedup_ratio.to_bits());
+        // Different mix: everyone on ADSL stretches the timeline.
+        assert!(remapped.transfer_hist.p50_s > original.transfer_hist.p50_s);
+        assert_ne!(remapped.virtual_span_s.to_bits(), original.virtual_span_s.to_bits());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use cloudsim_services::fleet::{run_fleet_concurrent, FleetSpec};
 use cloudsim_services::schedule::ThinkTime;
 use cloudsim_services::{AccessLink, GcPolicy, ServiceProfile};
 use cloudsim_trace::series::SampleStats;
-use cloudsim_trace::SimDuration;
+use cloudsim_trace::{HistogramSummary, SimDuration};
 use serde::Serialize;
 
 /// The service mix of the canonical temporal scenario, in slot order.
@@ -89,6 +89,9 @@ pub struct ScheduleSuite {
     /// Paper-style sync start-up delay distribution (modification → sync
     /// start), one sample per activated round.
     pub startup_delay: SampleStats,
+    /// Distribution of per-sync commit durations across every activated
+    /// round.
+    pub sync_hist: HistogramSummary,
     /// Per-client completion-time distribution over the clients that
     /// synced.
     pub completion: SampleStats,
@@ -147,6 +150,7 @@ pub fn run_schedule(clients: usize, seed: u64) -> ScheduleSuite {
         sync_rounds: run.total_synced_rounds(),
         idle_rounds: run.total_idle_rounds(),
         startup_delay: run.startup_delay_stats(),
+        sync_hist: run.sync_duration_histogram().summary(),
         completion: run.completion_stats(),
         first_sync_spread_s: run.first_sync_spread_secs(),
         concurrency_peak: run.sync_concurrency_peak(),

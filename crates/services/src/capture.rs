@@ -1,0 +1,498 @@
+//! Versioned fleet-run captures and timing-faithful replay.
+//!
+//! The paper's methodology is *capture first, analyse later*: every claim is
+//! derived from recorded traffic, and the same recording can be interrogated
+//! against different questions. This module gives the fleet-scale runner the
+//! same property. [`render_capture`] lowers a [`ScaleSpec`] into a compact,
+//! versioned JSONL recording — one header line describing the population,
+//! then one line per commit event `(timestamp, client, op, bytes, content
+//! seeds)` in event-heap order. [`replay`] re-drives a parsed capture
+//! through the same event heap and the same commit executor
+//! ([`crate::scale`]), so:
+//!
+//! * **same-mix replay is bit-identical**: the capture stores exact
+//!   microsecond instants and the exact content seeds, the replay rebuilds
+//!   the same store keyspace and the same analytic timeline, and every
+//!   derived metric reproduces to the bit — a CI leg `cmp`s the dumps;
+//! * **cross-mix replay is the paper's A/B comparison**: the same recorded
+//!   workload re-driven against a different access-link preset
+//!   ([`ReplayMix::Link`]) or a different service's transfer behaviour
+//!   ([`ReplayMix::Profile`] — a non-bundling service pays one access round
+//!   trip per file instead of one per commit, the Fig. 3 story), isolating
+//!   the remapped factor while holding the workload fixed.
+//!
+//! Everything is plain text with integer-only fields, so captures diff
+//! cleanly and survive version control. The parser is hand-rolled over the
+//! line grammar (the vendored `serde_json` is a serialiser only) and
+//! rejects unknown format names and versions up front.
+
+use crate::engine::{EventHeap, FleetEvent, Phase};
+use crate::profile::ServiceProfile;
+use crate::scale::{assemble_run, drive_waves, execute_transfer, scale_user, ScaleRun, ScaleSpec};
+use cloudsim_net::AccessLink;
+use cloudsim_storage::{GcPolicy, ObjectStore};
+use cloudsim_trace::{SimDuration, SimTime};
+
+/// The capture format's stable name, written into every header line.
+pub const CAPTURE_FORMAT: &str = "cloudsim-fleet-capture";
+
+/// The capture format version this build reads and writes.
+pub const CAPTURE_VERSION: u64 = 1;
+
+/// One recorded commit event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureEvent {
+    /// The seeded virtual instant the commit was issued at.
+    pub at: SimTime,
+    /// Index of the issuing client.
+    pub client: usize,
+    /// The client's commit round.
+    pub round: usize,
+    /// Plaintext bytes the commit carries.
+    pub bytes: u64,
+    /// Per-file content seeds — replay commits the exact same hashes, so
+    /// population-scale dedup reproduces too.
+    pub content_seeds: Vec<u64>,
+}
+
+/// A parsed capture: the population header plus every event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCapture {
+    /// Clients in the recorded population.
+    pub clients: usize,
+    /// Commits each client performed.
+    pub commits_per_client: usize,
+    /// Files per commit.
+    pub files_per_commit: usize,
+    /// Plaintext size of each file in bytes.
+    pub file_size: u64,
+    /// Leading files of each commit drawn from the shared pool.
+    pub shared_files_per_commit: usize,
+    /// The virtual horizon of the recorded run.
+    pub horizon: SimDuration,
+    /// Access-link preset names, round-robin across clients.
+    pub link_names: Vec<String>,
+    /// The recorded run's master seed (provenance only — replay never
+    /// redraws anything from it).
+    pub seed: u64,
+    /// Every commit event, in event-heap order.
+    pub events: Vec<CaptureEvent>,
+}
+
+/// What a replay substitutes for the captured mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayMix {
+    /// Replay against the captured link mix and transfer behaviour —
+    /// reproduces the original run bit for bit.
+    Original,
+    /// Re-drive the captured workload with every client on one access-link
+    /// preset.
+    Link(AccessLink),
+    /// Re-drive the captured workload with another service's transfer
+    /// behaviour: a non-bundling service opens a connection per file, so a
+    /// commit pays `files_per_commit` access round trips instead of one.
+    Profile(ServiceProfile),
+}
+
+/// Renders the capture of the fleet-scale run `spec` describes: pure
+/// function of the spec, so capturing never requires running the fleet
+/// first — the recording *is* the run's input, bit for bit.
+pub fn render_capture(spec: &ScaleSpec) -> String {
+    let mut out = String::new();
+    let links: Vec<String> = spec.links.iter().map(|l| format!("\"{}\"", l.name)).collect();
+    out.push_str(&format!(
+        "{{\"format\":\"{}\",\"version\":{},\"clients\":{},\"commits_per_client\":{},\
+         \"files_per_commit\":{},\"file_size\":{},\"shared_files_per_commit\":{},\
+         \"horizon_us\":{},\"seed\":{},\"links\":[{}]}}\n",
+        CAPTURE_FORMAT,
+        CAPTURE_VERSION,
+        spec.clients,
+        spec.commits_per_client,
+        spec.files_per_commit,
+        spec.file_size,
+        spec.shared_files_per_commit(),
+        spec.horizon.as_micros(),
+        spec.seed,
+        links.join(",")
+    ));
+
+    let batch_bytes = spec.files_per_commit as u64 * spec.file_size;
+    let mut heap = spec.events();
+    while let Some(ev) = heap.pop() {
+        let seeds: Vec<String> = (0..spec.files_per_commit)
+            .map(|f| spec.content_seed(ev.client, ev.round, f).to_string())
+            .collect();
+        out.push_str(&format!(
+            "{{\"t_us\":{},\"client\":{},\"op\":\"sync\",\"round\":{},\"bytes\":{},\"content\":[{}]}}\n",
+            ev.at.as_micros(),
+            ev.client,
+            ev.round,
+            batch_bytes,
+            seeds.join(",")
+        ));
+    }
+    out
+}
+
+/// Extracts the raw text of `"key":` in `line`, up to the next top-level
+/// `,` or `}`.
+fn raw_field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("capture line is missing field \"{key}\": {line}"))?
+        + marker.len();
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            ',' | '}' if !in_string && depth == 0 => return Ok(rest[..i].trim()),
+            _ => {}
+        }
+    }
+    Err(format!("unterminated field \"{key}\": {line}"))
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+    raw_field(line, key)?
+        .parse::<u64>()
+        .map_err(|e| format!("field \"{key}\" is not an integer ({e}): {line}"))
+}
+
+fn usize_field(line: &str, key: &str) -> Result<usize, String> {
+    Ok(u64_field(line, key)? as usize)
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let raw = raw_field(line, key)?;
+    raw.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field \"{key}\" is not a string: {line}"))
+}
+
+fn array_field(line: &str, key: &str) -> Result<Vec<String>, String> {
+    let raw = raw_field(line, key)?;
+    let inner = raw
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("field \"{key}\" is not an array: {line}"))?
+        .trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(inner.split(',').map(|s| s.trim().to_owned()).collect())
+}
+
+fn u64_array_field(line: &str, key: &str) -> Result<Vec<u64>, String> {
+    array_field(line, key)?
+        .into_iter()
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("field \"{key}\" holds a non-integer element ({e})"))
+        })
+        .collect()
+}
+
+/// Parses a capture rendered by [`render_capture`] (or by a newer build
+/// writing the same version). Rejects unknown formats and versions, and
+/// validates every event against the header so a truncated or hand-edited
+/// capture fails loudly instead of replaying garbage.
+pub fn parse_capture(text: &str) -> Result<FleetCapture, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("capture is empty")?;
+
+    let format = str_field(header, "format")?;
+    if format != CAPTURE_FORMAT {
+        return Err(format!("unknown capture format \"{format}\" (expected \"{CAPTURE_FORMAT}\")"));
+    }
+    let version = u64_field(header, "version")?;
+    if version != CAPTURE_VERSION {
+        return Err(format!(
+            "unsupported capture version {version} (this build reads version {CAPTURE_VERSION})"
+        ));
+    }
+
+    let capture_header = (
+        usize_field(header, "clients")?,
+        usize_field(header, "commits_per_client")?,
+        usize_field(header, "files_per_commit")?,
+        u64_field(header, "file_size")?,
+        usize_field(header, "shared_files_per_commit")?,
+        u64_field(header, "horizon_us")?,
+        u64_field(header, "seed")?,
+        array_field(header, "links")?,
+    );
+    let (clients, commits_per_client, files_per_commit, file_size, shared, horizon_us, seed, links) =
+        capture_header;
+    if clients == 0 || commits_per_client == 0 || files_per_commit == 0 || file_size == 0 {
+        return Err("capture header describes an empty population".into());
+    }
+    if links.is_empty() {
+        return Err("capture header lists no access links".into());
+    }
+    let link_names: Result<Vec<String>, String> = links
+        .into_iter()
+        .map(|quoted| {
+            quoted
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_owned)
+                .ok_or_else(|| format!("link entry {quoted} is not a string"))
+        })
+        .collect();
+    let link_names = link_names?;
+
+    let expected_bytes = files_per_commit as u64 * file_size;
+    let mut events = Vec::new();
+    for line in lines {
+        let op = str_field(line, "op")?;
+        if op != "sync" {
+            return Err(format!(
+                "capture version {CAPTURE_VERSION} only records \"sync\" events, got \"{op}\""
+            ));
+        }
+        let event = CaptureEvent {
+            at: SimTime::from_micros(u64_field(line, "t_us")?),
+            client: usize_field(line, "client")?,
+            round: usize_field(line, "round")?,
+            bytes: u64_field(line, "bytes")?,
+            content_seeds: u64_array_field(line, "content")?,
+        };
+        if event.client >= clients {
+            return Err(format!(
+                "event client {} outside the {clients}-client header",
+                event.client
+            ));
+        }
+        if event.round >= commits_per_client {
+            return Err(format!(
+                "event round {} outside the {commits_per_client}-commit header",
+                event.round
+            ));
+        }
+        if event.bytes != expected_bytes {
+            return Err(format!(
+                "event carries {} bytes but the header's commit is {expected_bytes} bytes",
+                event.bytes
+            ));
+        }
+        if event.content_seeds.len() != files_per_commit {
+            return Err(format!(
+                "event carries {} content seeds for a {files_per_commit}-file commit",
+                event.content_seeds.len()
+            ));
+        }
+        events.push(event);
+    }
+    if events.len() != clients * commits_per_client {
+        return Err(format!(
+            "capture holds {} events but the header promises {}",
+            events.len(),
+            clients * commits_per_client
+        ));
+    }
+
+    Ok(FleetCapture {
+        clients,
+        commits_per_client,
+        files_per_commit,
+        file_size,
+        shared_files_per_commit: shared,
+        horizon: SimDuration::from_micros(horizon_us),
+        link_names,
+        seed,
+        events,
+    })
+}
+
+/// Re-drives a parsed capture through the event heap on up to `workers`
+/// threads. [`ReplayMix::Original`] reproduces the recorded run bit for
+/// bit; the other mixes substitute one factor and hold the workload fixed.
+pub fn replay(capture: &FleetCapture, mix: &ReplayMix, workers: usize) -> Result<ScaleRun, String> {
+    let links: Vec<AccessLink> = match mix {
+        ReplayMix::Link(link) => vec![*link],
+        ReplayMix::Original | ReplayMix::Profile(_) => capture
+            .link_names
+            .iter()
+            .map(|name| {
+                AccessLink::by_name(name)
+                    .ok_or_else(|| format!("capture references unknown link preset \"{name}\""))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let rtts_per_commit = match mix {
+        ReplayMix::Profile(profile) if !profile.bundles() => capture.files_per_commit as u64,
+        _ => 1,
+    };
+
+    // Content seeds keyed by (client, round) so the executor can look an
+    // event's commit up without threading the capture through the heap.
+    let mut seeds: Vec<&[u64]> = vec![&[]; capture.clients * capture.commits_per_client];
+    let mut heap_events = Vec::with_capacity(capture.events.len());
+    for ev in &capture.events {
+        seeds[ev.client * capture.commits_per_client + ev.round] = &ev.content_seeds;
+        heap_events.push(FleetEvent {
+            at: ev.at,
+            phase: Phase::Sync,
+            client: ev.client,
+            round: ev.round,
+        });
+    }
+    let heap = EventHeap::from_events(heap_events);
+
+    let store = ObjectStore::with_policy(GcPolicy::MarkSweep);
+    let started = std::time::Instant::now();
+    let (states, intervals) = drive_waves(heap, capture.clients, workers, |ev, state| {
+        execute_transfer(
+            &store,
+            &scale_user(ev.client),
+            &links[ev.client % links.len()],
+            ev.round,
+            capture.files_per_commit,
+            capture.file_size,
+            capture.shared_files_per_commit,
+            rtts_per_commit,
+            ev.at,
+            |f| seeds[ev.client * capture.commits_per_client + ev.round][f],
+            state,
+        )
+    });
+    let files = capture.clients as u64
+        * capture.commits_per_client as u64
+        * capture.files_per_commit as u64;
+    Ok(assemble_run(capture.clients, files, &states, intervals, store, started))
+}
+
+/// [`replay`] with one worker per host core — the replay twin of
+/// [`crate::scale::run_scale_concurrent`].
+pub fn replay_concurrent(capture: &FleetCapture, mix: &ReplayMix) -> Result<ScaleRun, String> {
+    replay(capture, mix, cloudsim_parallel::available_workers())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::run_scale_concurrent;
+
+    fn small_spec() -> ScaleSpec {
+        ScaleSpec::new(48).with_seed(0xCAB)
+    }
+
+    #[test]
+    fn capture_roundtrips_through_the_parser() {
+        let spec = small_spec();
+        let text = render_capture(&spec);
+        let capture = parse_capture(&text).expect("own capture must parse");
+        assert_eq!(capture.clients, spec.clients);
+        assert_eq!(capture.commits_per_client, spec.commits_per_client);
+        assert_eq!(capture.file_size, spec.file_size);
+        assert_eq!(capture.shared_files_per_commit, spec.shared_files_per_commit());
+        assert_eq!(capture.horizon, spec.horizon);
+        assert_eq!(capture.seed, spec.seed);
+        assert_eq!(capture.link_names, vec!["campus", "fiber", "adsl", "3g"]);
+        assert_eq!(capture.events.len(), spec.clients * spec.commits_per_client);
+        // Events are recorded in heap order: timestamps never decrease.
+        for pair in capture.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn same_mix_replay_is_bit_identical_to_the_original_run() {
+        let spec = small_spec();
+        let original = run_scale_concurrent(&spec);
+        let capture = parse_capture(&render_capture(&spec)).unwrap();
+        let replayed = replay_concurrent(&capture, &ReplayMix::Original).unwrap();
+
+        assert_eq!(replayed.clients, original.clients);
+        assert_eq!(replayed.commits, original.commits);
+        assert_eq!(replayed.files, original.files);
+        assert_eq!(replayed.logical_bytes, original.logical_bytes);
+        assert_eq!(replayed.intervals, original.intervals);
+        assert_eq!(replayed.aggregate(), original.aggregate());
+        assert_eq!(replayed.dedup_ratio().to_bits(), original.dedup_ratio().to_bits());
+        assert_eq!(replayed.commits_per_vsec().to_bits(), original.commits_per_vsec().to_bits());
+        assert_eq!(replayed.load_curve(12), original.load_curve(12));
+        for i in [0usize, 13, 47] {
+            let user = scale_user(i);
+            assert_eq!(replayed.store.stats(&user), original.store.stats(&user));
+            assert_eq!(replayed.store.list_files(&user), original.store.list_files(&user));
+        }
+    }
+
+    #[test]
+    fn link_remap_shifts_timing_but_preserves_the_workload() {
+        let spec = small_spec();
+        let original = run_scale_concurrent(&spec);
+        let capture = parse_capture(&render_capture(&spec)).unwrap();
+        let remapped = replay_concurrent(&capture, &ReplayMix::Link(AccessLink::adsl())).unwrap();
+
+        // The workload is identical...
+        assert_eq!(remapped.commits, original.commits);
+        assert_eq!(remapped.files, original.files);
+        assert_eq!(remapped.logical_bytes, original.logical_bytes);
+        assert_eq!(remapped.aggregate(), original.aggregate());
+        // ...but every client now uploads through ADSL, so the mixed-link
+        // timeline is gone.
+        assert_ne!(remapped.intervals, original.intervals);
+        let all_adsl = replay_concurrent(&capture, &ReplayMix::Link(AccessLink::adsl())).unwrap();
+        assert_eq!(all_adsl.intervals, remapped.intervals, "replay must be deterministic");
+    }
+
+    #[test]
+    fn profile_remap_charges_per_file_round_trips() {
+        let spec = small_spec();
+        let capture = parse_capture(&render_capture(&spec)).unwrap();
+        let bundled = replay_concurrent(&capture, &ReplayMix::Original).unwrap();
+        let per_file = ServiceProfile::all()
+            .into_iter()
+            .find(|p| !p.bundles())
+            .expect("some profile must not bundle");
+        let unbundled = replay_concurrent(&capture, &ReplayMix::Profile(per_file)).unwrap();
+
+        assert_eq!(unbundled.aggregate(), bundled.aggregate());
+        // Every commit pays files_per_commit RTTs instead of one, so no
+        // transfer finishes earlier and the non-campus ones finish later.
+        let longer = bundled
+            .intervals
+            .iter()
+            .zip(&unbundled.intervals)
+            .filter(|((_, e0), (_, e1))| e1 > e0)
+            .count();
+        assert!(longer > 0, "per-file round trips must slow some transfers");
+        // A bundling profile replays exactly like the original mix.
+        let still_bundled = ServiceProfile::all().into_iter().find(|p| p.bundles()).unwrap();
+        let same = replay_concurrent(&capture, &ReplayMix::Profile(still_bundled)).unwrap();
+        assert_eq!(same.intervals, bundled.intervals);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_captures() {
+        let spec = ScaleSpec::new(2).with_seed(1);
+        let good = render_capture(&spec);
+
+        assert!(parse_capture("").is_err());
+        let bad_format = good.replacen(CAPTURE_FORMAT, "pcap", 1);
+        assert!(parse_capture(&bad_format).unwrap_err().contains("unknown capture format"));
+        let bad_version = good.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(parse_capture(&bad_version).unwrap_err().contains("unsupported capture version"));
+        let truncated: String = good.lines().take(2).map(|l| format!("{l}\n")).collect();
+        assert!(parse_capture(&truncated).unwrap_err().contains("events"));
+        let bad_bytes = good.replacen("\"bytes\":262144", "\"bytes\":1", 1);
+        assert!(parse_capture(&bad_bytes).unwrap_err().contains("bytes"));
+    }
+
+    #[test]
+    fn replay_rejects_unknown_link_presets() {
+        let spec = ScaleSpec::new(2).with_seed(1);
+        let text = render_capture(&spec).replacen("\"campus\"", "\"dialup\"", 1);
+        let capture = parse_capture(&text).unwrap();
+        let err = replay_concurrent(&capture, &ReplayMix::Original).unwrap_err();
+        assert!(err.contains("dialup"));
+    }
+}

@@ -14,7 +14,7 @@ use crate::session::{FaultStats, RangedRestore, UploadSession};
 use cloudsim_net::http::{HttpExchange, HttpOverhead};
 use cloudsim_net::tcp::{ConnectionOptions, TcpConnection};
 use cloudsim_net::{AccessLink, FaultSchedule, Simulator, TransferInterrupted};
-use cloudsim_trace::{FlowKind, SimDuration, SimTime};
+use cloudsim_trace::{FlowKind, LatencyHistogram, SimDuration, SimTime};
 use cloudsim_workload::seed::derive_seed;
 use cloudsim_workload::GeneratedFile;
 
@@ -82,7 +82,7 @@ pub struct SyncOutcome {
 /// [`SyncOutcome`] plus what recovery cost and how much payload became
 /// durable. `outcome.completed_at` is when the *session* finished — whether
 /// by committing every chunk or by exhausting retry budgets.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultedSyncOutcome {
     /// The plain sync accounting (timing, planned payload).
     pub outcome: SyncOutcome,
@@ -94,13 +94,15 @@ pub struct FaultedSyncOutcome {
     pub completed: bool,
     /// Interruption / retry / wasted-byte accounting for the batch.
     pub stats: FaultStats,
+    /// Distribution of the seeded backoff waits the batch actually slept.
+    pub backoff_waits: LatencyHistogram,
 }
 
 /// The outcome of one fault-injected restore: the plain [`RestoreOutcome`]
 /// plus recovery accounting. A file only counts as restored once its ranged
 /// download completed *and* the reassembled content passed SHA-256
 /// validation; abandoned files count as failed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultedRestoreOutcome {
     /// The plain restore accounting (timing, payload, failures).
     pub outcome: RestoreOutcome,
@@ -110,6 +112,8 @@ pub struct FaultedRestoreOutcome {
     pub completed: bool,
     /// Interruption / retry / wasted-byte accounting for the restore.
     pub stats: FaultStats,
+    /// Distribution of the seeded backoff waits the restore actually slept.
+    pub backoff_waits: LatencyHistogram,
 }
 
 /// A sync client bound to one service profile and one deployment.
@@ -715,6 +719,7 @@ impl SyncClient {
         let mut t = transfer_start;
         let mut current = usize::MAX;
         let mut attempt = 0u32;
+        let mut backoff_waits = LatencyHistogram::new();
         while let Some((idx, tail)) = session.remaining() {
             if idx != current {
                 current = idx;
@@ -733,6 +738,7 @@ impl SyncClient {
                     match policy.backoff(attempt, draw) {
                         Some(wait) => {
                             session.retried(wait);
+                            backoff_waits.record(wait);
                             // Backoff burns virtual-clock time like think
                             // time does, so retries interleave with the
                             // fleet's temporal schedule.
@@ -769,6 +775,7 @@ impl SyncClient {
             abandoned_chunks: session.abandoned_chunks(),
             completed: session.is_complete(),
             stats: session.stats(),
+            backoff_waits,
         }
     }
 
@@ -878,6 +885,7 @@ impl SyncClient {
         let mut downloaded_payload = 0u64;
         let mut dedup_skipped_bytes = 0u64;
         let mut stats = FaultStats::default();
+        let mut backoff_waits = LatencyHistogram::new();
         for (fi, file) in work.iter().enumerate() {
             let bytes = file.download_bytes();
             let mut ranged = RangedRestore::new(bytes);
@@ -901,6 +909,7 @@ impl SyncClient {
                         match policy.backoff(attempt, draw) {
                             Some(wait) => {
                                 ranged.retried(wait);
+                                backoff_waits.record(wait);
                                 t = int.interrupted_at + wait;
                             }
                             None => {
@@ -947,6 +956,7 @@ impl SyncClient {
             files_abandoned,
             completed,
             stats,
+            backoff_waits,
         }
     }
 

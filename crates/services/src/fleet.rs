@@ -62,7 +62,7 @@ use crate::session::FaultStats;
 use cloudsim_net::{AccessLink, FaultSchedule, FaultSpec, Simulator};
 use cloudsim_storage::{AggregateStats, GcPolicy, ObjectStore, UploadPipeline};
 use cloudsim_trace::series::SampleStats;
-use cloudsim_trace::{FlowKind, SimDuration, SimTime};
+use cloudsim_trace::{FlowKind, LatencyHistogram, SimDuration, SimTime};
 use cloudsim_workload::{generate, FileKind, GeneratedFile};
 use serde::Serialize;
 use std::sync::Mutex;
@@ -640,6 +640,9 @@ pub struct ClientSummary {
     /// Interruption / retry / wasted-byte accounting over every faulted
     /// transfer of the client. All-zero without faults.
     pub fault_stats: FaultStats,
+    /// Distribution of every backoff wait the client's faulted transfers
+    /// slept. Empty without faults.
+    pub backoff_waits: LatencyHistogram,
 }
 
 impl ClientSummary {
@@ -934,6 +937,40 @@ impl FleetRun {
         }
     }
 
+    /// Distribution of per-sync commit durations (sync start to upload
+    /// completion) across every activated round of every client. Clients
+    /// are visited in index order and the histogram's buckets are fixed, so
+    /// the result is bit-identical across worker counts and reruns.
+    pub fn sync_duration_histogram(&self) -> LatencyHistogram {
+        self.clients
+            .iter()
+            .flat_map(|c| c.outcomes.iter())
+            .map(|o| o.completed_at - o.sync_started_at)
+            .collect()
+    }
+
+    /// Distribution of end-to-end restore durations (request to completion)
+    /// across every restore operation of every client.
+    pub fn restore_duration_histogram(&self) -> LatencyHistogram {
+        self.clients
+            .iter()
+            .flat_map(|c| c.restores.iter())
+            .map(|r| r.completed_at - r.requested_at)
+            .collect()
+    }
+
+    /// Distribution of every backoff wait the fleet's faulted transfers
+    /// slept. Merging per-client histograms is order-independent, so the
+    /// result is bit-identical however the fleet was parallelised. Empty
+    /// for a fault-free run.
+    pub fn backoff_histogram(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for client in &self.clients {
+            merged.merge(&client.backoff_waits);
+        }
+        merged
+    }
+
     /// Merged fault-recovery accounting over every client. All-zero for a
     /// fault-free run.
     pub fn fault_stats(&self) -> FaultStats {
@@ -1013,6 +1050,7 @@ struct LiveClient {
     abandoned_chunks: usize,
     abandoned_restores: usize,
     fault_stats: FaultStats,
+    backoff_waits: LatencyHistogram,
 }
 
 fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -> LiveClient {
@@ -1044,6 +1082,7 @@ fn spawn_client(spec: &FleetSpec, store: &ObjectStore, i: usize, round: usize) -
         abandoned_chunks: 0,
         abandoned_restores: 0,
         fault_stats: FaultStats::default(),
+        backoff_waits: LatencyHistogram::new(),
     }
 }
 
@@ -1077,6 +1116,7 @@ fn restore_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, round: usize) 
                 );
                 lc.abandoned_restores += faulted.files_abandoned;
                 lc.fault_stats.merge(&faulted.stats);
+                lc.backoff_waits.merge(&faulted.backoff_waits);
                 faulted.outcome
             }
         };
@@ -1120,6 +1160,7 @@ fn sync_round(spec: &FleetSpec, lc: &mut LiveClient, i: usize, activation: &Sync
             lc.committed_payload += faulted.committed_payload;
             lc.abandoned_chunks += faulted.abandoned_chunks;
             lc.fault_stats.merge(&faulted.stats);
+            lc.backoff_waits.merge(&faulted.backoff_waits);
             faulted.outcome
         }
     };
@@ -1174,6 +1215,7 @@ fn summarize(
         abandoned_chunks: lc.abandoned_chunks,
         abandoned_restores: lc.abandoned_restores,
         fault_stats: lc.fault_stats,
+        backoff_waits: lc.backoff_waits,
         outcomes: lc.outcomes,
         restores: lc.restores,
     }

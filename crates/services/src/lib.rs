@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod client;
 pub mod deployment;
 pub mod engine;
@@ -45,6 +46,10 @@ pub mod scale;
 pub mod schedule;
 pub mod session;
 
+pub use capture::{
+    parse_capture, render_capture, replay, replay_concurrent, CaptureEvent, FleetCapture,
+    ReplayMix, CAPTURE_FORMAT, CAPTURE_VERSION,
+};
 pub use client::{
     FaultedRestoreOutcome, FaultedSyncOutcome, RestoreOutcome, SyncClient, SyncOutcome,
 };

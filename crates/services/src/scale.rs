@@ -33,9 +33,16 @@ use cloudsim_net::AccessLink;
 use cloudsim_storage::{
     AggregateStats, ContentHash, FileManifest, GcPolicy, ObjectStore, StoredChunk,
 };
-use cloudsim_trace::{SimDuration, SimTime};
+use cloudsim_trace::{LatencyHistogram, SimDuration, SimTime};
 use cloudsim_workload::seed::{derive_seed, unit_f64};
 use serde::Serialize;
+
+/// The user name of scale client `i` in the shared store — shared with the
+/// capture/replay path ([`crate::capture`]), which reconstructs the same
+/// store keyspace from client indices alone.
+pub(crate) fn scale_user(i: usize) -> String {
+    format!("scale-{i:06}")
+}
 
 /// Salt distinguishing commit-instant draws from every other seeded stream.
 const SALT_SCALE_AT: u64 = 0x5CA1_E0A7;
@@ -118,7 +125,7 @@ impl ScaleSpec {
 
     /// The user name of client `i` in the shared store.
     pub fn user(&self, i: usize) -> String {
-        format!("scale-{i:06}")
+        scale_user(i)
     }
 
     /// The link client `i` uploads through.
@@ -140,8 +147,9 @@ impl ScaleSpec {
 
     /// The content seed of file `f` of client `i`'s commit `k`. Shared-pool
     /// files exclude the client index, so the same hash lands from every
-    /// client and the server dedups it to one physical entry.
-    fn content_seed(&self, i: usize, k: usize, f: usize) -> u64 {
+    /// client and the server dedups it to one physical entry. Captures
+    /// record these seeds verbatim so a replay commits identical hashes.
+    pub(crate) fn content_seed(&self, i: usize, k: usize, f: usize) -> u64 {
         if f < self.shared_files_per_commit() {
             derive_seed(self.seed, u64::MAX, k as u64, SALT_SCALE_CONTENT + f as u64)
         } else {
@@ -182,17 +190,17 @@ impl ScaleSpec {
 /// most 64 bytes — the allocation discipline that lets 100k–1M clients fit
 /// where a single [`crate::client::SyncClient`] would not.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct ScaleClientState {
+pub(crate) struct ScaleClientState {
     /// When the client's link is free again (commits on one link serialise).
-    busy_until: SimTime,
+    pub(crate) busy_until: SimTime,
     /// Start of the client's first transfer (valid once `commits > 0`).
-    first_start: SimTime,
+    pub(crate) first_start: SimTime,
     /// End of the client's last transfer.
-    last_end: SimTime,
+    pub(crate) last_end: SimTime,
     /// Plaintext bytes committed so far.
-    logical_bytes: u64,
+    pub(crate) logical_bytes: u64,
     /// Commits performed so far.
-    commits: u32,
+    pub(crate) commits: u32,
 }
 
 /// Expands a content seed into a synthetic 256-bit content hash: four
@@ -208,43 +216,53 @@ fn synth_hash(content_seed: u64) -> ContentHash {
     ContentHash(bytes)
 }
 
-/// Executes one commit event: derives the commit's chunk hashes, commits
-/// them (metadata-only) plus one manifest per file into the shared store,
-/// and advances the client's analytic timeline — the transfer starts when
-/// both the seeded instant and the client's link are ready, and lasts one
-/// round trip plus the serialised transmission time of the commit's bytes.
-fn execute_commit(
-    spec: &ScaleSpec,
+/// Executes one commit transfer: commits the chunk hashes yielded by
+/// `content_seed` (metadata-only) plus one manifest per file into the
+/// shared store, and advances the client's analytic timeline — the
+/// transfer starts when both the event instant and the client's link are
+/// ready, and lasts `rtts_per_commit` access round trips plus the
+/// serialised transmission time of the commit's bytes.
+///
+/// This is the common executor behind both the spec-derived runner
+/// ([`run_scale`], one bundled round trip per commit) and the
+/// capture/replay path ([`crate::capture`]), where the seeds come from a
+/// capture file and a non-bundling service remap pays one round trip per
+/// file.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_transfer(
     store: &ObjectStore,
-    ev: &FleetEvent,
+    user: &str,
+    link: &AccessLink,
+    round: usize,
+    files_per_commit: usize,
+    file_size: u64,
+    shared_files: usize,
+    rtts_per_commit: u64,
+    at: SimTime,
+    content_seed: impl Fn(usize) -> u64,
     mut state: ScaleClientState,
 ) -> (ScaleClientState, (SimTime, SimTime)) {
-    let (i, k) = (ev.client, ev.round);
-    let user = spec.user(i);
-    let link = spec.link(i);
-    let batch_bytes = spec.files_per_commit as u64 * spec.file_size;
+    let batch_bytes = files_per_commit as u64 * file_size;
 
-    for f in 0..spec.files_per_commit {
-        let hash = synth_hash(spec.content_seed(i, k, f));
-        store.put_chunk(
-            &user,
-            StoredChunk { hash, stored_len: spec.file_size, plain_len: spec.file_size },
-        );
-        let label = if f < spec.shared_files_per_commit() { "shared" } else { "private" };
+    for f in 0..files_per_commit {
+        let hash = synth_hash(content_seed(f));
+        store.put_chunk(user, StoredChunk { hash, stored_len: file_size, plain_len: file_size });
+        let label = if f < shared_files { "shared" } else { "private" };
         store.commit_manifest(
-            &user,
+            user,
             FileManifest {
-                path: format!("{label}/c{k:03}_f{f:03}"),
-                size: spec.file_size,
+                path: format!("{label}/c{round:03}_f{f:03}"),
+                size: file_size,
                 chunks: vec![hash],
                 version: 0,
             },
         );
     }
 
-    let start = ev.at.max(state.busy_until);
-    let end =
-        start + link.access_rtt + SimDuration::for_transmission(batch_bytes, link.up_bandwidth);
+    let start = at.max(state.busy_until);
+    let end = start
+        + link.access_rtt * rtts_per_commit
+        + SimDuration::for_transmission(batch_bytes, link.up_bandwidth);
     if state.commits == 0 {
         state.first_start = start;
     }
@@ -253,6 +271,85 @@ fn execute_commit(
     state.logical_bytes += batch_bytes;
     state.commits += 1;
     (state, (start, end))
+}
+
+/// Executes one spec-derived commit event through [`execute_transfer`].
+fn execute_commit(
+    spec: &ScaleSpec,
+    store: &ObjectStore,
+    ev: &FleetEvent,
+    state: ScaleClientState,
+) -> (ScaleClientState, (SimTime, SimTime)) {
+    let (i, k) = (ev.client, ev.round);
+    execute_transfer(
+        store,
+        &spec.user(i),
+        spec.link(i),
+        k,
+        spec.files_per_commit,
+        spec.file_size,
+        spec.shared_files_per_commit(),
+        1,
+        ev.at,
+        |f| spec.content_seed(i, k, f),
+        state,
+    )
+}
+
+/// Pops waves off `heap` and fans each out over up to `workers` threads,
+/// threading per-client state records through `exec`. Every wave holds
+/// pairwise-distinct clients whose store commits commute, so any worker
+/// count produces bit-identical states and intervals. Shared by the
+/// spec-derived runner and the capture/replay path.
+pub(crate) fn drive_waves<F>(
+    mut heap: EventHeap,
+    clients: usize,
+    workers: usize,
+    exec: F,
+) -> (Vec<ScaleClientState>, Vec<(SimTime, SimTime)>)
+where
+    F: Fn(&FleetEvent, ScaleClientState) -> (ScaleClientState, (SimTime, SimTime)) + Sync,
+{
+    let mut states: Vec<ScaleClientState> = vec![ScaleClientState::default(); clients];
+    let mut intervals: Vec<(SimTime, SimTime)> = Vec::with_capacity(heap.len());
+
+    while let Some(wave) = heap.next_wave() {
+        let results: Vec<(ScaleClientState, (SimTime, SimTime))> = cloudsim_parallel::run_indexed(
+            workers.clamp(1, wave.events.len()),
+            wave.events.len(),
+            || (),
+            |(), k| {
+                let ev = &wave.events[k];
+                exec(ev, states[ev.client])
+            },
+        );
+        for (k, (state, interval)) in results.into_iter().enumerate() {
+            states[wave.events[k].client] = state;
+            intervals.push(interval);
+        }
+    }
+    (states, intervals)
+}
+
+/// Assembles a [`ScaleRun`] from driven state records; `files` comes from
+/// the caller because only it knows the per-commit file count.
+pub(crate) fn assemble_run(
+    clients: usize,
+    files: u64,
+    states: &[ScaleClientState],
+    intervals: Vec<(SimTime, SimTime)>,
+    store: ObjectStore,
+    started: std::time::Instant,
+) -> ScaleRun {
+    ScaleRun {
+        clients,
+        commits: states.iter().map(|s| s.commits as u64).sum(),
+        files,
+        logical_bytes: states.iter().map(|s| s.logical_bytes).sum(),
+        intervals,
+        store,
+        elapsed: started.elapsed(),
+    }
 }
 
 /// The result of one fleet-scale run: population-level aggregates plus the
@@ -320,6 +417,13 @@ impl ScaleRun {
         cloudsim_trace::series::concurrency_peak(&self.intervals)
     }
 
+    /// Distribution of per-commit transfer durations. Intervals are logged
+    /// in event order and the histogram's buckets are fixed, so the result
+    /// is bit-identical across worker counts and reruns.
+    pub fn transfer_histogram(&self) -> LatencyHistogram {
+        self.intervals.iter().map(|&(s, e)| e - s).collect()
+    }
+
     /// The server-side load curve: commits bucketed by start instant into
     /// `buckets` equal slices of the active span. The sum of the buckets is
     /// the commit total; an empty run yields all-zero buckets.
@@ -348,37 +452,13 @@ impl ScaleRun {
 /// aside).
 pub fn run_scale(spec: &ScaleSpec, store: ObjectStore, workers: usize) -> ScaleRun {
     spec.validate();
-    let mut heap = spec.events();
+    let heap = spec.events();
     let started = std::time::Instant::now();
-    let mut states: Vec<ScaleClientState> = vec![ScaleClientState::default(); spec.clients];
-    let mut intervals: Vec<(SimTime, SimTime)> =
-        Vec::with_capacity(spec.clients * spec.commits_per_client);
-
-    while let Some(wave) = heap.next_wave() {
-        let results: Vec<(ScaleClientState, (SimTime, SimTime))> = cloudsim_parallel::run_indexed(
-            workers.clamp(1, wave.events.len()),
-            wave.events.len(),
-            || (),
-            |(), k| {
-                let ev = &wave.events[k];
-                execute_commit(spec, &store, ev, states[ev.client])
-            },
-        );
-        for (k, (state, interval)) in results.into_iter().enumerate() {
-            states[wave.events[k].client] = state;
-            intervals.push(interval);
-        }
-    }
-
-    ScaleRun {
-        clients: spec.clients,
-        commits: states.iter().map(|s| s.commits as u64).sum(),
-        files: spec.clients as u64 * spec.commits_per_client as u64 * spec.files_per_commit as u64,
-        logical_bytes: states.iter().map(|s| s.logical_bytes).sum(),
-        intervals,
-        store,
-        elapsed: started.elapsed(),
-    }
+    let (states, intervals) = drive_waves(heap, spec.clients, workers, |ev, state| {
+        execute_commit(spec, &store, ev, state)
+    });
+    let files = spec.clients as u64 * spec.commits_per_client as u64 * spec.files_per_commit as u64;
+    assemble_run(spec.clients, files, &states, intervals, store, started)
 }
 
 /// Runs the population with one worker per host core against a fresh

@@ -24,7 +24,9 @@
 //! * [`analysis`] — the analyzers used by the benchmark suite (SYN series,
 //!   burst detection, throughput/pause detection, volume and overhead,
 //!   start-up / completion timelines),
-//! * [`series`] — small time-series helpers used when rendering figures.
+//! * [`series`] — small time-series helpers used when rendering figures,
+//! * [`hist`] — log-bucketed latency histograms with fixed boundaries, so
+//!   per-worker merges are order-independent and quantiles bit-stable.
 //!
 //! Records are plain serde-serializable structs so traces can be exported and
 //! inspected offline, mirroring how the original study post-processed pcap
@@ -36,11 +38,13 @@
 pub mod analysis;
 pub mod capture;
 pub mod flow;
+pub mod hist;
 pub mod packet;
 pub mod series;
 pub mod time;
 
 pub use capture::{Trace, TraceHandle};
 pub use flow::{FlowId, FlowKind, FlowStats, FlowTable};
+pub use hist::{HistogramSummary, LatencyHistogram};
 pub use packet::{Direction, Endpoint, PacketRecord, TcpFlags, TransportProtocol};
 pub use time::{SimDuration, SimTime};
