@@ -6,6 +6,7 @@
 //! repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N] [--json PATH]
 //! repro fleet-scale [--clients N] [--json PATH] [--capture PATH]
 //! repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]
+//! repro partition [--clients N] [--partitions K] [--capture PATH] [--json PATH]
 //! repro suites
 //! repro bench-json [PATH]
 //! ```
@@ -41,7 +42,13 @@
 //! (same mix by default: bit-identical metrics; `--link`/`--profile`
 //! remap every client for the paper-style A/B comparison, with
 //! `--metrics PATH` dumping the replayed gate metrics for `bench_gate
-//! --subset`), `suites` prints the gated suite table CI scripts iterate
+//! --subset`), `partition` runs the worker-sharded partition mode —
+//! `--partitions K` disjoint client sets (round-robin stripes over a live
+//! population, contiguous capture slices with `--capture PATH`) driven
+//! concurrently against one shared store and merged back bit-identically,
+//! with `--json PATH` dumping only the *merged* suite so dumps `cmp` equal
+//! across partition counts and against `fleet-scale` — `suites` prints the
+//! gated suite table CI scripts iterate
 //! over, and `bench-json` dumps the deterministic gate metrics as flat
 //! JSON (to PATH, default stdout) for the CI bench-regression gate.
 //! `fleet-scale` is not part of `all`: at the default population it runs
@@ -212,6 +219,7 @@ fn replay(args: &[String]) {
     let mix = match (arg_value(args, "--link"), arg_value(args, "--profile")) {
         (Some(_), Some(_)) => {
             eprintln!("--link and --profile are mutually exclusive");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
         (Some(name), None) => ReplayMix::Link(AccessLink::by_name(name).unwrap_or_else(|| {
@@ -254,6 +262,60 @@ fn replay(args: &[String]) {
     }
 }
 
+fn partition(args: &[String]) {
+    let partitions = arg_value(args, "--partitions")
+        .map(|v| {
+            v.parse::<usize>().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
+                eprintln!("--partitions needs a positive integer, got '{v}'");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(4);
+    let json = arg_value(args, "--json");
+
+    let suite = match arg_value(args, "--capture") {
+        Some(capture_path) => {
+            let text = std::fs::read_to_string(capture_path).unwrap_or_else(|e| {
+                eprintln!("cannot read {capture_path}: {e}");
+                std::process::exit(2);
+            });
+            let capture = parse_capture(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {capture_path}: {e}");
+                std::process::exit(2);
+            });
+            cloudbench::partition::replay_partition_suite(&capture, partitions).unwrap_or_else(
+                |e| {
+                    eprintln!("partitioned replay failed: {e}");
+                    std::process::exit(2);
+                },
+            )
+        }
+        None => {
+            let clients =
+                arg_value(args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            if partitions > clients {
+                eprintln!("cannot cut {clients} clients into {partitions} non-empty partitions");
+                eprintln!("{}", usage());
+                std::process::exit(2);
+            }
+            cloudbench::partition::run_partition_suite(clients, partitions, REPRO_SEED)
+        }
+    };
+
+    // The JSON dump carries only the *merged* suite — bit-identical across
+    // partition counts and against `repro fleet-scale --json`, which is
+    // exactly what the CI partition-determinism leg `cmp`s. The text report
+    // adds the per-partition split accounting on top.
+    if json != Some("-") {
+        print_report(&Report::partition(&suite));
+        print_report(&Report::fleet_scale(&suite.merged));
+    }
+    if let Some(path) = json {
+        write_payload(path, &Report::to_json(&suite.merged), "the merged partitioned suite");
+    }
+}
+
 fn bench_json(path: Option<&str>) {
     let metrics = cloudbench_bench::metrics::collect();
     let rendered = cloudbench_bench::gate::render_flat(&metrics);
@@ -287,6 +349,7 @@ fn usage() -> String {
         "usage: repro [all|table1|fig1|fig2|fig3|fig4|fig5|fig6|fig6a|fig6b|fig6c|arch|fleet|hetero|restore|schedule|faults] [--reps N] [--json PATH]\n       \
          repro fleet-scale [--clients N] [--json PATH] [--capture PATH]\n       \
          repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]\n       \
+         repro partition [--clients N] [--partitions K] [--capture PATH] [--json PATH]\n       \
          repro suites\n       \
          repro bench-json [PATH]\n\
          gated suites (see `repro suites`): {}",
@@ -323,6 +386,7 @@ fn main() {
             fleet_scale(clients, json, arg_value(&args, "--capture"));
         }
         "replay" => replay(&args),
+        "partition" => partition(&args),
         "suites" => print!("{}", cloudbench_bench::suites::render_table()),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {

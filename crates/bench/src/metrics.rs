@@ -12,7 +12,10 @@
 //! completion-time inflation against the fault-free control and resume
 //! efficiency) and the fleet-scale suite (`fleetscale.*` commits per virtual
 //! second, concurrency peak and population-scale dedup from 10k lightweight
-//! clients on the event heap), plus `hist.*` log-bucketed latency quantiles
+//! clients on the event heap) and the partition runner (`partition.*`
+//! per-partition commit skew, merge overhead and the sum-of-parts ratios
+//! the merge invariants pin to exactly 1.0), plus `hist.*` log-bucketed
+//! latency quantiles
 //! (sync commits, restore pulls, retry backoff waits and fleet-scale
 //! transfers). `repro bench-json` dumps them; the `bench_gate` binary
 //! compares a fresh dump against the committed `bench_baseline.json`.
@@ -64,6 +67,13 @@ pub const SCHEDULE_CLIENTS: usize = 10;
 /// the concurrency peak are population-scale effects), small enough that
 /// the gate collects in seconds. `repro fleet-scale` defaults to 100k.
 pub const GATE_SCALE_CLIENTS: usize = 10_000;
+
+/// Partitions of the partition-runner gate point. Eight-way matches the CI
+/// partition-determinism leg's widest split; the merged suite is
+/// bit-identical to the unsliced `fleetscale.*` run, so only the split's
+/// own accounting (skew, merge overhead, sum-of-parts ratios) is gated
+/// under `partition.*`.
+pub const GATE_PARTITIONS: usize = 8;
 
 /// Appends one gate-metric quadruple (`.count`, `.p50_s`, `.p90_s`,
 /// `.p99_s`) for a log-bucketed latency distribution. Quantiles are bucket
@@ -211,6 +221,24 @@ pub fn collect() -> Vec<(String, f64)> {
     let suite = cloudbench::scale::run_fleet_scale(GATE_SCALE_CLIENTS, REPRO_SEED);
     metrics.extend(scale_suite_metrics(&suite));
 
+    // The partition runner: the same 10k population split eight ways
+    // across workers over one shared store. The merged run reproduces the
+    // `fleetscale.*` values bit for bit (asserted in the core crate), so
+    // the gate pins the split's own accounting. The sum-of-parts ratios
+    // are exactly 1.0 by the merge invariants — gating them at zero
+    // tolerance means any future merge bug trips the gate immediately.
+    let suite =
+        cloudbench::partition::run_partition_suite(GATE_SCALE_CLIENTS, GATE_PARTITIONS, REPRO_SEED);
+    metrics.push(("partition.partitions".to_string(), suite.partitions as f64));
+    metrics.push(("partition.commits".to_string(), suite.merged.commits as f64));
+    metrics.push(("partition.commit_skew".to_string(), suite.commit_skew));
+    metrics.push(("partition.finish_skew_s".to_string(), suite.finish_skew_s));
+    metrics.push(("partition.merge_overhead".to_string(), suite.merge_overhead));
+    metrics.push(("partition.commits_sum_ratio".to_string(), suite.commits_sum_ratio));
+    metrics.push(("partition.bytes_sum_ratio".to_string(), suite.bytes_sum_ratio));
+    metrics.push(("partition.hist_p99_ratio".to_string(), suite.hist_p99_ratio));
+    metrics.push(("partition.curve_overlap".to_string(), suite.curve_overlap));
+
     metrics
 }
 
@@ -292,6 +320,36 @@ mod tests {
             "fleetscale.virtual_span_s",
         ] {
             assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+    }
+
+    #[test]
+    fn partition_suite_is_represented_in_the_gate() {
+        let metrics = collected();
+        let partition: Vec<&String> =
+            metrics.iter().map(|(k, _)| k).filter(|k| k.starts_with("partition.")).collect();
+        assert!(partition.len() >= 9, "partition.* must be gated, got {partition:?}");
+        for key in [
+            "partition.partitions",
+            "partition.commits",
+            "partition.commit_skew",
+            "partition.merge_overhead",
+            "partition.commits_sum_ratio",
+            "partition.hist_p99_ratio",
+            "partition.curve_overlap",
+        ] {
+            assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+        // The merged commits gate the same value as the unsliced run.
+        let fleet = metrics.iter().find(|(k, _)| k == "fleetscale.commits").unwrap().1;
+        let part = metrics.iter().find(|(k, _)| k == "partition.commits").unwrap().1;
+        assert_eq!(part.to_bits(), fleet.to_bits());
+        // The sum-of-parts ratios are exactly 1.0 — the merge invariants.
+        for key in
+            ["partition.commits_sum_ratio", "partition.bytes_sum_ratio", "partition.hist_p99_ratio"]
+        {
+            let value = metrics.iter().find(|(k, _)| k == key).unwrap().1;
+            assert_eq!(value.to_bits(), 1.0f64.to_bits(), "{key} must be exactly 1.0");
         }
     }
 

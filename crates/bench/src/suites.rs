@@ -38,6 +38,10 @@ pub const SUITES: &[SuiteSpec] = &[
         prefix: "fleetscale",
         determinism_target: Some("fleet-scale --clients 10000 --json -"),
     },
+    SuiteSpec {
+        prefix: "partition",
+        determinism_target: Some("partition --clients 10000 --partitions 8 --json -"),
+    },
     SuiteSpec { prefix: "hist", determinism_target: None },
 ];
 
@@ -99,6 +103,10 @@ mod tests {
         // suite whose text report prints wall-clock time must dump JSON.
         let fleetscale = by_prefix("fleetscale").expect("fleetscale row");
         assert!(fleetscale.determinism_target.expect("has target").contains("--json -"));
+        // Same story for the partition runner (its merged dump is the
+        // byte-comparable artefact; the text report prints wall time).
+        let partition = by_prefix("partition").expect("partition row");
+        assert!(partition.determinism_target.expect("has target").contains("--json -"));
     }
 
     #[test]

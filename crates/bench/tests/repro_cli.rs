@@ -95,7 +95,81 @@ fn replay_rejects_unknown_remap_names() {
 
     let out = repro(&["replay", "--capture", cap, "--link", "adsl", "--profile", "dropbox"]);
     assert_eq!(out.status.code(), Some(2));
-    assert!(stderr(&out).contains("mutually exclusive"), "got: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("mutually exclusive"), "got: {err}");
+    // The rejection teaches the valid surface, matching the
+    // unknown-subcommand behaviour.
+    assert!(err.contains("usage: repro"), "usage text missing from: {err}");
+}
+
+/// The CI partition-determinism leg, end to end: the merged JSON dump is
+/// byte-identical across partition counts, across capture-sliced vs. live
+/// runs, and against the unsliced `fleet-scale` dump.
+#[test]
+fn partition_dumps_are_byte_identical_across_worker_counts() {
+    let dir = scratch("partition");
+    let capture = dir.join("cap.jsonl");
+    let unsliced = dir.join("fleet.json");
+    let out = repro(&[
+        "fleet-scale",
+        "--clients",
+        "120",
+        "--json",
+        unsliced.to_str().expect("utf8"),
+        "--capture",
+        capture.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let reference = std::fs::read_to_string(&unsliced).expect("unsliced dump");
+
+    for partitions in ["1", "5"] {
+        let out =
+            repro(&["partition", "--clients", "120", "--partitions", partitions, "--json", "-"]);
+        assert!(out.status.success(), "k={partitions} stderr: {}", stderr(&out));
+        assert_eq!(
+            stdout(&out),
+            reference,
+            "k={partitions}: the merged dump must match the unsliced fleet-scale dump"
+        );
+    }
+
+    // Sliced-capture recombine: contiguous slices replayed per partition
+    // merge back to the same dump.
+    let out = repro(&[
+        "partition",
+        "--capture",
+        capture.to_str().expect("utf8"),
+        "--partitions",
+        "3",
+        "--json",
+        "-",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(stdout(&out), reference, "sliced-capture recombine must match");
+
+    // The text report carries the split accounting alongside the merged
+    // population table.
+    let out = repro(&["partition", "--clients", "120", "--partitions", "4"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Partitioned fleet"), "got: {text}");
+    assert!(text.contains("Fleet scale"), "got: {text}");
+    assert!(text.contains("commit skew"), "got: {text}");
+}
+
+#[test]
+fn partition_rejects_degenerate_splits_with_usage() {
+    let out = repro(&["partition", "--clients", "100", "--partitions", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--partitions"), "got: {err}");
+    assert!(err.contains("usage: repro"), "usage text missing from: {err}");
+
+    let out = repro(&["partition", "--clients", "3", "--partitions", "8"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("non-empty partitions"), "got: {err}");
+    assert!(err.contains("usage: repro"), "usage text missing from: {err}");
 }
 
 /// The CI replay-fidelity leg, end to end: record a capture alongside the

@@ -41,7 +41,9 @@
 //! compact state records and metadata-only commits in place of full sync
 //! clients — measuring commits per virtual second, the concurrency peak and
 //! population-scale inter-user dedup (see `docs/ARCHITECTURE.md` for the
-//! engine design).
+//! engine design). [`partition`] shards that population across N workers
+//! over one shared store and merges the results back bit-identically —
+//! the in-process seam for a distributed agent/controller mode.
 //!
 //! ## Quick start
 //!
@@ -66,6 +68,7 @@ pub mod faults;
 pub mod fleet;
 pub mod hetero;
 pub mod idle;
+pub mod partition;
 pub mod report;
 pub mod restore;
 pub mod scale;
@@ -79,6 +82,7 @@ pub use faults::{run_faults, FaultLinkRow, FaultPolicyCell, FaultsSuite};
 pub use fleet::{run_fleet_scaling, FleetScalingRow, FleetScalingSuite, FLEET_SIZES};
 pub use hetero::{run_hetero, GcPolicyRow, HeteroSuite};
 pub use idle::{idle_traffic_series, IdleSeries};
+pub use partition::{replay_partition_suite, run_partition_suite, PartitionRow, PartitionSuite};
 pub use report::Report;
 pub use restore::{run_restore, RestoreLinkRow, RestoreSuite};
 pub use scale::{run_fleet_scale, FleetScaleSuite};

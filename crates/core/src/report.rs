@@ -13,6 +13,7 @@ use crate::faults::FaultsSuite;
 use crate::fleet::FleetScalingSuite;
 use crate::hetero::HeteroSuite;
 use crate::idle::IdleSeries;
+use crate::partition::PartitionSuite;
 use crate::restore::RestoreSuite;
 use crate::scale::FleetScaleSuite;
 use crate::schedule::ScheduleSuite;
@@ -461,6 +462,45 @@ impl Report {
         }
         Report {
             title: "Fleet scale: 100k+ event-driven clients against the sharded store".to_string(),
+            body,
+        }
+    }
+
+    /// Renders the partitioned run's split accounting: one row per
+    /// partition plus the skew/overhead figures. The merged population
+    /// itself renders through [`Report::fleet_scale`] — bit-identical to
+    /// the unsliced run, which is the whole point.
+    pub fn partition(suite: &PartitionSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} clients across {} partitions (shared store, per-partition sub-heaps)",
+            suite.merged.clients, suite.partitions,
+        );
+        let _ = writeln!(
+            body,
+            "\n{:>4} {:>9} {:>9} {:>7} {:>13} {:>13}",
+            "part", "clients", "commits", "waves", "first start s", "last end s"
+        );
+        for row in &suite.rows {
+            let _ = writeln!(
+                body,
+                "{:>4} {:>9} {:>9} {:>7} {:>13.2} {:>13.2}",
+                row.index, row.clients, row.commits, row.waves, row.first_start_s, row.last_end_s,
+            );
+        }
+        let _ = writeln!(
+            body,
+            "\ncommit skew {:.4} (max/mean), finish skew {:.2}s, merge overhead {:.4} (part waves / merged waves)",
+            suite.commit_skew, suite.finish_skew_s, suite.merge_overhead,
+        );
+        let _ = writeln!(
+            body,
+            "sum-of-parts checks: commits {:.1}, bytes {:.1}, hist p99 {:.1}, load-curve overlap {:.1} (all exactly 1 by the merge invariants)",
+            suite.commits_sum_ratio, suite.bytes_sum_ratio, suite.hist_p99_ratio, suite.curve_overlap,
+        );
+        Report {
+            title: "Partitioned fleet: worker-sharded clients merged bit-identically".to_string(),
             body,
         }
     }

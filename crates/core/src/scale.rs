@@ -81,7 +81,7 @@ pub struct FleetScaleSuite {
 /// the one code path both the spec-derived runner and the capture replay
 /// go through, so a same-mix replay derives every field with the exact
 /// same arithmetic and reproduces the suite bit for bit.
-fn assemble_suite(
+pub(crate) fn assemble_suite(
     commits_per_client: usize,
     files_per_commit: usize,
     file_size: u64,

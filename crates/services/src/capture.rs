@@ -58,8 +58,14 @@ pub struct CaptureEvent {
 /// A parsed capture: the population header plus every event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetCapture {
-    /// Clients in the recorded population.
+    /// Clients in the recorded population (or in this slice of it).
     pub clients: usize,
+    /// Global index of this capture's first client. `0` for a whole-run
+    /// capture; a slice produced by [`slice_capture`] covers global clients
+    /// `[client_base, client_base + clients)`. Events always carry global
+    /// indices, so a slice replays the exact same store keyspace and link
+    /// assignment as the clients' share of the unsliced run.
+    pub client_base: usize,
     /// Commits each client performed.
     pub commits_per_client: usize,
     /// Files per commit.
@@ -94,44 +100,217 @@ pub enum ReplayMix {
     Profile(ServiceProfile),
 }
 
-/// Renders the capture of the fleet-scale run `spec` describes: pure
-/// function of the spec, so capturing never requires running the fleet
-/// first — the recording *is* the run's input, bit for bit.
-pub fn render_capture(spec: &ScaleSpec) -> String {
+/// Lowers a [`ScaleSpec`] into its in-memory capture: the header fields
+/// plus one [`CaptureEvent`] per commit in event-heap order. Pure function
+/// of the spec — the recording *is* the run's input, bit for bit.
+pub fn capture_of_spec(spec: &ScaleSpec) -> FleetCapture {
+    let batch_bytes = spec.files_per_commit as u64 * spec.file_size;
+    let mut events = Vec::with_capacity(spec.clients * spec.commits_per_client);
+    let mut heap = spec.events();
+    while let Some(ev) = heap.pop() {
+        events.push(CaptureEvent {
+            at: ev.at,
+            client: ev.client,
+            round: ev.round,
+            bytes: batch_bytes,
+            content_seeds: (0..spec.files_per_commit)
+                .map(|f| spec.content_seed(ev.client, ev.round, f))
+                .collect(),
+        });
+    }
+    FleetCapture {
+        clients: spec.clients,
+        client_base: 0,
+        commits_per_client: spec.commits_per_client,
+        files_per_commit: spec.files_per_commit,
+        file_size: spec.file_size,
+        shared_files_per_commit: spec.shared_files_per_commit(),
+        horizon: spec.horizon,
+        link_names: spec.links.iter().map(|l| l.name.to_owned()).collect(),
+        seed: spec.seed,
+        events,
+    }
+}
+
+/// Renders a capture (whole-run or slice) into the versioned JSONL text.
+/// The `client_base` header field is written only when non-zero, so a
+/// whole-run capture renders byte-identically to captures written by
+/// builds that predate slicing.
+pub fn render_fleet_capture(capture: &FleetCapture) -> String {
     let mut out = String::new();
-    let links: Vec<String> = spec.links.iter().map(|l| format!("\"{}\"", l.name)).collect();
+    let links: Vec<String> = capture.link_names.iter().map(|l| format!("\"{l}\"")).collect();
+    let base_field = if capture.client_base == 0 {
+        String::new()
+    } else {
+        format!("\"client_base\":{},", capture.client_base)
+    };
     out.push_str(&format!(
         "{{\"format\":\"{}\",\"version\":{},\"clients\":{},\"commits_per_client\":{},\
-         \"files_per_commit\":{},\"file_size\":{},\"shared_files_per_commit\":{},\
+         \"files_per_commit\":{},\"file_size\":{},\"shared_files_per_commit\":{},{}\
          \"horizon_us\":{},\"seed\":{},\"links\":[{}]}}\n",
         CAPTURE_FORMAT,
         CAPTURE_VERSION,
-        spec.clients,
-        spec.commits_per_client,
-        spec.files_per_commit,
-        spec.file_size,
-        spec.shared_files_per_commit(),
-        spec.horizon.as_micros(),
-        spec.seed,
+        capture.clients,
+        capture.commits_per_client,
+        capture.files_per_commit,
+        capture.file_size,
+        capture.shared_files_per_commit,
+        base_field,
+        capture.horizon.as_micros(),
+        capture.seed,
         links.join(",")
     ));
 
-    let batch_bytes = spec.files_per_commit as u64 * spec.file_size;
-    let mut heap = spec.events();
-    while let Some(ev) = heap.pop() {
-        let seeds: Vec<String> = (0..spec.files_per_commit)
-            .map(|f| spec.content_seed(ev.client, ev.round, f).to_string())
-            .collect();
+    for ev in &capture.events {
+        let seeds: Vec<String> = ev.content_seeds.iter().map(u64::to_string).collect();
         out.push_str(&format!(
             "{{\"t_us\":{},\"client\":{},\"op\":\"sync\",\"round\":{},\"bytes\":{},\"content\":[{}]}}\n",
             ev.at.as_micros(),
             ev.client,
             ev.round,
-            batch_bytes,
+            ev.bytes,
             seeds.join(",")
         ));
     }
     out
+}
+
+/// Renders the capture of the fleet-scale run `spec` describes: pure
+/// function of the spec, so capturing never requires running the fleet
+/// first — the recording *is* the run's input, bit for bit.
+pub fn render_capture(spec: &ScaleSpec) -> String {
+    render_fleet_capture(&capture_of_spec(spec))
+}
+
+/// Splits a capture into per-worker slices along `ranges` — capture-local,
+/// half-open, contiguous client ranges that together cover `[0, clients)`.
+/// Each slice is itself a valid capture (its `client_base` marks where it
+/// sits in the global population, its events keep their global client
+/// indices), so independent replays of the slices recombine bit-identically
+/// to the unsliced run. [`merge_slices`] is the inverse.
+pub fn slice_capture(
+    capture: &FleetCapture,
+    ranges: &[(usize, usize)],
+) -> Result<Vec<FleetCapture>, String> {
+    if ranges.is_empty() {
+        return Err("slice_capture needs at least one range".into());
+    }
+    let mut expected_start = 0usize;
+    for &(start, end) in ranges {
+        if start != expected_start {
+            return Err(format!(
+                "slice ranges must be sorted, contiguous and cover [0, {}): \
+                 expected a range starting at {expected_start}, got [{start}, {end})",
+                capture.clients
+            ));
+        }
+        if start >= end {
+            return Err(format!("slice range [{start}, {end}) is empty"));
+        }
+        expected_start = end;
+    }
+    if expected_start != capture.clients {
+        return Err(format!(
+            "slice ranges cover [0, {expected_start}) but the capture holds {} clients",
+            capture.clients
+        ));
+    }
+
+    let mut slices: Vec<FleetCapture> = ranges
+        .iter()
+        .map(|&(start, end)| FleetCapture {
+            clients: end - start,
+            client_base: capture.client_base + start,
+            commits_per_client: capture.commits_per_client,
+            files_per_commit: capture.files_per_commit,
+            file_size: capture.file_size,
+            shared_files_per_commit: capture.shared_files_per_commit,
+            horizon: capture.horizon,
+            link_names: capture.link_names.clone(),
+            seed: capture.seed,
+            events: Vec::with_capacity((end - start) * capture.commits_per_client),
+        })
+        .collect();
+    for ev in &capture.events {
+        let local = ev.client - capture.client_base;
+        let owner = ranges.partition_point(|&(_, end)| end <= local);
+        slices[owner].events.push(ev.clone());
+    }
+    Ok(slices)
+}
+
+/// Recombines capture slices into the capture they were cut from: headers
+/// must agree, the client ranges must tile a contiguous span, and the
+/// per-slice event streams (each a subsequence of the original heap order)
+/// are k-way merged back by `(timestamp, client, round)`. Order-independent
+/// — any permutation of `slices` yields the identical capture.
+pub fn merge_slices(slices: &[FleetCapture]) -> Result<FleetCapture, String> {
+    if slices.is_empty() {
+        return Err("merge_slices needs at least one slice".into());
+    }
+    let mut order: Vec<&FleetCapture> = slices.iter().collect();
+    order.sort_by_key(|s| s.client_base);
+    let first = order[0];
+    let mut next_base = first.client_base;
+    for slice in &order {
+        let headers_agree = slice.commits_per_client == first.commits_per_client
+            && slice.files_per_commit == first.files_per_commit
+            && slice.file_size == first.file_size
+            && slice.shared_files_per_commit == first.shared_files_per_commit
+            && slice.horizon == first.horizon
+            && slice.link_names == first.link_names
+            && slice.seed == first.seed;
+        if !headers_agree {
+            return Err(format!(
+                "slice at client_base {} disagrees with the slice at {} on its header",
+                slice.client_base, first.client_base
+            ));
+        }
+        if slice.client_base != next_base {
+            return Err(format!(
+                "slices do not tile: expected a slice at client_base {next_base}, got {}",
+                slice.client_base
+            ));
+        }
+        next_base += slice.clients;
+    }
+
+    let total: usize = order.iter().map(|s| s.events.len()).sum();
+    let mut cursors = vec![0usize; order.len()];
+    let mut events = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, slice) in order.iter().enumerate() {
+            let Some(candidate) = slice.events.get(cursors[i]) else { continue };
+            let beats = match best {
+                None => true,
+                Some(b) => {
+                    let incumbent = &order[b].events[cursors[b]];
+                    (candidate.at, candidate.client, candidate.round)
+                        < (incumbent.at, incumbent.client, incumbent.round)
+                }
+            };
+            if beats {
+                best = Some(i);
+            }
+        }
+        let Some(b) = best else { break };
+        events.push(order[b].events[cursors[b]].clone());
+        cursors[b] += 1;
+    }
+
+    Ok(FleetCapture {
+        clients: next_base - first.client_base,
+        client_base: first.client_base,
+        commits_per_client: first.commits_per_client,
+        files_per_commit: first.files_per_commit,
+        file_size: first.file_size,
+        shared_files_per_commit: first.shared_files_per_commit,
+        horizon: first.horizon,
+        link_names: first.link_names.clone(),
+        seed: first.seed,
+        events,
+    })
 }
 
 /// Extracts the raw text of `"key":` in `line`, up to the next top-level
@@ -229,6 +408,10 @@ pub fn parse_capture(text: &str) -> Result<FleetCapture, String> {
     );
     let (clients, commits_per_client, files_per_commit, file_size, shared, horizon_us, seed, links) =
         capture_header;
+    // `client_base` was introduced alongside capture slicing; whole-run
+    // captures omit it, so a missing field means base zero.
+    let client_base =
+        if header.contains("\"client_base\":") { usize_field(header, "client_base")? } else { 0 };
     if clients == 0 || commits_per_client == 0 || files_per_commit == 0 || file_size == 0 {
         return Err("capture header describes an empty population".into());
     }
@@ -263,10 +446,11 @@ pub fn parse_capture(text: &str) -> Result<FleetCapture, String> {
             bytes: u64_field(line, "bytes")?,
             content_seeds: u64_array_field(line, "content")?,
         };
-        if event.client >= clients {
+        if event.client < client_base || event.client - client_base >= clients {
             return Err(format!(
-                "event client {} outside the {clients}-client header",
-                event.client
+                "event client {} outside the header's [{client_base}, {}) range",
+                event.client,
+                client_base + clients
             ));
         }
         if event.round >= commits_per_client {
@@ -299,6 +483,7 @@ pub fn parse_capture(text: &str) -> Result<FleetCapture, String> {
 
     Ok(FleetCapture {
         clients,
+        client_base,
         commits_per_client,
         files_per_commit,
         file_size,
@@ -330,16 +515,22 @@ pub fn replay(capture: &FleetCapture, mix: &ReplayMix, workers: usize) -> Result
         _ => 1,
     };
 
-    // Content seeds keyed by (client, round) so the executor can look an
-    // event's commit up without threading the capture through the heap.
+    // Content seeds keyed by capture-local (client, round) so the executor
+    // can look an event's commit up without threading the capture through
+    // the heap. Heap events are capture-local too (state records are a
+    // dense per-slice array); the executor maps back to the global index
+    // for the store keyspace and the round-robin link assignment, so a
+    // slice replays exactly the clients' share of the unsliced run.
+    let base = capture.client_base;
     let mut seeds: Vec<&[u64]> = vec![&[]; capture.clients * capture.commits_per_client];
     let mut heap_events = Vec::with_capacity(capture.events.len());
     for ev in &capture.events {
-        seeds[ev.client * capture.commits_per_client + ev.round] = &ev.content_seeds;
+        let local = ev.client - base;
+        seeds[local * capture.commits_per_client + ev.round] = &ev.content_seeds;
         heap_events.push(FleetEvent {
             at: ev.at,
             phase: Phase::Sync,
-            client: ev.client,
+            client: local,
             round: ev.round,
         });
     }
@@ -348,10 +539,11 @@ pub fn replay(capture: &FleetCapture, mix: &ReplayMix, workers: usize) -> Result
     let store = ObjectStore::with_policy(GcPolicy::MarkSweep);
     let started = std::time::Instant::now();
     let (states, intervals) = drive_waves(heap, capture.clients, workers, |ev, state| {
+        let global = ev.client + base;
         execute_transfer(
             &store,
-            &scale_user(ev.client),
-            &links[ev.client % links.len()],
+            &scale_user(global),
+            &links[global % links.len()],
             ev.round,
             capture.files_per_commit,
             capture.file_size,
@@ -485,6 +677,81 @@ mod tests {
         assert!(parse_capture(&truncated).unwrap_err().contains("events"));
         let bad_bytes = good.replacen("\"bytes\":262144", "\"bytes\":1", 1);
         assert!(parse_capture(&bad_bytes).unwrap_err().contains("bytes"));
+    }
+
+    #[test]
+    fn capture_of_spec_renders_exactly_like_render_capture() {
+        let spec = small_spec();
+        let capture = capture_of_spec(&spec);
+        assert_eq!(capture.client_base, 0);
+        assert_eq!(render_fleet_capture(&capture), render_capture(&spec));
+        assert_eq!(parse_capture(&render_capture(&spec)).unwrap(), capture);
+    }
+
+    #[test]
+    fn slices_roundtrip_through_text_and_merge_back() {
+        let spec = small_spec();
+        let capture = capture_of_spec(&spec);
+        let ranges = [(0usize, 13usize), (13, 30), (30, 48)];
+        let slices = slice_capture(&capture, &ranges).expect("valid split");
+        assert_eq!(slices.len(), 3);
+        for (slice, &(start, end)) in slices.iter().zip(&ranges) {
+            assert_eq!(slice.client_base, start);
+            assert_eq!(slice.clients, end - start);
+            assert_eq!(slice.events.len(), (end - start) * capture.commits_per_client);
+            // A slice is itself a valid capture: it survives the text
+            // round trip, client_base included.
+            let reparsed = parse_capture(&render_fleet_capture(slice)).expect("slice parses");
+            assert_eq!(&reparsed, slice);
+            // Slice events keep global client ids within the slice range.
+            for ev in &slice.events {
+                assert!(ev.client >= start && ev.client < end);
+            }
+        }
+        // Merging in any order reconstructs the original capture exactly.
+        let mut shuffled: Vec<FleetCapture> = slices.clone();
+        shuffled.reverse();
+        assert_eq!(merge_slices(&shuffled).expect("slices tile"), capture);
+        assert_eq!(merge_slices(&slices).expect("slices tile"), capture);
+    }
+
+    #[test]
+    fn slice_replay_matches_the_clients_share_of_the_unsliced_run() {
+        let spec = small_spec();
+        let capture = capture_of_spec(&spec);
+        let whole = replay_concurrent(&capture, &ReplayMix::Original).unwrap();
+        let slices = slice_capture(&capture, &[(0, 20), (20, 48)]).unwrap();
+        let tail = replay_concurrent(&slices[1], &ReplayMix::Original).unwrap();
+        assert_eq!(tail.clients, 28);
+        // The slice commits under the same global user names, so its store
+        // contents are exactly those clients' share of the whole run.
+        for i in [20usize, 33, 47] {
+            let user = scale_user(i);
+            assert_eq!(tail.store.stats(&user), whole.store.stats(&user));
+            assert_eq!(tail.store.list_files(&user), whole.store.list_files(&user));
+        }
+    }
+
+    #[test]
+    fn slice_and_merge_reject_bad_splits() {
+        let capture = capture_of_spec(&ScaleSpec::new(6).with_seed(3));
+        assert!(slice_capture(&capture, &[]).is_err());
+        assert!(slice_capture(&capture, &[(0, 3)]).unwrap_err().contains("cover"));
+        assert!(slice_capture(&capture, &[(0, 3), (4, 6)]).is_err(), "gapped ranges");
+        assert!(slice_capture(&capture, &[(0, 3), (2, 6)]).is_err(), "overlapping ranges");
+        assert!(slice_capture(&capture, &[(0, 0), (0, 6)]).is_err(), "empty range");
+
+        let slices = slice_capture(&capture, &[(0, 2), (2, 4), (4, 6)]).unwrap();
+        assert!(merge_slices(&[]).is_err());
+        // A contiguous prefix merges fine — into a narrower capture.
+        assert_eq!(merge_slices(&slices[..2]).unwrap().clients, 4);
+        // Dropping the middle slice breaks the tiling.
+        let gapped = vec![slices[0].clone(), slices[2].clone()];
+        assert!(merge_slices(&gapped).unwrap_err().contains("tile"));
+        // A header mismatch is rejected even when the ranges tile.
+        let mut bad = slices.clone();
+        bad[1].seed ^= 1;
+        assert!(merge_slices(&bad).unwrap_err().contains("header"));
     }
 
     #[test]

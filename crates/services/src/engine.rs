@@ -287,6 +287,31 @@ impl EventHeap {
     }
 }
 
+/// The number of waves [`EventHeap::next_wave`] would pop for `events`
+/// given in heap (= key) order: a new wave starts on every phase change
+/// and whenever a client repeats within the current wave. The partition
+/// runner uses this to price wave fragmentation — how many more waves a
+/// merged event stream splits into than the sum of its partitions' streams
+/// — without re-driving a heap.
+pub fn wave_count(events: &[FleetEvent]) -> usize {
+    let mut waves = 0usize;
+    let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut phase: Option<Phase> = None;
+    for ev in events {
+        let breaks = match phase {
+            None => true,
+            Some(p) => p != ev.phase || seen.contains(&ev.client),
+        };
+        if breaks {
+            waves += 1;
+            seen.clear();
+            phase = Some(ev.phase);
+        }
+        seen.insert(ev.client);
+    }
+    waves
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +379,23 @@ mod tests {
             waves,
             vec![(Phase::Sync, vec![0, 1, 2]), (Phase::Sync, vec![0]), (Phase::Idle, vec![3]),]
         );
+    }
+
+    #[test]
+    fn wave_count_matches_the_heap_segmentation() {
+        let events = vec![
+            event(0, Phase::Sync, 0),
+            event(0, Phase::Sync, 1),
+            event(10, Phase::Sync, 2),
+            event(20, Phase::Sync, 0),
+            event(20, Phase::Idle, 3),
+        ];
+        let mut heap = EventHeap::from_events(events.clone());
+        let popped = std::iter::from_fn(|| heap.next_wave()).count();
+        let mut sorted = events;
+        sorted.sort();
+        assert_eq!(wave_count(&sorted), popped);
+        assert_eq!(wave_count(&[]), 0);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! each touching only its client's state — which is what the fleet loop
 //! actually executes; [`scale`] rides the same heap with compact per-client
 //! state records (no [`client::SyncClient`] at all) to reach 100k–1M
-//! clients, and [`session`]/[`retry`] add resumable transfers and seeded
-//! backoff under injected link faults. `docs/ARCHITECTURE.md` at the
+//! clients, [`partition`] shards that population into disjoint client sets
+//! driven by independent workers whose results merge back bit-identically,
+//! and [`session`]/[`retry`] add resumable transfers and seeded backoff
+//! under injected link faults. `docs/ARCHITECTURE.md` at the
 //! repository root walks through the whole lifecycle.
 //!
 //! The crate deliberately separates *what a service does* (the profile) from
@@ -39,6 +41,7 @@ pub mod client;
 pub mod deployment;
 pub mod engine;
 pub mod fleet;
+pub mod partition;
 pub mod planner;
 pub mod profile;
 pub mod retry;
@@ -47,8 +50,9 @@ pub mod schedule;
 pub mod session;
 
 pub use capture::{
-    parse_capture, render_capture, replay, replay_concurrent, CaptureEvent, FleetCapture,
-    ReplayMix, CAPTURE_FORMAT, CAPTURE_VERSION,
+    capture_of_spec, merge_slices, parse_capture, render_capture, render_fleet_capture, replay,
+    replay_concurrent, slice_capture, CaptureEvent, FleetCapture, ReplayMix, CAPTURE_FORMAT,
+    CAPTURE_VERSION,
 };
 pub use client::{
     FaultedRestoreOutcome, FaultedSyncOutcome, RestoreOutcome, SyncClient, SyncOutcome,
@@ -58,6 +62,10 @@ pub use engine::{EventHeap, EventWave, FleetEvent, Phase};
 pub use fleet::{
     run_fleet, run_fleet_concurrent, run_fleet_sequential, ClientSlot, ClientSummary, FleetFaults,
     FleetRun, FleetSpec,
+};
+pub use partition::{
+    capture_partitions, partition_ranges, replay_partitioned, run_partition, run_partitioned,
+    spec_partitions, ClientSet, PartitionRun, PartitionSpec, PartitionWorkload, PartitionedRun,
 };
 pub use retry::{ExponentialBackoff, NoRetry, RetryConfig, RetryPolicy};
 pub use scale::{run_scale, run_scale_concurrent, run_scale_sequential, ScaleRun, ScaleSpec};

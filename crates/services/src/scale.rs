@@ -175,7 +175,7 @@ impl ScaleSpec {
         EventHeap::from_events(events)
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.clients > 0, "a scale run needs at least one client");
         assert!(self.commits_per_client > 0, "a scale run needs at least one commit per client");
         assert!(self.files_per_commit > 0, "a commit needs at least one file");
