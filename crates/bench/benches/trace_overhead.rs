@@ -1,0 +1,99 @@
+//! Trace overhead: what switching the sharded packet capture on costs.
+//!
+//! Two acceptance invariants ride along with the measurements (asserted on
+//! every run, including the CI smoke run):
+//!
+//! 1. **Pure observer** — the traced fleet-scale run produces bit-identical
+//!    simulation data (commits, volume, timeline, store state) to the
+//!    traceless run of the same spec, and the merged capture itself is
+//!    bit-identical whatever the worker count.
+//! 2. **Bounded cost** — at the gate population, the traced run's
+//!    wall-clock time (best of 3) stays within 1.5x of the traceless run.
+//!    Each worker appends into its own preallocated shard and the k-way
+//!    merge is one pass at the end, so the expected ratio is near 1; the
+//!    1.5x bound leaves room for noisy CI neighbours. This bound lives
+//!    here, not in the gate metrics: gate values must be deterministic,
+//!    and wall time is the one number that is not.
+//!
+//! Run with: `cargo bench -p cloudbench-bench --bench trace_overhead`
+
+use cloudbench::scale::scale_spec;
+use cloudbench_bench::metrics::GATE_SCALE_CLIENTS;
+use cloudbench_bench::REPRO_SEED;
+use cloudsim_services::scale::{
+    run_scale_concurrent, run_scale_traced, run_scale_traced_concurrent,
+};
+use cloudsim_storage::{GcPolicy, ObjectStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
+/// Best-of-N wall time of a closure (minimum filters scheduler noise).
+fn best_of<F: FnMut()>(n: usize, mut f: F) -> Duration {
+    (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+fn overhead(c: &mut Criterion) {
+    let spec = scale_spec(GATE_SCALE_CLIENTS, REPRO_SEED);
+
+    // --- Invariant 1: capture is a pure observer. ---
+    let baseline = run_scale_concurrent(&spec);
+    let (traced, capture) = run_scale_traced_concurrent(&spec);
+    assert_eq!(traced.commits, baseline.commits, "tracing changed the commit count");
+    assert_eq!(traced.logical_bytes, baseline.logical_bytes, "tracing changed the volume");
+    assert_eq!(traced.intervals, baseline.intervals, "tracing changed the timeline");
+    assert_eq!(traced.aggregate(), baseline.aggregate(), "tracing changed the store state");
+    // The merged capture is worker-count independent: one worker and one
+    // shard reproduce it bit for bit.
+    let (_, single) = run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 1);
+    assert_eq!(
+        capture.view().packets(),
+        single.view().packets(),
+        "the k-shard merge diverged from the single-shard capture"
+    );
+    assert_eq!(capture.view().len() as u64, traced.commits * 5, "packets per commit drifted");
+
+    // --- Invariant 2: tracing costs at most 1.5x wall time. ---
+    let traceless_t = best_of(3, || {
+        run_scale_concurrent(&spec);
+    });
+    let traced_t = best_of(3, || {
+        run_scale_traced_concurrent(&spec);
+    });
+    let ratio = traced_t.as_secs_f64() / traceless_t.as_secs_f64().max(1e-9);
+    println!(
+        "fleet-scale {} clients: traced {:.1} ms vs traceless {:.1} ms ({ratio:.2}x)",
+        GATE_SCALE_CLIENTS,
+        traced_t.as_secs_f64() * 1e3,
+        traceless_t.as_secs_f64() * 1e3,
+    );
+    assert!(
+        ratio <= 1.5,
+        "sharded capture cost {ratio:.2}x wall time (traced {traced_t:?} vs \
+         traceless {traceless_t:?}), above the 1.5x budget"
+    );
+
+    // Keep both sides visible in the bench listing.
+    let mut group = c.benchmark_group("trace_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(baseline.commits));
+    group.bench_with_input(BenchmarkId::new("fleet_scale", "traceless"), &spec, |b, spec| {
+        b.iter(|| run_scale_concurrent(spec))
+    });
+    group.bench_with_input(BenchmarkId::new("fleet_scale", "traced"), &spec, |b, spec| {
+        b.iter(|| run_scale_traced_concurrent(spec))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overhead);
+criterion_main!(benches);

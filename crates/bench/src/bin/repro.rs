@@ -7,14 +7,18 @@
 //! repro fleet-scale [--clients N] [--json PATH] [--capture PATH]
 //! repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]
 //! repro partition [--clients N] [--partitions K] [--capture PATH] [--json PATH]
+//! repro trace [--clients N] [--json PATH]
 //! repro suites
 //! repro bench-json [PATH]
 //! ```
 //!
-//! `--json PATH` (on `restore`, `schedule`, `faults`, `fleet-scale` and
-//! `replay`) additionally dumps the suite struct as deterministic JSON;
-//! `-` streams the JSON to stdout *instead of* the text report, which is
-//! what the CI determinism legs `cmp`.
+//! Every flag goes through the shared [`cloudbench_bench::cli`] surface:
+//! `--json PATH` (on `restore`, `schedule`, `faults`, `fleet-scale`,
+//! `replay`, `partition` and `trace`) additionally dumps the suite struct
+//! as deterministic JSON, with `-` streaming the JSON to stdout *instead
+//! of* the text report (what the CI determinism legs `cmp`); counted flags
+//! like `--clients N` reject missing/malformed/zero values with the usage
+//! text and exit code 2 everywhere instead of silently falling back.
 //!
 //! Each target runs the corresponding experiment on the simulated substrate
 //! and prints the same rows/series the paper reports. Absolute values differ
@@ -47,12 +51,15 @@
 //! population, contiguous capture slices with `--capture PATH`) driven
 //! concurrently against one shared store and merged back bit-identically,
 //! with `--json PATH` dumping only the *merged* suite so dumps `cmp` equal
-//! across partition counts and against `fleet-scale` — `suites` prints the
-//! gated suite table CI scripts iterate
+//! across partition counts and against `fleet-scale` — `trace` runs the
+//! trace-overhead suite (the fleet-scale population with the sharded
+//! packet capture off and on, asserting the traced run's data is
+//! bit-identical and reporting the capture's packet/flow/overhead
+//! figures) — `suites` prints the gated suite table CI scripts iterate
 //! over, and `bench-json` dumps the deterministic gate metrics as flat
 //! JSON (to PATH, default stdout) for the CI bench-regression gate.
-//! `fleet-scale` is not part of `all`: at the default population it runs
-//! for minutes, not seconds.
+//! `fleet-scale` and `trace` are not part of `all`: at the default
+//! population they run for minutes, not seconds.
 
 use cloudbench::architecture::discover_architecture;
 use cloudbench::benchmarks::run_performance_suite;
@@ -64,46 +71,13 @@ use cloudbench::idle::idle_traffic_series;
 use cloudbench::report::{Fig6Metric, Report};
 use cloudbench::testbed::Testbed;
 use cloudbench::{FileKind, Provider, ServiceProfile};
+use cloudbench_bench::cli::{
+    die_usage, emit, parse_clients, parse_count, parse_path, print_report, write_payload,
+};
 use cloudbench_bench::{BENCH_REPETITIONS, REPRO_SEED};
 use cloudsim_geo::ResolverFleet;
 use cloudsim_services::capture::{parse_capture, render_capture, ReplayMix};
 use cloudsim_services::AccessLink;
-
-fn print_report(report: &Report) {
-    println!("==== {} ====", report.title);
-    println!("{}", report.body);
-}
-
-/// The value following `--flag`, if present.
-fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
-}
-
-/// Writes `payload` to `path`, with `-` streaming it to stdout.
-fn write_payload(path: &str, payload: &str, what: &str) {
-    if path == "-" {
-        print!("{payload}");
-    } else {
-        std::fs::write(path, payload).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("wrote {what} to {path}");
-    }
-}
-
-/// Prints a suite's text report and/or its JSON dump: `--json -` replaces
-/// the report with the JSON stream (the report of some suites carries
-/// wall-clock time, the JSON never does — CI `cmp`s the stream), any other
-/// path gets the JSON alongside the report.
-fn emit(report: &Report, json: Option<&str>, payload: &str, what: &str) {
-    if json != Some("-") {
-        print_report(report);
-    }
-    if let Some(path) = json {
-        write_payload(path, payload, what);
-    }
-}
 
 fn table1(testbed: &Testbed) {
     let matrix = CapabilityMatrix::detect_all(testbed);
@@ -199,13 +173,25 @@ fn fleet_scale(clients: usize, json: Option<&str>, capture: Option<&str>) {
     }
 }
 
+fn trace(args: &[String]) {
+    let clients = parse_clients(args, &usage());
+    let json = parse_path(args, "--json", &usage());
+    let suite = cloudbench::trace_overhead::run_trace_overhead(clients, REPRO_SEED);
+    emit(
+        &Report::trace_overhead(&suite),
+        json,
+        &Report::to_json(&suite),
+        "the trace-overhead suite",
+    );
+}
+
 fn replay(args: &[String]) {
-    let Some(capture_path) = arg_value(args, "--capture") else {
-        eprintln!(
+    let Some(capture_path) = parse_path(args, "--capture", &usage()) else {
+        die_usage(
             "repro replay needs --capture PATH \
-             (record one with `repro fleet-scale --capture PATH`)"
+             (record one with `repro fleet-scale --capture PATH`)",
+            &usage(),
         );
-        std::process::exit(2);
     };
     let text = std::fs::read_to_string(capture_path).unwrap_or_else(|e| {
         eprintln!("cannot read {capture_path}: {e}");
@@ -216,16 +202,17 @@ fn replay(args: &[String]) {
         std::process::exit(2);
     });
 
-    let mix = match (arg_value(args, "--link"), arg_value(args, "--profile")) {
+    let mix = match (parse_path(args, "--link", &usage()), parse_path(args, "--profile", &usage()))
+    {
         (Some(_), Some(_)) => {
-            eprintln!("--link and --profile are mutually exclusive");
-            eprintln!("{}", usage());
-            std::process::exit(2);
+            die_usage("--link and --profile are mutually exclusive", &usage());
         }
         (Some(name), None) => ReplayMix::Link(AccessLink::by_name(name).unwrap_or_else(|| {
             let valid: Vec<&str> = AccessLink::all().iter().map(|l| l.name).collect();
-            eprintln!("unknown link preset '{name}' (valid: {})", valid.join(", "));
-            std::process::exit(2);
+            die_usage(
+                &format!("unknown link preset '{name}' (valid: {})", valid.join(", ")),
+                &usage(),
+            );
         })),
         (None, Some(name)) => {
             let wanted = name.to_lowercase();
@@ -237,8 +224,10 @@ fn replay(args: &[String]) {
                         .iter()
                         .map(|p| p.name().to_lowercase().replace(' ', "_"))
                         .collect();
-                    eprintln!("unknown service profile '{name}' (valid: {})", valid.join(", "));
-                    std::process::exit(2);
+                    die_usage(
+                        &format!("unknown service profile '{name}' (valid: {})", valid.join(", ")),
+                        &usage(),
+                    );
                 });
             ReplayMix::Profile(profile)
         }
@@ -251,11 +240,11 @@ fn replay(args: &[String]) {
     });
     emit(
         &Report::fleet_scale(&suite),
-        arg_value(args, "--json"),
+        parse_path(args, "--json", &usage()),
         &Report::to_json(&suite),
         "the replayed fleet-scale suite",
     );
-    if let Some(path) = arg_value(args, "--metrics") {
+    if let Some(path) = parse_path(args, "--metrics", &usage()) {
         let metrics = cloudbench_bench::metrics::scale_suite_metrics(&suite);
         let rendered = cloudbench_bench::gate::render_flat(&metrics);
         write_payload(path, &rendered, "the replayed gate metrics");
@@ -263,18 +252,10 @@ fn replay(args: &[String]) {
 }
 
 fn partition(args: &[String]) {
-    let partitions = arg_value(args, "--partitions")
-        .map(|v| {
-            v.parse::<usize>().ok().filter(|&k| k >= 1).unwrap_or_else(|| {
-                eprintln!("--partitions needs a positive integer, got '{v}'");
-                eprintln!("{}", usage());
-                std::process::exit(2);
-            })
-        })
-        .unwrap_or(4);
-    let json = arg_value(args, "--json");
+    let partitions = parse_count(args, "--partitions", 4, &usage());
+    let json = parse_path(args, "--json", &usage());
 
-    let suite = match arg_value(args, "--capture") {
+    let suite = match parse_path(args, "--capture", &usage()) {
         Some(capture_path) => {
             let text = std::fs::read_to_string(capture_path).unwrap_or_else(|e| {
                 eprintln!("cannot read {capture_path}: {e}");
@@ -292,12 +273,12 @@ fn partition(args: &[String]) {
             )
         }
         None => {
-            let clients =
-                arg_value(args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+            let clients = parse_clients(args, &usage());
             if partitions > clients {
-                eprintln!("cannot cut {clients} clients into {partitions} non-empty partitions");
-                eprintln!("{}", usage());
-                std::process::exit(2);
+                die_usage(
+                    &format!("cannot cut {clients} clients into {partitions} non-empty partitions"),
+                    &usage(),
+                );
             }
             cloudbench::partition::run_partition_suite(clients, partitions, REPRO_SEED)
         }
@@ -350,6 +331,7 @@ fn usage() -> String {
          repro fleet-scale [--clients N] [--json PATH] [--capture PATH]\n       \
          repro replay --capture PATH [--link PRESET | --profile SERVICE] [--json PATH] [--metrics PATH]\n       \
          repro partition [--clients N] [--partitions K] [--capture PATH] [--json PATH]\n       \
+         repro trace [--clients N] [--json PATH]\n       \
          repro suites\n       \
          repro bench-json [PATH]\n\
          gated suites (see `repro suites`): {}",
@@ -360,8 +342,8 @@ fn usage() -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let target = args.first().map(|s| s.as_str()).unwrap_or("all");
-    let reps = arg_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(BENCH_REPETITIONS);
-    let json = arg_value(&args, "--json");
+    let reps = parse_count(&args, "--reps", BENCH_REPETITIONS, &usage());
+    let json = parse_path(&args, "--json", &usage());
     let testbed = Testbed::new(REPRO_SEED);
 
     match target {
@@ -381,12 +363,15 @@ fn main() {
         "schedule" => schedule(json),
         "faults" => faults(json),
         "fleet-scale" => {
-            let clients =
-                arg_value(&args, "--clients").and_then(|v| v.parse().ok()).unwrap_or(100_000);
-            fleet_scale(clients, json, arg_value(&args, "--capture"));
+            fleet_scale(
+                parse_clients(&args, &usage()),
+                json,
+                parse_path(&args, "--capture", &usage()),
+            );
         }
         "replay" => replay(&args),
         "partition" => partition(&args),
+        "trace" => trace(&args),
         "suites" => print!("{}", cloudbench_bench::suites::render_table()),
         "bench-json" => bench_json(args.get(1).map(String::as_str)),
         "all" => {
@@ -404,9 +389,7 @@ fn main() {
             faults(None);
         }
         other => {
-            eprintln!("unknown target '{other}'");
-            eprintln!("{}", usage());
-            std::process::exit(2);
+            die_usage(&format!("unknown target '{other}'"), &usage());
         }
     }
 }

@@ -16,10 +16,14 @@
 //! * [`suites`] is the single source of truth for the gated suite list —
 //!   `repro suites` prints it and the CI determinism/coverage scripts
 //!   iterate over that output instead of hardcoding suite names.
+//! * [`cli`] is the shared argument-parsing surface every `repro`
+//!   subcommand goes through: one `--json [PATH|-]` convention, strict
+//!   counted flags, usage-on-error with exit 2.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod gate;
 pub mod metrics;
 pub mod suites;

@@ -14,7 +14,11 @@
 //! second, concurrency peak and population-scale dedup from 10k lightweight
 //! clients on the event heap) and the partition runner (`partition.*`
 //! per-partition commit skew, merge overhead and the sum-of-parts ratios
-//! the merge invariants pin to exactly 1.0), plus `hist.*` log-bucketed
+//! the merge invariants pin to exactly 1.0) and the trace-overhead suite
+//! (`trace.*` packet/flow counts, wire volume and the wire/logical
+//! overhead ratio of the sharded fleet-scale capture — the wall-clock
+//! bound itself lives in the `trace_overhead` Criterion bench, since gate
+//! values must be deterministic), plus `hist.*` log-bucketed
 //! latency quantiles
 //! (sync commits, restore pulls, retry backoff waits and fleet-scale
 //! transfers). `repro bench-json` dumps them; the `bench_gate` binary
@@ -239,6 +243,20 @@ pub fn collect() -> Vec<(String, f64)> {
     metrics.push(("partition.hist_p99_ratio".to_string(), suite.hist_p99_ratio));
     metrics.push(("partition.curve_overlap".to_string(), suite.curve_overlap));
 
+    // The trace-overhead suite: the same 10k population with the sharded
+    // packet capture switched on. Every gated value is derived from the
+    // merged capture (a pure function of the spec — the merge order is
+    // worker-count independent); the wall-clock overhead bound lives in
+    // the `trace_overhead` Criterion bench, which is where
+    // non-deterministic numbers belong.
+    let suite = cloudbench::trace_overhead::run_trace_overhead(GATE_SCALE_CLIENTS, REPRO_SEED);
+    metrics.push(("trace.packets".to_string(), suite.packets as f64));
+    metrics.push(("trace.flows".to_string(), suite.flows as f64));
+    metrics.push(("trace.syns".to_string(), suite.syns as f64));
+    metrics.push(("trace.wire_mb".to_string(), suite.wire_mb));
+    metrics.push(("trace.overhead_ratio".to_string(), suite.overhead_ratio));
+    metrics.push(("trace.packets_per_vsec".to_string(), suite.packets_per_vsec));
+
     metrics
 }
 
@@ -351,6 +369,33 @@ mod tests {
             let value = metrics.iter().find(|(k, _)| k == key).unwrap().1;
             assert_eq!(value.to_bits(), 1.0f64.to_bits(), "{key} must be exactly 1.0");
         }
+    }
+
+    #[test]
+    fn trace_suite_is_represented_in_the_gate() {
+        let metrics = collected();
+        let trace: Vec<&String> =
+            metrics.iter().map(|(k, _)| k).filter(|k| k.starts_with("trace.")).collect();
+        assert!(trace.len() >= 6, "trace.* must be gated, got {trace:?}");
+        for key in [
+            "trace.packets",
+            "trace.flows",
+            "trace.syns",
+            "trace.wire_mb",
+            "trace.overhead_ratio",
+            "trace.packets_per_vsec",
+        ] {
+            assert!(metrics.iter().any(|(k, _)| k == key), "{key} missing from the gate");
+        }
+        // One flow (and one SYN) per commit: the capture accounts the same
+        // population the fleet-scale gate point drives.
+        let commits = metrics.iter().find(|(k, _)| k == "fleetscale.commits").unwrap().1;
+        let flows = metrics.iter().find(|(k, _)| k == "trace.flows").unwrap().1;
+        assert_eq!(flows.to_bits(), commits.to_bits());
+        // The capture's overhead is a thin TCP-header margin over the
+        // logical volume — above 1, nowhere near the gate tolerance band.
+        let ratio = metrics.iter().find(|(k, _)| k == "trace.overhead_ratio").unwrap().1;
+        assert!(ratio > 1.0 && ratio < 1.01, "trace.overhead_ratio {ratio} out of band");
     }
 
     /// The single-sourcing contract: the collector and the suites table

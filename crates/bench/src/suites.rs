@@ -42,6 +42,7 @@ pub const SUITES: &[SuiteSpec] = &[
         prefix: "partition",
         determinism_target: Some("partition --clients 10000 --partitions 8 --json -"),
     },
+    SuiteSpec { prefix: "trace", determinism_target: Some("trace --clients 10000 --json -") },
     SuiteSpec { prefix: "hist", determinism_target: None },
 ];
 
@@ -107,6 +108,10 @@ mod tests {
         // byte-comparable artefact; the text report prints wall time).
         let partition = by_prefix("partition").expect("partition row");
         assert!(partition.determinism_target.expect("has target").contains("--json -"));
+        // And for the trace-overhead suite, whose text report compares
+        // traced vs traceless wall time.
+        let trace = by_prefix("trace").expect("trace row");
+        assert!(trace.determinism_target.expect("has target").contains("--json -"));
     }
 
     #[test]

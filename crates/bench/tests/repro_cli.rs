@@ -59,6 +59,51 @@ fn unknown_subcommand_exits_nonzero_and_lists_the_valid_targets() {
     }
 }
 
+/// The shared-CLI contract: counted flags reject malformed, zero and
+/// dangling values with the usage text at exit 2 on every subcommand,
+/// instead of silently falling back to their defaults (a typo like
+/// `--clients 10k` used to launch a 100 000-client run).
+#[test]
+fn malformed_counted_flags_die_with_usage_everywhere() {
+    for args in [
+        ["fleet-scale", "--clients", "10k"].as_slice(),
+        ["fleet-scale", "--clients", "0"].as_slice(),
+        ["fleet-scale", "--clients"].as_slice(),
+        ["partition", "--clients", "abc"].as_slice(),
+        ["trace", "--clients", "-5"].as_slice(),
+        ["fig6", "--reps", "zero"].as_slice(),
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+        let err = stderr(&out);
+        assert!(err.contains("usage: repro"), "{args:?}: usage missing from {err}");
+        assert!(err.contains(args[1]), "{args:?}: offending flag missing from {err}");
+    }
+}
+
+/// The trace subcommand: the JSON dump is deterministic (what the CI
+/// trace determinism leg `cmp`s) and the text report carries the
+/// wall-time comparison the dump deliberately omits.
+#[test]
+fn trace_dumps_deterministic_json_and_reports_wall_time_in_text_only() {
+    let a = repro(&["trace", "--clients", "300", "--json", "-"]);
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    let b = repro(&["trace", "--clients", "300", "--json", "-"]);
+    assert!(b.status.success(), "stderr: {}", stderr(&b));
+    assert_eq!(stdout(&a), stdout(&b), "trace dumps must be byte-identical across reruns");
+    let dump = stdout(&a);
+    for field in ["\"packets\"", "\"flows\"", "\"overhead_ratio\""] {
+        assert!(dump.contains(field), "{field} missing from: {dump}");
+    }
+    assert!(!dump.contains("wall"), "wall-clock fields leaked into the dump: {dump}");
+
+    let out = repro(&["trace", "--clients", "300"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Trace overhead"), "got: {text}");
+    assert!(text.contains("wall time"), "got: {text}");
+}
+
 #[test]
 fn replay_without_a_capture_fails_with_guidance() {
     let out = repro(&["replay"]);

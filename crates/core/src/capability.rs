@@ -325,7 +325,7 @@ pub fn syn_series(testbed: &Testbed, profile: &ServiceProfile) -> Vec<(f64, u64)
     let run = testbed.run_sync(profile, &spec, 0);
     let series = analysis::cumulative_syns(&run.packets);
     let origin = run.packets.first().map(|p| p.timestamp).unwrap_or(SimTime::ZERO);
-    series.points().iter().map(|(t, v)| ((*t - origin).as_secs_f64(), *v as u64)).collect()
+    series.points().map(|(t, v)| ((t - origin).as_secs_f64(), v as u64)).collect()
 }
 
 #[cfg(test)]

@@ -44,6 +44,9 @@
 //! engine design). [`partition`] shards that population across N workers
 //! over one shared store and merges the results back bit-identically —
 //! the in-process seam for a distributed agent/controller mode.
+//! [`trace_overhead`] closes the observability loop: the same population
+//! run with capture off and on, proving the sharded trace recorder is a
+//! pure observer and reporting the capture's packet/flow/overhead figures.
 //!
 //! ## Quick start
 //!
@@ -74,6 +77,7 @@ pub mod restore;
 pub mod scale;
 pub mod schedule;
 pub mod testbed;
+pub mod trace_overhead;
 
 pub use architecture::{discover_architecture, ArchitectureReport};
 pub use benchmarks::{run_performance_suite, PerformanceRow, PerformanceSuite};
@@ -88,6 +92,7 @@ pub use restore::{run_restore, RestoreLinkRow, RestoreSuite};
 pub use scale::{run_fleet_scale, FleetScaleSuite};
 pub use schedule::{run_schedule, ScheduleSuite};
 pub use testbed::{ExperimentRun, Testbed};
+pub use trace_overhead::{run_trace_overhead, TraceOverheadSuite};
 
 // Re-exports that make the public API self-contained for downstream users.
 pub use cloudsim_geo::Provider;

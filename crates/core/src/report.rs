@@ -17,6 +17,7 @@ use crate::partition::PartitionSuite;
 use crate::restore::RestoreSuite;
 use crate::scale::FleetScaleSuite;
 use crate::schedule::ScheduleSuite;
+use crate::trace_overhead::TraceOverheadSuite;
 use cloudsim_trace::HistogramSummary;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -464,6 +465,51 @@ impl Report {
             title: "Fleet scale: 100k+ event-driven clients against the sharded store".to_string(),
             body,
         }
+    }
+
+    /// Renders the trace-overhead suite: what the sharded packet capture of
+    /// a fleet-scale run contains, and what it cost in host time next to
+    /// the traceless baseline (the wall figures are text-only; the bound
+    /// itself is asserted by the `trace_overhead` Criterion bench).
+    pub fn trace_overhead(suite: &TraceOverheadSuite) -> Report {
+        let mut body = String::new();
+        let _ = writeln!(
+            body,
+            "{} clients, {} commits, captured on one trace shard per worker",
+            suite.clients, suite.commits,
+        );
+        let _ = writeln!(
+            body,
+            "\n{:>10} {:>8} {:>8} {:>10} {:>12} {:>10} {:>13} {:>11}",
+            "packets",
+            "flows",
+            "syns",
+            "wire MB",
+            "logical MB",
+            "overhead",
+            "packets/vsec",
+            "pkts/commit"
+        );
+        let _ = writeln!(
+            body,
+            "{:>10} {:>8} {:>8} {:>10.2} {:>12.2} {:>10.4} {:>13.2} {:>11.1}",
+            suite.packets,
+            suite.flows,
+            suite.syns,
+            suite.wire_mb,
+            suite.logical_mb,
+            suite.overhead_ratio,
+            suite.packets_per_vsec,
+            suite.packets_per_commit,
+        );
+        let _ = writeln!(
+            body,
+            "\nwall time: traced {:.2}s vs traceless {:.2}s ({:.2}x)",
+            suite.traced_wall_secs,
+            suite.baseline_wall_secs,
+            suite.traced_wall_secs / suite.baseline_wall_secs.max(f64::MIN_POSITIVE),
+        );
+        Report { title: "Trace overhead: sharded packet capture at fleet scale".to_string(), body }
     }
 
     /// Renders the partitioned run's split accounting: one row per

@@ -119,7 +119,7 @@ impl Testbed {
         // Only account traffic from the modification onwards (login traffic is
         // studied separately in Fig. 1).
         let packets: Vec<PacketRecord> =
-            sim.packets().into_iter().filter(|p| p.timestamp >= modification_time).collect();
+            sim.into_packets().into_iter().filter(|p| p.timestamp >= modification_time).collect();
         ExperimentRun {
             outcome,
             packets,
@@ -142,7 +142,7 @@ impl Testbed {
         let mut client = SyncClient::with_pipeline(profile.clone(), self.pipeline);
         let login_done = client.login(&mut sim, SimTime::ZERO);
         let result = script(&mut sim, &mut client, login_done);
-        (result, sim.packets())
+        (result, sim.into_packets())
     }
 }
 

@@ -16,7 +16,7 @@
 //!   overhead ([`tls`]),
 //! * HTTP message framing overhead ([`http`]),
 //! * UDP datagram exchanges for the DNS substrate ([`udp`]),
-//! * per-packet trace emission into a [`cloudsim_trace::TraceHandle`], so the
+//! * per-packet trace emission into a [`cloudsim_trace::TraceShard`], so the
 //!   same analyzers the paper applies to pcap files run on simulated traffic.
 //!
 //! The simulator is *analytic*: client logic calls operations such as

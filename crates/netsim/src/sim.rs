@@ -1,7 +1,7 @@
 //! The simulator: virtual clock, RNG and trace capture for one experiment run.
 
 use crate::rng::SimRng;
-use cloudsim_trace::{SimTime, TraceHandle};
+use cloudsim_trace::{PacketRecord, SimTime, TraceShard, TraceView};
 
 /// State shared by every protocol operation of one experiment run.
 ///
@@ -10,24 +10,26 @@ use cloudsim_trace::{SimTime, TraceHandle};
 /// each takes an explicit start time, computes its completion time from the
 /// path model, and records the packets it generated. `Simulator` tracks the
 /// furthest point in virtual time any operation has reached, provides the
-/// deterministic random stream, and owns the trace capture.
+/// deterministic random stream, and owns its private capture shard — plain
+/// owned data, so a long-lived client migrates between round workers by
+/// moving its simulator, with no lock on the packet path.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     now: SimTime,
     rng: SimRng,
-    trace: TraceHandle,
+    shard: TraceShard,
 }
 
 impl Simulator {
-    /// Creates a simulator with a fresh trace and the given RNG seed.
+    /// Creates a simulator with a fresh capture shard and the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Simulator { now: SimTime::ZERO, rng: SimRng::new(seed), trace: TraceHandle::new() }
+        Simulator { now: SimTime::ZERO, rng: SimRng::new(seed), shard: TraceShard::new() }
     }
 
     /// Creates a simulator reusing an existing RNG (e.g. a derived stream for
     /// repetition *i* of a benchmark).
     pub fn with_rng(rng: SimRng) -> Self {
-        Simulator { now: SimTime::ZERO, rng, trace: TraceHandle::new() }
+        Simulator { now: SimTime::ZERO, rng, shard: TraceShard::new() }
     }
 
     /// The furthest point in virtual time reached so far.
@@ -48,14 +50,27 @@ impl Simulator {
         &mut self.rng
     }
 
-    /// The trace capture handle for this run.
-    pub fn trace(&self) -> &TraceHandle {
-        &self.trace
+    /// Read view of the capture so far (insertion order).
+    pub fn trace(&self) -> TraceView<'_> {
+        self.shard.view()
     }
 
-    /// Convenience: snapshot of the captured packets, sorted by timestamp.
-    pub fn packets(&self) -> Vec<cloudsim_trace::PacketRecord> {
-        self.trace.snapshot()
+    /// The capture shard, for protocol endpoints that allocate flows and
+    /// record packets.
+    pub fn trace_mut(&mut self) -> &mut TraceShard {
+        &mut self.shard
+    }
+
+    /// Convenience: snapshot of the captured packets in canonical
+    /// `(timestamp, flow, seq)` order.
+    pub fn packets(&self) -> Vec<PacketRecord> {
+        self.shard.view().sorted()
+    }
+
+    /// Consumes the simulator, returning the captured packets in canonical
+    /// order without cloning.
+    pub fn into_packets(self) -> Vec<PacketRecord> {
+        self.shard.into_packets()
     }
 }
 
@@ -95,5 +110,6 @@ mod tests {
         let sim = Simulator::new(1);
         assert!(sim.trace().is_empty());
         assert!(sim.packets().is_empty());
+        assert!(sim.into_packets().is_empty());
     }
 }

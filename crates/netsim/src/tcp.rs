@@ -140,7 +140,7 @@ impl TcpConnection {
     ) -> TcpConnection {
         let path = net.path(host);
         let server = net.host(host).unwrap_or_else(|| panic!("unknown host {host}")).endpoint;
-        let flow = sim.trace().allocate_flow();
+        let flow = sim.trace_mut().allocate_flow();
         // Ephemeral port derived from the flow id keeps connections distinct
         // without requiring mutable access to the topology. Modulo the full
         // IANA ephemeral span so a fleet client opening thousands of
@@ -839,7 +839,7 @@ impl TcpConnection {
             Direction::Upload => (self.client, self.server),
             Direction::Download => (self.server, self.client),
         };
-        sim.trace().record(PacketRecord {
+        sim.trace_mut().record(PacketRecord {
             timestamp,
             src,
             dst,

@@ -26,11 +26,11 @@ pub fn udp_exchange(
 ) -> SimTime {
     let path = net.path(host);
     let server = net.host(host).unwrap_or_else(|| panic!("unknown host {host}")).endpoint;
-    let flow = sim.trace().allocate_flow();
+    let flow = sim.trace_mut().allocate_flow();
     let client = Endpoint::new(net.client().endpoint.addr, 53000 + (flow.0 % 1000) as u16);
     let rtt = path.sample_rtt(sim.rng());
 
-    sim.trace().record(PacketRecord {
+    sim.trace_mut().record(PacketRecord {
         timestamp: start,
         src: client,
         dst: server,
@@ -43,7 +43,7 @@ pub fn udp_exchange(
         kind: FlowKind::Dns,
     });
     let response_at = start + rtt;
-    sim.trace().record(PacketRecord {
+    sim.trace_mut().record(PacketRecord {
         timestamp: response_at,
         src: server,
         dst: client,

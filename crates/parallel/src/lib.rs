@@ -83,6 +83,61 @@ where
     slots.into_iter().map(|slot| slot.expect("work item lost")).collect()
 }
 
+/// Like [`run_indexed`], but over caller-owned worker contexts that persist
+/// across calls: runs `work(ctx, i)` for `i in 0..count` with exactly one
+/// scoped thread per entry of `contexts` (capped at one per item), returning
+/// results in index order. The fleet harness uses this to hand each round
+/// worker a long-lived trace shard that keeps accumulating packets wave after
+/// wave. With a single context the whole map runs inline on the calling
+/// thread. Panics in `work` propagate; panics if `contexts` is empty.
+pub fn run_with_contexts<C, T, F>(contexts: &mut [C], count: usize, work: F) -> Vec<T>
+where
+    C: Send,
+    T: Send,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
+    assert!(!contexts.is_empty(), "at least one worker context is required");
+    if count == 0 {
+        return Vec::new();
+    }
+    if contexts.len() == 1 {
+        let ctx = &mut contexts[0];
+        return (0..count).map(|i| work(ctx, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let spawn = contexts.len().min(count);
+    let work = &work;
+    let next = &next;
+    let mut shards: Vec<Vec<(usize, T)>> = Vec::with_capacity(spawn);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(spawn);
+        for ctx in contexts.iter_mut().take(spawn) {
+            handles.push(scope.spawn(move || {
+                let mut shard = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    shard.push((i, work(ctx, i)));
+                }
+                shard
+            }));
+        }
+        for handle in handles {
+            shards.push(handle.join().expect("worker thread panicked"));
+        }
+    });
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (i, value) in shards.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "duplicate work item {i}");
+        slots[i] = Some(value);
+    }
+    slots.into_iter().map(|slot| slot.expect("work item lost")).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +178,46 @@ mod tests {
             },
         );
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn persistent_contexts_survive_across_calls() {
+        let mut tallies = vec![0u64; 3];
+        let a = run_with_contexts(&mut tallies, 100, |seen, i| {
+            *seen += 1;
+            i * 2
+        });
+        assert_eq!(a, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        let b = run_with_contexts(&mut tallies, 50, |seen, i| {
+            *seen += 1;
+            i
+        });
+        assert_eq!(b, (0..50).collect::<Vec<_>>());
+        // Every item was tallied exactly once, accumulated across both calls.
+        assert_eq!(tallies.iter().sum::<u64>(), 150);
+    }
+
+    #[test]
+    fn single_context_runs_inline_and_empty_count_is_empty() {
+        let mut ctxs = vec![0usize];
+        assert!(run_with_contexts(&mut ctxs, 0, |c, i| {
+            *c += 1;
+            i
+        })
+        .is_empty());
+        let out = run_with_contexts(&mut ctxs, 5, |c, i| {
+            *c += 1;
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(ctxs[0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker context")]
+    fn empty_contexts_panic() {
+        let mut ctxs: Vec<()> = Vec::new();
+        let _ = run_with_contexts(&mut ctxs, 3, |(), i| i);
     }
 
     #[test]

@@ -33,7 +33,12 @@ use cloudsim_net::AccessLink;
 use cloudsim_storage::{
     AggregateStats, ContentHash, FileManifest, GcPolicy, ObjectStore, StoredChunk,
 };
-use cloudsim_trace::{LatencyHistogram, SimDuration, SimTime};
+use cloudsim_trace::packet::{
+    Direction, Endpoint, PacketRecord, TcpFlags, TransportProtocol, TCP_HEADER_BYTES,
+};
+use cloudsim_trace::{
+    FlowId, FlowKind, LatencyHistogram, SimDuration, SimTime, Trace, TraceRecorder, TraceShard,
+};
 use cloudsim_workload::seed::{derive_seed, unit_f64};
 use serde::Serialize;
 
@@ -155,6 +160,13 @@ impl ScaleSpec {
         } else {
             derive_seed(self.seed, i as u64, k as u64, SALT_SCALE_CONTENT + f as u64)
         }
+    }
+
+    /// The trace flow id of client `i`'s commit `k` — a pure function of
+    /// the spec, *not* an allocation from a worker shard, so the traced
+    /// capture merges bit-identically whatever worker executed the commit.
+    pub fn commit_flow(&self, i: usize, k: usize) -> FlowId {
+        FlowId((i * self.commits_per_client + k) as u64)
     }
 
     /// Lowers the spec into its event heap: one [`Phase::Sync`] event per
@@ -294,6 +306,51 @@ fn execute_commit(
         |f| spec.content_seed(i, k, f),
         state,
     )
+}
+
+/// Records the packet skeleton of one commit into a worker's trace shard:
+/// the connection SYN at the transfer start, then one storage payload
+/// packet per file at its analytic completion instant. Timestamps, sizes
+/// and the flow id ([`ScaleSpec::commit_flow`]) are pure functions of the
+/// spec, and a commit's packets land contiguously in exactly one shard, so
+/// the `(timestamp, flow, seq)` merge reproduces one canonical trace for
+/// any worker count.
+fn record_commit_packets(
+    shard: &mut TraceShard,
+    spec: &ScaleSpec,
+    i: usize,
+    k: usize,
+    start: SimTime,
+) {
+    let flow = spec.commit_flow(i, k);
+    let link = spec.link(i);
+    let src = Endpoint::from_octets(
+        10,
+        (i >> 16) as u8,
+        (i >> 8) as u8,
+        i as u8,
+        40_000u16.wrapping_add(k as u16),
+    );
+    let dst = Endpoint::from_octets(198, 18, 0, 1, 443);
+    let packet = |timestamp, flags, payload_len| PacketRecord {
+        timestamp,
+        src,
+        dst,
+        protocol: TransportProtocol::Tcp,
+        flags,
+        payload_len,
+        header_len: TCP_HEADER_BYTES,
+        direction: Direction::Upload,
+        flow,
+        kind: FlowKind::Storage,
+    };
+    shard.record(packet(start, TcpFlags::SYN, 0));
+    for f in 0..spec.files_per_commit {
+        let sent = start
+            + link.access_rtt
+            + SimDuration::for_transmission((f as u64 + 1) * spec.file_size, link.up_bandwidth);
+        shard.record(packet(sent, TcpFlags::ACK, spec.file_size as u32));
+    }
 }
 
 /// Pops waves off `heap` and fans each out over up to `workers` threads,
@@ -461,12 +518,63 @@ pub fn run_scale(spec: &ScaleSpec, store: ObjectStore, workers: usize) -> ScaleR
     assemble_run(spec.clients, files, &states, intervals, store, started)
 }
 
+/// Runs the population with full packet capture: each of the `workers`
+/// round workers records commits into its own long-lived [`TraceShard`]
+/// (handed out once and reused wave after wave via
+/// [`cloudsim_parallel::run_with_contexts`]), and the shards are k-way
+/// merged into one frozen [`Trace`] at the end. The [`ScaleRun`] is
+/// bit-identical to the traceless [`run_scale`] of the same spec, and the
+/// merged trace is bit-identical for any worker count — flow ids are pure
+/// functions of `(client, commit)`, not shard allocations.
+pub fn run_scale_traced(spec: &ScaleSpec, store: ObjectStore, workers: usize) -> (ScaleRun, Trace) {
+    spec.validate();
+    let mut heap = spec.events();
+    let started = std::time::Instant::now();
+    let workers = workers.max(1);
+    let mut shards = TraceRecorder::with_shards(workers).into_shards();
+    // Steady-state recording should never reallocate: the packet count per
+    // commit is known up front, so carve the capacity across the shards.
+    let packets_per_commit = 1 + spec.files_per_commit;
+    let total_packets = heap.len() * packets_per_commit;
+    for shard in &mut shards {
+        shard.reserve(total_packets / workers + packets_per_commit);
+    }
+
+    let mut states: Vec<ScaleClientState> = vec![ScaleClientState::default(); spec.clients];
+    let mut intervals: Vec<(SimTime, SimTime)> = Vec::with_capacity(heap.len());
+    while let Some(wave) = heap.next_wave() {
+        let results: Vec<(ScaleClientState, (SimTime, SimTime))> =
+            cloudsim_parallel::run_with_contexts(&mut shards, wave.events.len(), |shard, k| {
+                let ev = &wave.events[k];
+                let (state, interval) = execute_commit(spec, &store, ev, states[ev.client]);
+                record_commit_packets(shard, spec, ev.client, ev.round, interval.0);
+                (state, interval)
+            });
+        for (k, (state, interval)) in results.into_iter().enumerate() {
+            states[wave.events[k].client] = state;
+            intervals.push(interval);
+        }
+    }
+
+    let trace = TraceRecorder::from_shards(shards).finish();
+    let files = spec.clients as u64 * spec.commits_per_client as u64 * spec.files_per_commit as u64;
+    (assemble_run(spec.clients, files, &states, intervals, store, started), trace)
+}
+
 /// Runs the population with one worker per host core against a fresh
 /// sharded store (mark-sweep retention, like a provider that never eagerly
 /// frees).
 pub fn run_scale_concurrent(spec: &ScaleSpec) -> ScaleRun {
     let workers = cloudsim_parallel::available_workers();
     run_scale(spec, ObjectStore::with_policy(GcPolicy::MarkSweep), workers)
+}
+
+/// Like [`run_scale_concurrent`], but with full packet capture: one worker
+/// (and one trace shard) per host core, merged into a frozen [`Trace`].
+/// The capture is bit-identical whatever the core count.
+pub fn run_scale_traced_concurrent(spec: &ScaleSpec) -> (ScaleRun, Trace) {
+    let workers = cloudsim_parallel::available_workers();
+    run_scale_traced(spec, ObjectStore::with_policy(GcPolicy::MarkSweep), workers)
 }
 
 /// Replays the same population sequentially on the calling thread — the
@@ -608,5 +716,53 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn zero_clients_panic() {
         run_scale_sequential(&ScaleSpec::new(0));
+    }
+
+    #[test]
+    fn traced_run_matches_the_traceless_run_bit_for_bit() {
+        let spec = small_spec();
+        let plain = run_scale(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 4);
+        let (traced, _trace) =
+            run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 4);
+        assert_eq!(traced.commits, plain.commits);
+        assert_eq!(traced.logical_bytes, plain.logical_bytes);
+        assert_eq!(traced.intervals, plain.intervals);
+        assert_eq!(traced.aggregate(), plain.aggregate());
+    }
+
+    #[test]
+    fn traced_capture_is_bit_identical_across_worker_counts() {
+        let spec = small_spec();
+        let (_, single) = run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 1);
+        for workers in [2, 3, 8] {
+            let (_, sharded) =
+                run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), workers);
+            assert_eq!(
+                sharded.view().packets(),
+                single.view().packets(),
+                "{workers}-shard merge must equal the single-shard capture"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_capture_accounts_every_commit() {
+        let spec = small_spec();
+        let (run, trace) =
+            run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 4);
+        let view = trace.view();
+        // One SYN + one payload packet per file, per commit.
+        let expected = run.commits as usize * (1 + spec.files_per_commit);
+        assert_eq!(view.len(), expected);
+        let syns = view.packets().iter().filter(|p| p.flags == TcpFlags::SYN).count();
+        assert_eq!(syns as u64, run.commits);
+        let table = view.flow_table();
+        assert_eq!(table.len(), run.commits as usize, "one flow per commit");
+        // Wire bytes exceed the logical payload (headers), but not by much.
+        let wire = view.wire_bytes(FlowKind::Storage);
+        assert!(wire > run.logical_bytes);
+        assert!((wire as f64) < run.logical_bytes as f64 * 1.1);
+        // The capture is timestamp-faithful: packets stay inside the span.
+        assert!(view.last_timestamp().expect("packets") <= run.last_end());
     }
 }

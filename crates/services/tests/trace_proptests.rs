@@ -1,0 +1,126 @@
+//! Property tests for the sharded trace recorder.
+//!
+//! The recorder's contract is the determinism invariant the trace-capture
+//! redesign rests on: merging per-worker shards by the
+//! `(timestamp, flow, seq)` total order reconstructs the exact packet
+//! sequence a sequential single-shard capture produces, for arbitrary
+//! packet interleavings, arbitrary flow-to-shard routings and any worker
+//! count — which is what lets the traced fleet-scale runner dump
+//! bit-identical captures whatever the host's parallelism was.
+
+use cloudsim_services::scale::{run_scale, run_scale_traced, ScaleSpec};
+use cloudsim_storage::{GcPolicy, ObjectStore};
+use cloudsim_trace::packet::{
+    Direction, Endpoint, PacketRecord, TcpFlags, TransportProtocol, TCP_HEADER_BYTES,
+};
+use cloudsim_trace::{FlowId, FlowKind, SimTime, TraceRecorder, TraceShard};
+use proptest::prelude::*;
+
+fn packet(flow: FlowId, t_us: u64, payload: u32) -> PacketRecord {
+    PacketRecord {
+        timestamp: SimTime::from_micros(t_us),
+        src: Endpoint::from_octets(10, 0, 0, 2, 50_000),
+        dst: Endpoint::from_octets(10, 0, 0, 1, 443),
+        protocol: TransportProtocol::Tcp,
+        flags: if payload == 0 { TcpFlags::SYN } else { TcpFlags::ACK },
+        payload_len: payload,
+        header_len: TCP_HEADER_BYTES,
+        direction: Direction::Upload,
+        flow,
+        kind: FlowKind::Storage,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For an arbitrary interleaved packet stream (each flow's packets kept
+    /// in stream order, flows routed whole to arbitrary shards), the k-shard
+    /// merge is bit-identical to recording the same stream on one shard.
+    #[test]
+    fn sharded_merge_equals_single_shard_capture(
+        shard_count in 1usize..8,
+        // Per-flow timestamp draws; payloads derive from (flow, seq) so
+        // every packet is distinguishable.
+        flows in proptest::collection::vec(
+            proptest::collection::vec(0u64..200, 1..6),
+            1..16,
+        ),
+        routing in proptest::collection::vec(0usize..8, 1..17),
+        interleave in proptest::collection::vec(0usize..16, 0..48),
+    ) {
+        // Expand the draws into per-flow packet sequences. Timestamps are
+        // raw draws over a narrow range — ties within and across flows are
+        // likely, which is exactly what exercises the
+        // (timestamp, flow, seq) merge key.
+        let per_flow: Vec<Vec<PacketRecord>> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, draws)| {
+                draws
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &t)| packet(FlowId(i as u64), t, (i * 100 + s) as u32))
+                    .collect()
+            })
+            .collect();
+
+        // One global interleaving: `interleave` picks which flow emits its
+        // next pending packet; leftovers drain in flow order.
+        let mut cursors = vec![0usize; per_flow.len()];
+        let mut stream: Vec<(usize, PacketRecord)> = Vec::new();
+        for &pick in &interleave {
+            let i = pick % per_flow.len();
+            if cursors[i] < per_flow[i].len() {
+                stream.push((i, per_flow[i][cursors[i]].clone()));
+                cursors[i] += 1;
+            }
+        }
+        for (i, pkts) in per_flow.iter().enumerate() {
+            while cursors[i] < pkts.len() {
+                stream.push((i, pkts[cursors[i]].clone()));
+                cursors[i] += 1;
+            }
+        }
+
+        // Reference: the whole stream on a single shard.
+        let mut single = TraceShard::new();
+        for (_, p) in &stream {
+            single.record(p.clone());
+        }
+        let reference = TraceRecorder::from_shards(vec![single]).finish().into_packets();
+
+        // Sharded: the same stream routed flow-whole to arbitrary shards.
+        let mut recorder = TraceRecorder::with_shards(shard_count);
+        for (i, p) in &stream {
+            let shard = routing[*i % routing.len()] % shard_count;
+            recorder.shards_mut()[shard].record(p.clone());
+        }
+        prop_assert_eq!(recorder.finish().into_packets(), reference);
+    }
+
+    /// The traced fleet-scale runner end to end: for 1..8 workers the merged
+    /// capture is bit-identical to the single-worker capture, and the run
+    /// data matches the traceless runner exactly.
+    #[test]
+    fn traced_scale_capture_is_worker_count_invariant(
+        seed in 0u64..1_000_000,
+        clients in 1usize..24,
+        commits in 1usize..3,
+        workers in 2usize..8,
+    ) {
+        let spec = ScaleSpec::new(clients).with_seed(seed).with_commits(commits);
+        let (run_one, trace_one) =
+            run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), 1);
+        let (run_k, trace_k) =
+            run_scale_traced(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), workers);
+        prop_assert_eq!(trace_k.view().packets(), trace_one.view().packets());
+        prop_assert_eq!(&run_k.intervals, &run_one.intervals);
+
+        let plain = run_scale(&spec, ObjectStore::with_policy(GcPolicy::MarkSweep), workers);
+        prop_assert_eq!(run_k.commits, plain.commits);
+        prop_assert_eq!(run_k.logical_bytes, plain.logical_bytes);
+        prop_assert_eq!(&run_k.intervals, &plain.intervals);
+        prop_assert_eq!(run_k.aggregate(), plain.aggregate());
+    }
+}

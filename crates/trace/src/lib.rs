@@ -19,8 +19,10 @@
 //! * [`packet`] — per-packet records with TCP flags, direction and sizes,
 //! * [`flow`] — flow identification, per-flow accounting and classification
 //!   into control / storage / notification traffic,
-//! * [`capture`] — an append-only capture sink ([`capture::Trace`]) plus a
-//!   cheap shareable handle used by simulated protocol endpoints,
+//! * [`capture`] — sharded, lock-free capture: per-worker
+//!   [`capture::TraceShard`]s handed out by a [`capture::TraceRecorder`],
+//!   k-way merged into a frozen [`capture::Trace`] and read through the
+//!   borrowed [`capture::TraceView`],
 //! * [`analysis`] — the analyzers used by the benchmark suite (SYN series,
 //!   burst detection, throughput/pause detection, volume and overhead,
 //!   start-up / completion timelines),
@@ -43,7 +45,7 @@ pub mod packet;
 pub mod series;
 pub mod time;
 
-pub use capture::{Trace, TraceHandle};
+pub use capture::{Trace, TraceRecorder, TraceShard, TraceView, SHARD_FLOW_SPAN};
 pub use flow::{FlowId, FlowKind, FlowStats, FlowTable};
 pub use hist::{HistogramSummary, LatencyHistogram};
 pub use packet::{Direction, Endpoint, PacketRecord, TcpFlags, TransportProtocol};

@@ -6,69 +6,108 @@
 //! plotted against a common x-axis.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A cumulative step series: at each event time the running total increases.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Stored as columnar struct-of-arrays buffers (a time column and a
+/// running-total column) rather than a `Vec<(SimTime, f64)>` of tuples, so
+/// figure rendering walks two dense, cache-friendly columns and resampling
+/// binary-searches the bare time column without striding over totals.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CumulativeSeries {
-    /// `(event time, running total after the event)`, sorted by time.
-    points: Vec<(SimTime, f64)>,
+    /// Event times, sorted ascending (duplicates allowed).
+    times: Vec<SimTime>,
+    /// Running total after the event at the same index.
+    totals: Vec<f64>,
 }
+
+/// Serialized in the historical row-major shape `{"points": [[t, v], …]}` so
+/// exported series stay stable across the columnar migration.
+impl Serialize for CumulativeSeries {
+    fn serialize(&self) -> Value {
+        let points = self
+            .times
+            .iter()
+            .zip(&self.totals)
+            .map(|(t, v)| Value::Array(vec![t.serialize(), v.serialize()]))
+            .collect();
+        Value::Object(vec![(String::from("points"), Value::Array(points))])
+    }
+}
+
+impl Deserialize for CumulativeSeries {}
 
 impl CumulativeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        CumulativeSeries { points: Vec::new() }
+        CumulativeSeries::default()
     }
 
     /// Builds a cumulative series from raw `(time, increment)` events.
     ///
-    /// Events do not need to be sorted; they are sorted internally.
+    /// Events do not need to be sorted, but the common case — events drained
+    /// from a heap-ordered run — already is, so the O(n log n) sort only runs
+    /// when a linear sortedness scan says the input actually needs it.
     pub fn from_events<I: IntoIterator<Item = (SimTime, f64)>>(events: I) -> Self {
         let mut evs: Vec<(SimTime, f64)> = events.into_iter().collect();
-        evs.sort_by_key(|(t, _)| *t);
+        if !evs.is_sorted_by_key(|(t, _)| *t) {
+            evs.sort_by_key(|(t, _)| *t);
+        }
+        let mut times = Vec::with_capacity(evs.len());
+        let mut totals = Vec::with_capacity(evs.len());
         let mut total = 0.0;
-        let mut points = Vec::with_capacity(evs.len());
         for (t, inc) in evs {
             total += inc;
-            points.push((t, total));
+            times.push(t);
+            totals.push(total);
         }
-        CumulativeSeries { points }
+        CumulativeSeries { times, totals }
     }
 
     /// Number of events in the series.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.times.len()
     }
 
     /// True when the series has no events.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.times.is_empty()
     }
 
-    /// The raw `(time, running total)` points.
-    pub fn points(&self) -> &[(SimTime, f64)] {
-        &self.points
+    /// The event-time column, sorted ascending.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// The running-total column, aligned with [`CumulativeSeries::times`].
+    pub fn totals(&self) -> &[f64] {
+        &self.totals
+    }
+
+    /// Iterates the `(time, running total)` points in time order.
+    pub fn points(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.totals.iter().copied())
     }
 
     /// Final running total (0 for an empty series).
     pub fn total(&self) -> f64 {
-        self.points.last().map(|(_, v)| *v).unwrap_or(0.0)
+        self.totals.last().copied().unwrap_or(0.0)
     }
 
     /// Value of the step function at time `t` (the running total of the last
     /// event at or before `t`; 0 before the first event).
     pub fn value_at(&self, t: SimTime) -> f64 {
-        match self.points.binary_search_by_key(&t, |(pt, _)| *pt) {
+        match self.times.binary_search(&t) {
             Ok(mut idx) => {
                 // Several events can share a timestamp; take the last one.
-                while idx + 1 < self.points.len() && self.points[idx + 1].0 == t {
+                while idx + 1 < self.times.len() && self.times[idx + 1] == t {
                     idx += 1;
                 }
-                self.points[idx].1
+                self.totals[idx]
             }
             Err(0) => 0.0,
-            Err(idx) => self.points[idx - 1].1,
+            Err(idx) => self.totals[idx - 1],
         }
     }
 
@@ -91,7 +130,7 @@ impl CumulativeSeries {
 
     /// Time at which the running total first reaches `target`, if ever.
     pub fn time_to_reach(&self, target: f64) -> Option<SimTime> {
-        self.points.iter().find(|(_, v)| *v >= target).map(|(t, _)| *t)
+        self.totals.iter().position(|v| *v >= target).map(|idx| self.times[idx])
     }
 }
 
@@ -175,8 +214,33 @@ mod tests {
         ]);
         assert_eq!(s.len(), 3);
         assert_eq!(s.total(), 17.0);
-        assert_eq!(s.points()[0], (SimTime::from_secs(1), 10.0));
-        assert_eq!(s.points()[2], (SimTime::from_secs(3), 17.0));
+        let points: Vec<(SimTime, f64)> = s.points().collect();
+        assert_eq!(points[0], (SimTime::from_secs(1), 10.0));
+        assert_eq!(points[2], (SimTime::from_secs(3), 17.0));
+        // The columns stay aligned and the time column is sorted.
+        assert_eq!(s.times().len(), s.totals().len());
+        assert!(s.times().is_sorted());
+    }
+
+    #[test]
+    fn presorted_events_skip_the_sort_and_match_the_sorted_path() {
+        let unsorted = vec![
+            (SimTime::from_secs(3), 5.0),
+            (SimTime::from_secs(1), 10.0),
+            (SimTime::from_secs(2), 2.0),
+            (SimTime::from_secs(2), 4.0),
+        ];
+        let mut presorted = unsorted.clone();
+        presorted.sort_by_key(|(t, _)| *t);
+        let fast = CumulativeSeries::from_events(presorted.clone());
+        let slow = CumulativeSeries::from_events(unsorted);
+        assert_eq!(fast, slow, "sorted fast path must build the identical series");
+        assert_eq!(fast.total(), 21.0);
+        assert_eq!(fast.times(), slow.times());
+        assert_eq!(fast.totals(), slow.totals());
+        // A single-event and an empty input are trivially sorted.
+        assert_eq!(CumulativeSeries::from_events(vec![(SimTime::from_secs(1), 1.0)]).total(), 1.0);
+        assert!(CumulativeSeries::from_events(Vec::new()).is_empty());
     }
 
     #[test]
